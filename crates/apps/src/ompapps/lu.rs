@@ -1,0 +1,128 @@
+//! OpenMP LU: right-looking LU with a `parallel for schedule(static)`
+//! over rows each elimination step — the standard OpenMP formulation of
+//! the SPLASH-2 kernel (rows keep a fixed owner across steps; data is
+//! initialized inside a parallel region, SPLASH-2-OMP style).
+
+use std::sync::Arc;
+
+use cables::Pth;
+use memsim::GAddr;
+use omp::Omp;
+
+use crate::util::{det_f64, FLOP_NS};
+
+/// OpenMP LU parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmpLuParams {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Team size.
+    pub threads: usize,
+    /// Reconstruct L·U and compare (O(n³) serial — test sizes only).
+    pub verify: bool,
+}
+
+impl OmpLuParams {
+    /// A small test-size configuration.
+    pub fn test(threads: usize) -> Self {
+        OmpLuParams {
+            n: 32,
+            threads,
+            verify: true,
+        }
+    }
+}
+
+/// Outcome of the OpenMP LU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpLuResult {
+    /// Sum of |U diagonal|.
+    pub diag_checksum: f64,
+    /// Reconstruction error when verification ran.
+    pub max_error: Option<f64>,
+}
+
+fn init_elem(n: usize, i: usize, j: usize) -> f64 {
+    if i == j {
+        n as f64 + 1.0 + det_f64(8, (i * n + j) as u64).abs()
+    } else {
+        det_f64(8, (i * n + j) as u64)
+    }
+}
+
+/// Runs the OpenMP LU (call from the initial thread).
+pub fn omp_lu(omp: &Arc<Omp>, pth: &Pth, p: OmpLuParams) -> OmpLuResult {
+    let n = p.n;
+    let a: GAddr = pth.malloc((n * n * 8) as u64);
+    let at = move |i: usize, j: usize| a + ((i * n + j) * 8) as u64;
+
+    // Parallel initialization: each thread first-touches its rows.
+    omp.parallel(pth, move |c| {
+        c.for_static(n, |i| {
+            for j in 0..n {
+                c.pth().write::<f64>(at(i, j), init_elem(n, i, j));
+            }
+        });
+    });
+
+    for k in 0..n {
+        // One region per step: every thread scales and updates its own
+        // rows below the pivot, reading only the (read-shared) pivot row.
+        omp.parallel(pth, move |c| {
+            let pivot_row: Vec<f64> = (k..n).map(|j| c.pth().read::<f64>(at(k, j))).collect();
+            let pivot = pivot_row[0];
+            c.for_static(n, |i| {
+                if i <= k {
+                    return;
+                }
+                let lik = c.pth().read::<f64>(at(i, k)) / pivot;
+                c.pth().write::<f64>(at(i, k), lik);
+                for j in k + 1..n {
+                    let v = c.pth().read::<f64>(at(i, j)) - lik * pivot_row[j - k];
+                    c.pth().write::<f64>(at(i, j), v);
+                }
+                c.pth().compute(2 * (n - k) as u64 * FLOP_NS);
+            });
+        });
+    }
+
+    let mut diag_checksum = 0.0;
+    for i in 0..n {
+        diag_checksum += pth.read::<f64>(at(i, i)).abs();
+    }
+    let max_error = p.verify.then(|| {
+        let m: Vec<f64> = (0..n * n)
+            .map(|x| pth.read::<f64>(at(x / n, x % n)))
+            .collect();
+        let mut err = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { m[i * n + k] };
+                    let u = m[k * n + j];
+                    sum += if k == i { u } else { l * u };
+                }
+                err = err.max((sum - init_elem(n, i, j)).abs());
+            }
+        }
+        err
+    });
+    OmpLuResult {
+        diag_checksum,
+        max_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_diagonally_dominant() {
+        let n = 16;
+        for i in 0..n {
+            assert!(init_elem(n, i, i).abs() > n as f64);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! OpenMP programs (paper §3.3, Table 6): FFT, LU and OCEAN written the
+//! way OpenMP-for-SMP code looks — the master initializes data
+//! sequentially and parallel loops share it. Translated (OdinMP-style) to
+//! CableS pthreads by the [`omp`] runtime.
+//!
+//! The sequential initialization means the master first-touches *all*
+//! shared data, so placement is poor on a DSM system — exactly why the
+//! paper's Table 6 speedups are modest.
+
+pub mod fft;
+pub mod lu;
+pub mod ocean;

@@ -1,0 +1,107 @@
+//! OpenMP OCEAN: red-black SOR with parallel-for sweeps over rows; the
+//! grid is initialized inside a parallel region (SPLASH-2-OMP style).
+
+use std::sync::Arc;
+
+use cables::Pth;
+use memsim::GAddr;
+use omp::Omp;
+
+use crate::util::{det_f64, FLOP_NS};
+
+/// OpenMP OCEAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpOceanParams {
+    /// Interior grid dimension.
+    pub n: usize,
+    /// Sweeps.
+    pub iters: usize,
+    /// Relaxation factor.
+    pub omega: f64,
+    /// Team size.
+    pub threads: usize,
+}
+
+impl OmpOceanParams {
+    /// A small test-size configuration.
+    pub fn test(threads: usize) -> Self {
+        OmpOceanParams {
+            n: 24,
+            iters: 4,
+            omega: 1.2,
+            threads,
+        }
+    }
+}
+
+/// Outcome of the OpenMP OCEAN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpOceanResult {
+    /// Residual before the sweeps.
+    pub initial_residual: f64,
+    /// Residual after the sweeps (must shrink).
+    pub final_residual: f64,
+}
+
+fn residual(pth: &Pth, grid: GAddr, n: usize) -> f64 {
+    let at = |i: usize, j: usize| grid + ((i * (n + 2) + j) * 8) as u64;
+    let mut r = 0.0;
+    for i in 1..=n {
+        for j in 1..=n {
+            let c = pth.read::<f64>(at(i, j));
+            let nb = pth.read::<f64>(at(i - 1, j))
+                + pth.read::<f64>(at(i + 1, j))
+                + pth.read::<f64>(at(i, j - 1))
+                + pth.read::<f64>(at(i, j + 1));
+            r += (nb / 4.0 - c).abs();
+        }
+    }
+    r
+}
+
+/// Runs the OpenMP OCEAN (call from the initial thread).
+pub fn omp_ocean(omp: &Arc<Omp>, pth: &Pth, p: OmpOceanParams) -> OmpOceanResult {
+    let n = p.n;
+    let grid: GAddr = pth.malloc(((n + 2) * (n + 2) * 8) as u64);
+    let at = move |i: usize, j: usize| grid + ((i * (n + 2) + j) * 8) as u64;
+    // Parallel initialization: each thread first-touches its rows.
+    omp.parallel(pth, move |c| {
+        c.for_static(n + 2, |i| {
+            for j in 0..n + 2 {
+                c.pth()
+                    .write::<f64>(at(i, j), det_f64(12, (i * (n + 2) + j) as u64));
+            }
+        });
+    });
+    let initial_residual = residual(pth, grid, n);
+
+    let omega = p.omega;
+    for _ in 0..p.iters {
+        for colour in 0..2usize {
+            omp.parallel(pth, move |c| {
+                c.for_static(n, |r| {
+                    let i = r + 1;
+                    for j in 1..=n {
+                        if (i + j) % 2 != colour {
+                            continue;
+                        }
+                        let cur = c.pth().read::<f64>(at(i, j));
+                        let nb = c.pth().read::<f64>(at(i - 1, j))
+                            + c.pth().read::<f64>(at(i + 1, j))
+                            + c.pth().read::<f64>(at(i, j - 1))
+                            + c.pth().read::<f64>(at(i, j + 1));
+                        let v = cur + omega * (nb / 4.0 - cur);
+                        c.pth().write::<f64>(at(i, j), v);
+                    }
+                    c.pth().compute(6 * (n as u64 / 2) * FLOP_NS);
+                });
+            });
+        }
+    }
+
+    let final_residual = residual(pth, grid, n);
+    OmpOceanResult {
+        initial_residual,
+        final_residual,
+    }
+}

@@ -1,0 +1,7 @@
+//! Legacy pthreads programs (paper §3.3, Table 5): PN (prime numbers),
+//! PC (producer–consumer), PIPE (threaded pipeline). These run directly
+//! on the CableS pthreads API (`cables::Pth`), not the M4 facade.
+
+pub mod pc;
+pub mod pipe;
+pub mod pn;

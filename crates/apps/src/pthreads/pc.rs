@@ -1,0 +1,100 @@
+//! PC — producer/consumer: the two-thread legacy pthreads program of
+//! Table 5 (runs on a single node; its operation costs are the paper's
+//! reference for *local* API costs).
+
+use cables::Pth;
+
+/// PC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcParams {
+    /// Items to pass through the buffer.
+    pub items: u64,
+    /// Ring-buffer capacity.
+    pub capacity: u64,
+}
+
+impl PcParams {
+    /// A small test-size configuration.
+    pub fn test() -> Self {
+        PcParams {
+            items: 200,
+            capacity: 8,
+        }
+    }
+}
+
+/// Runs PC; returns the consumer's checksum (sum of received items).
+pub fn run_pc(pth: &Pth, params: PcParams) -> u64 {
+    let m = pth.rt().mutex_new();
+    let not_full = pth.rt().cond_new();
+    let not_empty = pth.rt().cond_new();
+    // Shared ring: [head, tail, slots...].
+    let ring = pth.malloc(8 * (2 + params.capacity));
+    pth.write::<u64>(ring, 0);
+    pth.write::<u64>(ring + 8, 0);
+
+    let producer = pth.create(move |p| {
+        for i in 0..params.items {
+            p.mutex_lock(m);
+            loop {
+                let head = p.read::<u64>(ring);
+                let tail = p.read::<u64>(ring + 8);
+                if head - tail < params.capacity {
+                    break;
+                }
+                p.cond_wait(not_full, m).expect("producer cancelled");
+            }
+            let head = p.read::<u64>(ring);
+            p.write::<u64>(ring + 16 + (head % params.capacity) * 8, i * 3 + 1);
+            p.write::<u64>(ring, head + 1);
+            p.cond_signal(not_empty);
+            p.mutex_unlock(m);
+            p.compute(2_000);
+        }
+        0
+    });
+
+    // The initial thread consumes (PC runs exactly two threads).
+    let mut checksum = 0u64;
+    for _ in 0..params.items {
+        pth.mutex_lock(m);
+        loop {
+            let head = pth.read::<u64>(ring);
+            let tail = pth.read::<u64>(ring + 8);
+            if head > tail {
+                break;
+            }
+            pth.cond_wait(not_empty, m).expect("consumer cancelled");
+        }
+        let tail = pth.read::<u64>(ring + 8);
+        let v = pth.read::<u64>(ring + 16 + (tail % params.capacity) * 8);
+        pth.write::<u64>(ring + 8, tail + 1);
+        pth.cond_signal(not_full);
+        pth.mutex_unlock(m);
+        checksum = checksum.wrapping_add(v);
+        pth.compute(2_500);
+    }
+    pth.join(producer);
+    checksum
+}
+
+/// Expected checksum for the parameters.
+pub fn expected_checksum(params: PcParams) -> u64 {
+    (0..params.items).map(|i| i * 3 + 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_checksum_formula() {
+        assert_eq!(
+            expected_checksum(PcParams {
+                items: 3,
+                capacity: 2
+            }),
+            1 + 4 + 7
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! PN — prime numbers: the legacy pthreads program of Table 5.
+//!
+//! Computes all primes in a range with dynamically scheduled chunks
+//! (mutex-protected shared counter), exactly the create/join/mutex/cancel
+//! usage the paper reports: a progress-watcher thread sleeps on a
+//! condition variable and is cancelled when the search finishes.
+
+use cables::Pth;
+use memsim::GAddr;
+
+use crate::util::INT_OP_NS;
+
+/// PN parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PnParams {
+    /// Search range `2..=hi`.
+    pub hi: u64,
+    /// Candidates per grab.
+    pub chunk: u64,
+    /// Worker threads.
+    pub nthreads: usize,
+}
+
+impl PnParams {
+    /// A small test-size configuration.
+    pub fn test(nthreads: usize) -> Self {
+        PnParams {
+            hi: 2_000,
+            chunk: 64,
+            nthreads,
+        }
+    }
+}
+
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+fn worker(
+    p: &Pth,
+    params: PnParams,
+    next: GAddr,
+    count: GAddr,
+    m: cables::Mutex,
+    scratch: cables::TsdKey,
+) -> u64 {
+    // Per-thread running count kept in thread-specific data (the paper's
+    // PN uses pthread keys — Table 5's `K` column).
+    p.set_specific(scratch, 0);
+    loop {
+        p.mutex_lock(m);
+        let lo = p.read::<u64>(next);
+        p.write::<u64>(next, lo + params.chunk);
+        p.mutex_unlock(m);
+        if lo > params.hi {
+            break;
+        }
+        for n in lo..(lo + params.chunk).min(params.hi + 1) {
+            if is_prime(n) {
+                let cur = p.get_specific(scratch).unwrap_or(0);
+                p.set_specific(scratch, cur + 1);
+            }
+            p.compute((n as f64).sqrt() as u64 * INT_OP_NS);
+        }
+    }
+    let local = p.get_specific(scratch).unwrap_or(0);
+    p.mutex_lock(m);
+    let c = p.read::<u64>(count);
+    p.write::<u64>(count, c + local);
+    p.mutex_unlock(m);
+    local
+}
+
+/// Runs PN on a CableS runtime; returns the number of primes found.
+pub fn run_pn(pth: &Pth, params: PnParams) -> u64 {
+    let m = pth.rt().mutex_new();
+    let cv = pth.rt().cond_new();
+    let next = pth.malloc(8);
+    let count = pth.malloc(8);
+    pth.write::<u64>(next, 2);
+    pth.write::<u64>(count, 0);
+
+    // Progress watcher: waits on a condition and gets cancelled at the
+    // end (the `Ca` column of Table 5).
+    let wm = pth.rt().mutex_new();
+    let watcher = pth.create(move |p| {
+        p.mutex_lock(wm);
+        loop {
+            match p.cond_wait(cv, wm) {
+                Err(_) => return 1, // cancelled
+                Ok(()) => {}
+            }
+        }
+    });
+
+    let scratch = pth.rt().key_create();
+    let mut workers = Vec::new();
+    for _ in 0..params.nthreads.saturating_sub(1) {
+        workers.push(pth.create(move |p| worker(p, params, next, count, m, scratch)));
+    }
+    worker(pth, params, next, count, m, scratch);
+    for w in workers {
+        pth.join(w);
+    }
+    pth.cancel(watcher);
+    pth.join(watcher);
+
+    pth.mutex_lock(m);
+    let total = pth.read::<u64>(count);
+    pth.mutex_unlock(m);
+    total
+}
+
+/// Plain-Rust oracle.
+pub fn primes_below(hi: u64) -> u64 {
+    (2..=hi).filter(|n| is_prime(*n)).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_basics() {
+        assert!(is_prime(2));
+        assert!(is_prime(13));
+        assert!(!is_prime(1));
+        assert!(!is_prime(91)); // 7 * 13
+    }
+
+    #[test]
+    fn oracle_counts() {
+        assert_eq!(primes_below(10), 4);
+        assert_eq!(primes_below(100), 25);
+    }
+}

@@ -1,0 +1,12 @@
+//! The SPLASH-2-style kernels of the paper's evaluation (Fig. 5 / Fig. 6):
+//! FFT, LU, OCEAN, RADIX, WATER-SPATIAL (+ the `-FL` layout variant),
+//! RAYTRACE and VOLREND, all written against the M4 facade so they run on
+//! either backend.
+
+pub mod fft;
+pub mod lu;
+pub mod ocean;
+pub mod radix;
+pub mod raytrace;
+pub mod volrend;
+pub mod water;

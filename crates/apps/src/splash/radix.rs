@@ -1,0 +1,205 @@
+//! SPLASH-2 RADIX: parallel radix sort.
+//!
+//! Per-digit phases: local histogram over each processor's key block, a
+//! global prefix computed from all histograms, then the permutation that
+//! scatters keys into the destination array. The permutation writes land
+//! on pages owned by other processors — the challenging, fine-grained
+//! access pattern the paper cites ([5, 16]).
+
+use crate::m4::M4Ctx;
+use crate::util::{block_range, det_u64, Arr, INT_OP_NS};
+
+/// RADIX parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixParams {
+    /// Number of keys.
+    pub keys: usize,
+    /// Bits per digit (the radix is `1 << digit_bits`).
+    pub digit_bits: u32,
+    /// Maximum key value (keys are in `0..max_key`).
+    pub max_key: u64,
+    /// Number of processors.
+    pub nprocs: usize,
+}
+
+impl RadixParams {
+    /// A small test-size configuration.
+    pub fn test(nprocs: usize) -> Self {
+        RadixParams {
+            keys: 2_048,
+            digit_bits: 4,
+            max_key: 1 << 16,
+            nprocs,
+        }
+    }
+}
+
+/// RADIX outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixResult {
+    /// Whether the final array is sorted.
+    pub sorted: bool,
+    /// Wrapping sum of all keys (permutation check — must equal the input
+    /// sum).
+    pub key_sum: u64,
+}
+
+struct Shared {
+    src: Arr<u64>,
+    dst: Arr<u64>,
+    /// Per-processor histograms, radix-stride rows (one row per proc).
+    hist: Arr<u64>,
+    /// Per-processor digit offsets for the permutation.
+    offsets: Arr<u64>,
+}
+
+fn radix_worker(
+    ctx: &M4Ctx,
+    p: &RadixParams,
+    sh: &Shared,
+    id: usize,
+) -> (sim::SimTime, sim::SimTime) {
+    let radix = 1u64 << p.digit_bits;
+    let (lo, hi) = block_range(p.keys, p.nprocs, id);
+    // Owner-initializes its key block, the matching destination block and
+    // its histogram/offset rows (SPLASH-2 places all arrays during the
+    // init phase so parallel-section placement is settled).
+    for i in lo..hi {
+        sh.src.set(ctx, i as u64, det_u64(42, i as u64) % p.max_key);
+        sh.dst.set(ctx, i as u64, 0);
+    }
+    for v in 0..radix {
+        sh.hist.set(ctx, (id as u64) * radix + v, 0);
+        sh.offsets.set(ctx, (id as u64) * radix + v, 0);
+    }
+    ctx.barrier(4_000, p.nprocs);
+    let t0 = ctx.sim.now();
+
+    let digits = (64 - (p.max_key - 1).leading_zeros()).div_ceil(p.digit_bits);
+    let mut bar = 4_001u64;
+    let mut src = sh.src;
+    let mut dst = sh.dst;
+    for d in 0..digits {
+        let shift = d * p.digit_bits;
+        // Local histogram.
+        let mut local = vec![0u64; radix as usize];
+        for i in lo..hi {
+            let k = src.get(ctx, i as u64);
+            local[((k >> shift) & (radix - 1)) as usize] += 1;
+        }
+        ctx.compute((hi - lo) as u64 * 2 * INT_OP_NS);
+        for (v, c) in local.iter().enumerate() {
+            sh.hist.set(ctx, (id as u64) * radix + v as u64, *c);
+        }
+        ctx.barrier(bar, p.nprocs);
+        bar += 1;
+
+        // Processor 0 computes the global prefix: offsets[t][v] is where
+        // processor t's keys with digit v start.
+        if id == 0 {
+            let mut running = 0u64;
+            for v in 0..radix {
+                for t in 0..p.nprocs as u64 {
+                    sh.offsets.set(ctx, t * radix + v, running);
+                    running += sh.hist.get(ctx, t * radix + v);
+                }
+            }
+            ctx.compute(radix * p.nprocs as u64 * INT_OP_NS);
+        }
+        ctx.barrier(bar, p.nprocs);
+        bar += 1;
+
+        // Permutation: scatter this processor's keys.
+        let mut cursor: Vec<u64> = (0..radix)
+            .map(|v| sh.offsets.get(ctx, (id as u64) * radix + v))
+            .collect();
+        for i in lo..hi {
+            let k = src.get(ctx, i as u64);
+            let v = ((k >> shift) & (radix - 1)) as usize;
+            dst.set(ctx, cursor[v], k);
+            cursor[v] += 1;
+        }
+        ctx.compute((hi - lo) as u64 * 3 * INT_OP_NS);
+        ctx.barrier(bar, p.nprocs);
+        bar += 1;
+        std::mem::swap(&mut src, &mut dst);
+    }
+    (t0, ctx.sim.now())
+}
+
+/// Runs the RADIX kernel (call from the initial thread). The sorted data
+/// ends up in `src` or `dst` depending on the number of digit passes; the
+/// result captures correctness either way.
+pub fn radix(ctx: &M4Ctx, p: &RadixParams) -> RadixResult {
+    assert!(p.digit_bits >= 1 && p.digit_bits <= 16);
+    assert!(p.max_key.is_power_of_two());
+    let radix = 1u64 << p.digit_bits;
+    let sh = Shared {
+        src: Arr::alloc(ctx, p.keys as u64),
+        dst: Arr::alloc(ctx, p.keys as u64),
+        hist: Arr::alloc(ctx, radix * p.nprocs as u64),
+        offsets: Arr::alloc(ctx, radix * p.nprocs as u64),
+    };
+
+    let p2 = *p;
+    let (src, dst, hist, offsets) = (sh.src, sh.dst, sh.hist, sh.offsets);
+    for id in 1..p.nprocs {
+        ctx.create(move |c| {
+            let sh = Shared {
+                src,
+                dst,
+                hist,
+                offsets,
+            };
+            radix_worker(c, &p2, &sh, id);
+        });
+    }
+    let window = radix_worker(ctx, p, &sh, 0);
+    ctx.wait_for_end();
+    ctx.note_parallel(window.0, window.1);
+
+    let digits = (64 - (p.max_key - 1).leading_zeros()).div_ceil(p.digit_bits);
+    let final_arr = if digits % 2 == 0 { sh.src } else { sh.dst };
+    let mut sorted = true;
+    let mut key_sum = 0u64;
+    let mut prev = 0u64;
+    for i in 0..p.keys as u64 {
+        let k = final_arr.get(ctx, i);
+        if k < prev {
+            sorted = false;
+        }
+        prev = k;
+        key_sum = key_sum.wrapping_add(k);
+    }
+    RadixResult { sorted, key_sum }
+}
+
+/// The wrapping sum of the generated input keys (for permutation checks).
+pub fn expected_key_sum(p: &RadixParams) -> u64 {
+    (0..p.keys as u64)
+        .map(|i| det_u64(42, i) % p.max_key)
+        .fold(0u64, |a, b| a.wrapping_add(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_count_covers_max_key() {
+        let p = RadixParams {
+            keys: 10,
+            digit_bits: 4,
+            max_key: 1 << 16,
+            nprocs: 1,
+        };
+        let digits = (64 - (p.max_key - 1).leading_zeros()).div_ceil(p.digit_bits);
+        assert_eq!(digits, 4);
+    }
+
+    #[test]
+    fn expected_sum_is_deterministic() {
+        let p = RadixParams::test(4);
+        assert_eq!(expected_key_sum(&p), expected_key_sum(&p));
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration: every SPLASH-2-style kernel runs correctly on BOTH
+//! backends (base SVM and CableS) and produces identical results —
+//! the paper's portability claim, verified end to end.
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use cables_apps::splash::{fft, lu, ocean, radix, raytrace, volrend, water};
+use cables_apps::{M4Mode, M4System};
+use svm::{Cluster, ClusterConfig};
+
+fn run_both<R, F>(nodes: usize, cpus: usize, f: F) -> Vec<(M4Mode, R)>
+where
+    R: Send + 'static + Clone,
+    F: Fn(&cables_apps::M4Ctx) -> R + Send + Sync + Clone + 'static,
+{
+    let mut out = Vec::new();
+    for mode in [M4Mode::Base, M4Mode::Cables] {
+        let cluster = Cluster::build(ClusterConfig::small(nodes, cpus));
+        let sys = match mode {
+            M4Mode::Base => M4System::base(cluster),
+            M4Mode::Cables => M4System::cables(cluster),
+        };
+        let result = Arc::new(StdMutex::new(None));
+        let r2 = Arc::clone(&result);
+        let f2 = f.clone();
+        sys.run(move |ctx| {
+            *r2.lock().unwrap() = Some(f2(ctx));
+        })
+        .unwrap_or_else(|e| panic!("{mode:?} run failed: {e}"));
+        let r = result.lock().unwrap().clone().expect("result produced");
+        out.push((mode, r));
+    }
+    out
+}
+
+#[test]
+fn fft_roundtrips_on_both_backends() {
+    let p = fft::FftParams::test(4);
+    let results = run_both(2, 2, move |ctx| fft::fft(ctx, &p));
+    for (mode, r) in &results {
+        let err = r.max_error.expect("verification ran");
+        assert!(err < 1e-9, "{mode:?}: FFT roundtrip error {err}");
+        assert!(r.checksum.is_finite());
+    }
+    assert_eq!(results[0].1.checksum, results[1].1.checksum);
+}
+
+#[test]
+fn lu_factorization_correct_on_both_backends() {
+    let p = lu::LuParams::test(4);
+    let results = run_both(2, 2, move |ctx| lu::lu(ctx, &p));
+    for (mode, r) in &results {
+        let err = r.max_error.expect("verification ran");
+        assert!(err < 1e-6, "{mode:?}: LU reconstruction error {err}");
+    }
+    assert_eq!(results[0].1.diag_checksum, results[1].1.diag_checksum);
+}
+
+#[test]
+fn ocean_residual_shrinks_on_both_backends() {
+    let p = ocean::OceanParams::test(4);
+    let results = run_both(2, 2, move |ctx| ocean::ocean(ctx, &p));
+    for (mode, r) in &results {
+        assert!(
+            r.final_residual < r.initial_residual * 0.9,
+            "{mode:?}: residual {} -> {}",
+            r.initial_residual,
+            r.final_residual
+        );
+    }
+    assert_eq!(results[0].1.checksum, results[1].1.checksum);
+}
+
+#[test]
+fn radix_sorts_on_both_backends() {
+    let p = radix::RadixParams::test(4);
+    let expected = radix::expected_key_sum(&p);
+    let results = run_both(2, 2, move |ctx| radix::radix(ctx, &p));
+    for (mode, r) in &results {
+        assert!(r.sorted, "{mode:?}: output not sorted");
+        assert_eq!(r.key_sum, expected, "{mode:?}: key multiset changed");
+    }
+}
+
+#[test]
+fn water_conserves_momentum_on_both_backends() {
+    for friendly in [false, true] {
+        let mut p = water::WaterParams::test(4);
+        p.friendly_layout = friendly;
+        let results = run_both(2, 2, move |ctx| water::water(ctx, &p));
+        for (mode, r) in &results {
+            assert!(
+                r.momentum_drift < 1e-9,
+                "{mode:?} (fl={friendly}): drift {}",
+                r.momentum_drift
+            );
+            assert!(r.kinetic_energy.is_finite() && r.kinetic_energy > 0.0);
+        }
+        assert_eq!(
+            results[0].1.kinetic_energy, results[1].1.kinetic_energy,
+            "fl={friendly}"
+        );
+    }
+}
+
+#[test]
+fn raytrace_matches_reference_on_both_backends() {
+    let p = raytrace::RayParams::test(4);
+    let want = raytrace::reference_checksum(&p);
+    let results = run_both(2, 2, move |ctx| raytrace::raytrace(ctx, &p));
+    for (mode, r) in &results {
+        assert_eq!(*r, want, "{mode:?}: image differs from serial oracle");
+    }
+}
+
+#[test]
+fn volrend_matches_reference_on_both_backends() {
+    let p = volrend::VolrendParams::test(4);
+    let want = volrend::reference_checksum(&p);
+    let results = run_both(2, 2, move |ctx| volrend::volrend(ctx, &p));
+    for (mode, r) in &results {
+        assert_eq!(*r, want, "{mode:?}: image differs from serial oracle");
+    }
+}
+
+#[test]
+fn base_has_no_misplaced_pages_cables_may() {
+    // Fig. 6's premise: page-granular first touch never misplaces;
+    // chunk-granular binding can.
+    let p = radix::RadixParams::test(4);
+    for mode in [M4Mode::Base, M4Mode::Cables] {
+        let cluster = Cluster::build(ClusterConfig::small(2, 2));
+        let sys = match mode {
+            M4Mode::Base => M4System::base(cluster),
+            M4Mode::Cables => M4System::cables(cluster),
+        };
+        let sys2 = Arc::clone(&sys);
+        sys.run(move |ctx| {
+            radix::radix(ctx, &p);
+        })
+        .unwrap();
+        let rep = sys2.svm().placement_report();
+        match mode {
+            M4Mode::Base => assert_eq!(
+                rep.misplaced_pages, 0,
+                "base first touch is exact placement"
+            ),
+            M4Mode::Cables => {
+                assert!(rep.touched_pages > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn cables_runs_are_deterministic() {
+    let p = fft::FftParams::test(4);
+    let t1 = {
+        let sys = M4System::cables(Cluster::build(ClusterConfig::small(2, 2)));
+        sys.run(move |ctx| {
+            fft::fft(ctx, &p);
+        })
+        .unwrap()
+    };
+    let t2 = {
+        let sys = M4System::cables(Cluster::build(ClusterConfig::small(2, 2)));
+        sys.run(move |ctx| {
+            fft::fft(ctx, &p);
+        })
+        .unwrap()
+    };
+    assert_eq!(t1, t2, "virtual end times must be bit-identical");
+}

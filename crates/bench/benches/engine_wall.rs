@@ -1,0 +1,74 @@
+//! Criterion wall-clock benchmarks of the simulator itself: how fast the
+//! deterministic engine executes protocol-heavy workloads in real time.
+//! (All other bench targets report *virtual* time; this one keeps an eye
+//! on the cost of running the reproduction.)
+
+use std::sync::Arc;
+
+use apps::splash::radix;
+use apps::{M4Mode, M4System};
+use criterion::{criterion_group, criterion_main, Criterion};
+use svm::{Cluster, ClusterConfig};
+
+fn small_radix(mode: M4Mode) {
+    let cluster = Cluster::build(ClusterConfig::small(2, 2));
+    let sys = match mode {
+        M4Mode::Base => M4System::base(cluster),
+        M4Mode::Cables => M4System::cables(cluster),
+    };
+    let p = radix::RadixParams {
+        keys: 1_024,
+        digit_bits: 8,
+        max_key: 1 << 16,
+        nprocs: 4,
+    };
+    sys.run(move |ctx| {
+        radix::radix(ctx, &p);
+    })
+    .unwrap();
+}
+
+fn engine_microbench(c: &mut Criterion) {
+    c.bench_function("engine: spawn/join 16 threads", |b| {
+        b.iter(|| {
+            let engine = sim::Engine::new();
+            let n = engine.add_node(4);
+            engine
+                .run(n, |s| {
+                    let kids: Vec<_> = (0..16)
+                        .map(|_| s.spawn_on(s.node(), s.now(), "w", |w| w.advance(1_000)))
+                        .collect();
+                    for k in kids {
+                        s.wait_exit(k);
+                    }
+                })
+                .unwrap();
+        })
+    });
+
+    let mut group = c.benchmark_group("full-stack radix 1K keys");
+    group.sample_size(10);
+    group.bench_function("base", |b| b.iter(|| small_radix(M4Mode::Base)));
+    group.bench_function("cables", |b| b.iter(|| small_radix(M4Mode::Cables)));
+    group.finish();
+
+    c.bench_function("cables: mutex ping (2 nodes)", |b| {
+        b.iter(|| {
+            let cluster = Cluster::build(ClusterConfig::small(2, 1));
+            let rt = cables::CablesRt::new(cluster, cables::CablesConfig::paper());
+            let rt2 = Arc::clone(&rt);
+            rt.run(move |pth| {
+                let m = rt2.mutex_new();
+                for _ in 0..100 {
+                    pth.mutex_lock(m);
+                    pth.mutex_unlock(m);
+                }
+                0
+            })
+            .unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, engine_microbench);
+criterion_main!(benches);

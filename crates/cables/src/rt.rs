@@ -1,0 +1,995 @@
+//! The CableS runtime: dynamic thread and node management over the SVM
+//! engine, coordinated through the application control block (ACB).
+//!
+//! The ACB lives on the first node of the application (the *master*); other
+//! nodes read and update it with direct remote operations and notification
+//! handlers, whose costs this module charges explicitly ("administration
+//! request" in the paper's Table 4).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use memsim::GAddr;
+use parking_lot::Mutex;
+use sim::{NodeId, Sim, SimError, SimTime, Tid};
+use svm::{Cluster, ProtoMode, SvmSystem};
+
+use crate::config::CablesConfig;
+
+/// Identifier of a CableS (pthreads) thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtId(pub u64);
+
+impl fmt::Display for CtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ct{}", self.0)
+    }
+}
+
+/// Error returned at cancellation points of a cancelled thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread was cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    Running,
+    Finished(u64),
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadRec {
+    pub sim_tid: Tid,
+    pub phase: Phase,
+    pub exit_time: SimTime,
+    pub joiners: Vec<Tid>,
+    pub cancel_requested: bool,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CondState {
+    pub waiters: VecDeque<(Tid, NodeId)>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct RwState {
+    pub writer: Option<Tid>,
+    pub readers: u64,
+    /// FIFO of waiters: `(tid, node, wants_write)`.
+    pub waiters: VecDeque<(Tid, NodeId, bool)>,
+}
+
+/// API operations whose execution times the runtime accumulates
+/// (the paper's Table 5 reports the average execution time of each
+/// pthreads function during program runs — including wait time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum OpKind {
+    Create,
+    Join,
+    MutexLock,
+    MutexUnlock,
+    CondWait,
+    CondSignal,
+    CondBroadcast,
+    Barrier,
+    Malloc,
+    Free,
+}
+
+impl OpKind {
+    /// All kinds, in display order.
+    pub const ALL: [OpKind; 10] = [
+        OpKind::Create,
+        OpKind::Join,
+        OpKind::MutexLock,
+        OpKind::MutexUnlock,
+        OpKind::CondWait,
+        OpKind::CondSignal,
+        OpKind::CondBroadcast,
+        OpKind::Barrier,
+        OpKind::Malloc,
+        OpKind::Free,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::Create => 0,
+            OpKind::Join => 1,
+            OpKind::MutexLock => 2,
+            OpKind::MutexUnlock => 3,
+            OpKind::CondWait => 4,
+            OpKind::CondSignal => 5,
+            OpKind::CondBroadcast => 6,
+            OpKind::Barrier => 7,
+            OpKind::Malloc => 8,
+            OpKind::Free => 9,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Create => "create",
+            OpKind::Join => "join",
+            OpKind::MutexLock => "mutex_lock",
+            OpKind::MutexUnlock => "mutex_unlock",
+            OpKind::CondWait => "cond_wait",
+            OpKind::CondSignal => "cond_signal",
+            OpKind::CondBroadcast => "cond_broadcast",
+            OpKind::Barrier => "barrier",
+            OpKind::Malloc => "malloc",
+            OpKind::Free => "free",
+        }
+    }
+}
+
+/// Accumulated per-operation execution times (virtual nanoseconds,
+/// including any wait time, as in the paper's Table 5).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpTimes {
+    sums: [u64; 10],
+    counts: [u64; 10],
+}
+
+impl OpTimes {
+    /// Number of calls of `kind`.
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Average execution time of `kind` in nanoseconds, if it ran.
+    pub fn avg_ns(&self, kind: OpKind) -> Option<u64> {
+        let i = kind.index();
+        (self.counts[i] > 0).then(|| self.sums[i] / self.counts[i])
+    }
+}
+
+pub(crate) type JobFn = Box<dyn FnOnce(&Pth) -> u64 + Send>;
+
+/// Counters of runtime events (thread/node management, synchronization).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RtStats {
+    /// Threads created on the creator's node.
+    pub local_creates: u64,
+    /// Threads created on other nodes.
+    pub remote_creates: u64,
+    /// Nodes attached to the application.
+    pub nodes_attached: u64,
+    /// Nodes detached after their last thread exited.
+    pub nodes_detached: u64,
+    /// `pthread_join` calls completed.
+    pub joins: u64,
+    /// `pthread_cancel` calls.
+    pub cancels: u64,
+    /// Condition waits started.
+    pub cond_waits: u64,
+    /// Condition signals sent.
+    pub cond_signals: u64,
+    /// Condition broadcasts sent.
+    pub cond_broadcasts: u64,
+    /// `global_malloc` calls.
+    pub mallocs: u64,
+    /// `global_free` calls.
+    pub frees: u64,
+    /// Creates served by reusing a pooled thread.
+    pub pooled_dispatches: u64,
+}
+
+pub(crate) struct RtState {
+    pub attached: Vec<NodeId>,
+    pub threads_on: HashMap<u32, usize>,
+    pub threads: HashMap<u64, ThreadRec>,
+    pub by_tid: HashMap<u64, u64>,
+    pub next_ct: u64,
+    pub rr: usize,
+    pub next_sync_id: u64,
+    pub conds: HashMap<u64, CondState>,
+    pub rwlocks: HashMap<u64, RwState>,
+    pub once_done: HashMap<u64, ()>,
+    pub pool_idle: HashMap<u32, Vec<Tid>>,
+    pub pool_jobs: HashMap<u64, (u64, JobFn)>,
+    pub pool_shutdown: bool,
+    pub tsd: HashMap<(u64, u64), u64>,
+    pub next_tsd_key: u64,
+    pub global_next: u64,
+    pub free_list: std::collections::BTreeMap<u64, u64>,
+    pub allocated: HashMap<u64, u64>,
+    pub stats: RtStats,
+    pub op_times: OpTimes,
+}
+
+/// The CableS runtime (one per application).
+///
+/// Construct with [`CablesRt::new`], then start the application with
+/// [`CablesRt::run`], which executes the initial thread on the master node
+/// with `pthread_start`/`pthread_end` semantics.
+pub struct CablesRt {
+    svm: Arc<SvmSystem>,
+    pub(crate) cfg: CablesConfig,
+    pub(crate) state: Mutex<RtState>,
+    master: NodeId,
+}
+
+impl fmt::Debug for CablesRt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("CablesRt")
+            .field("attached_nodes", &st.attached.len())
+            .field("threads", &st.threads.len())
+            .finish()
+    }
+}
+
+impl CablesRt {
+    /// Creates a runtime over `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's SVM mode is not
+    /// [`ProtoMode::Cables`] (the runtime depends on the dynamic-placement
+    /// mechanisms).
+    pub fn new(cluster: Arc<Cluster>, cfg: CablesConfig) -> Arc<Self> {
+        assert_eq!(
+            cfg.svm.mode,
+            ProtoMode::Cables,
+            "CablesRt requires the CableS protocol mode"
+        );
+        let svm = SvmSystem::new(Arc::clone(&cluster), cfg.svm.clone());
+        let master = cluster.nodes()[0];
+        Arc::new(CablesRt {
+            svm,
+            cfg,
+            state: Mutex::new(RtState {
+                attached: Vec::new(),
+                threads_on: HashMap::new(),
+                threads: HashMap::new(),
+                by_tid: HashMap::new(),
+                next_ct: 0,
+                rr: 0,
+                next_sync_id: 1,
+                conds: HashMap::new(),
+                rwlocks: HashMap::new(),
+                once_done: HashMap::new(),
+                pool_idle: HashMap::new(),
+                pool_jobs: HashMap::new(),
+                pool_shutdown: false,
+                tsd: HashMap::new(),
+                next_tsd_key: 1,
+                global_next: svm::GLOBAL_SECTION_BASE.raw(),
+                free_list: std::collections::BTreeMap::new(),
+                allocated: HashMap::new(),
+                stats: RtStats::default(),
+                op_times: OpTimes::default(),
+            }),
+            master,
+        })
+    }
+
+    /// The underlying SVM protocol engine.
+    pub fn svm(&self) -> &Arc<SvmSystem> {
+        &self.svm
+    }
+
+    /// The cluster this runtime runs on.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        self.svm.cluster()
+    }
+
+    /// The master node (first node of the application; ACB owner).
+    pub fn master(&self) -> NodeId {
+        self.master
+    }
+
+    /// Runtime event counters.
+    pub fn stats(&self) -> RtStats {
+        self.state.lock().stats
+    }
+
+    /// Accumulated per-operation execution times.
+    pub fn op_times(&self) -> OpTimes {
+        self.state.lock().op_times
+    }
+
+    pub(crate) fn record_op(&self, kind: OpKind, ns: u64) {
+        let mut st = self.state.lock();
+        st.op_times.sums[kind.index()] += ns;
+        st.op_times.counts[kind.index()] += 1;
+    }
+
+    /// Nodes currently attached to the application.
+    pub fn attached_nodes(&self) -> usize {
+        self.state.lock().attached.len()
+    }
+
+    /// Runs `main` as the application's initial thread on the master node
+    /// (wrapping it in `pthread_start()` / `pthread_end()`), and returns
+    /// the final virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (panics in threads, deadlock).
+    pub fn run<F>(self: &Arc<Self>, main: F) -> Result<SimTime, SimError>
+    where
+        F: FnOnce(&Pth) -> u64 + Send + 'static,
+    {
+        let rt = Arc::clone(self);
+        let master = self.master;
+        self.cluster().engine.clone().run(master, move |sim| {
+            rt.pthread_start(sim);
+            let pth = Pth {
+                sim,
+                rt: Arc::clone(&rt),
+                ct: CtId(0),
+            };
+            main(&pth);
+            rt.pthread_end(sim);
+        })
+    }
+
+    /// `pthread_start()`: initializes the runtime, attaching the master
+    /// node and registering the initial thread.
+    pub fn pthread_start(&self, sim: &Sim) {
+        sim.op_point(self.cfg.costs.start_init_ns);
+        let mut st = self.state.lock();
+        assert!(st.attached.is_empty(), "pthread_start called twice");
+        st.attached.push(self.master);
+        st.threads_on.insert(self.master.0, 1);
+        let ct = st.next_ct;
+        st.next_ct += 1;
+        st.threads.insert(
+            ct,
+            ThreadRec {
+                sim_tid: sim.tid(),
+                phase: Phase::Running,
+                exit_time: SimTime::ZERO,
+                joiners: Vec::new(),
+                cancel_requested: false,
+            },
+        );
+        st.by_tid.insert(sim.tid().0, ct);
+    }
+
+    /// `pthread_end()`: waits for all remaining threads and tears the
+    /// runtime down.
+    pub fn pthread_end(&self, sim: &Sim) {
+        loop {
+            let next = {
+                let st = self.state.lock();
+                st.threads
+                    .values()
+                    .find(|t| t.phase == Phase::Running && t.sim_tid != sim.tid())
+                    .map(|t| t.sim_tid)
+            };
+            match next {
+                Some(tid) => sim.wait_exit(tid),
+                None => break,
+            }
+        }
+        // Drain the thread pool: parked workers exit on wakeup.
+        let idle: Vec<Tid> = {
+            let mut st = self.state.lock();
+            st.pool_shutdown = true;
+            st.pool_idle.values_mut().flat_map(std::mem::take).collect()
+        };
+        for tid in idle {
+            sim.wake(tid, sim.now());
+            sim.wait_exit(tid);
+        }
+        sim.op_point(self.cfg.costs.end_teardown_ns);
+    }
+
+    /// An administration request: a small ACB update handled on the
+    /// master (paper Table 4: ~20 µs from a non-master node).
+    pub fn admin_request(&self, sim: &Sim) {
+        sim.op_point(self.cfg.costs.admin_local_ns);
+        if sim.node() != self.master {
+            let t = self
+                .cluster()
+                .san
+                .notify(sim.node(), self.master, sim.now());
+            sim.clock_at_least(t.arrival);
+        }
+    }
+
+    /// Picks a node for a new thread: round-robin over attached nodes with
+    /// spare capacity; attaches a new node when all are full.
+    fn place_thread(&self, sim: &Sim) -> NodeId {
+        let cap = if self.cfg.max_threads_per_node == 0 {
+            self.cluster().cpus_per_node()
+        } else {
+            self.cfg.max_threads_per_node
+        };
+        let (target, need_attach) = {
+            let mut st = self.state.lock();
+            let n = st.attached.len();
+            let mut chosen = None;
+            for i in 0..n {
+                let idx = (st.rr + i) % n;
+                let node = st.attached[idx];
+                if *st.threads_on.get(&node.0).unwrap_or(&0) < cap {
+                    st.rr = (idx + 1) % n;
+                    chosen = Some(node);
+                    break;
+                }
+            }
+            match chosen {
+                Some(node) => (node, false),
+                None => {
+                    // All attached nodes full: attach the next cluster
+                    // node, or oversubscribe round-robin if none is left.
+                    let unattached = self
+                        .cluster()
+                        .nodes()
+                        .iter()
+                        .find(|n| !st.attached.contains(n))
+                        .copied();
+                    match unattached {
+                        Some(node) => (node, true),
+                        None => {
+                            let node = st.attached[st.rr % n];
+                            st.rr = (st.rr + 1) % n;
+                            (node, false)
+                        }
+                    }
+                }
+            }
+        };
+        if need_attach {
+            self.attach_node(sim, target);
+        }
+        target
+    }
+
+    /// Attaches `node` to the application: the master spawns a remote
+    /// process, the new node maps all existing global memory and
+    /// establishes import/export links with every attached node, then the
+    /// master broadcasts its existence (paper §2.2, case ii).
+    pub fn attach_node(&self, sim: &Sim, node: NodeId) {
+        let c = &self.cfg.costs;
+        if sim.node() != self.master {
+            // The master performs the attach; ask it first.
+            self.admin_request(sim);
+        }
+        sim.op_point(c.attach_local_cables_ns);
+        // Local OS process handshake.
+        sim.advance(c.attach_local_os_ns);
+        // Remote process creation (the new node's OS).
+        sim.advance_idle(c.attach_remote_os_ns);
+        // Remote CableS initialization: mappings for already-allocated
+        // global memory and pairwise import/export with attached nodes.
+        let attached_now = {
+            let st = self.state.lock();
+            st.attached.len() as u64
+        };
+        sim.advance_idle(c.attach_remote_cables_ns + c.attach_per_node_ns * attached_now);
+        // Broadcast the new node to all attached nodes.
+        for other in 0..attached_now {
+            let other = NodeId(other as u32);
+            if other != self.master {
+                let t = self.cluster().san.send(self.master, other, 64, sim.now());
+                sim.clock_at_least(t.local_done);
+            }
+        }
+        let mut st = self.state.lock();
+        st.attached.push(node);
+        st.threads_on.entry(node.0).or_insert(0);
+        st.stats.nodes_attached += 1;
+    }
+
+    /// `pthread_create()`: starts `f` on a node chosen by the placement
+    /// policy (attaching a node if required) and returns its thread id.
+    pub fn thread_create<F>(self: &Arc<Self>, sim: &Sim, f: F) -> CtId
+    where
+        F: FnOnce(&Pth) -> u64 + Send + 'static,
+    {
+        // pthread_create is a release point: the new thread observes the
+        // creator's writes.
+        self.svm().release(sim);
+        let target = self.place_thread(sim);
+        if self.cfg.thread_pool {
+            let idle = {
+                let mut st = self.state.lock();
+                st.pool_idle
+                    .get_mut(&target.0)
+                    .and_then(|v| v.pop())
+            };
+            if let Some(tid) = idle {
+                return self.dispatch_pooled(sim, target, tid, Box::new(f));
+            }
+        }
+        let local = target == sim.node();
+        let c = &self.cfg.costs;
+        let start;
+        if local {
+            sim.op_point(c.create_local_ns);
+            sim.advance(self.cfg.svm.costs.os_thread_create_ns);
+            start = sim.now();
+        } else {
+            sim.op_point(c.create_remote_local_ns);
+            let req = self.cluster().san.notify(sim.node(), target, sim.now());
+            start = req.arrival + c.create_remote_remote_ns + c.os_remote_thread_create_ns;
+            // The creator waits until the remote thread is running (the
+            // paper's 819 us remote create is creator-visible and includes
+            // the remote OS create).
+            let ack = self.cluster().san.notify(target, sim.node(), start);
+            sim.clock_at_least(ack.arrival);
+        }
+
+        let ct = {
+            let mut st = self.state.lock();
+            let ct = st.next_ct;
+            st.next_ct += 1;
+            *st.threads_on.entry(target.0).or_insert(0) += 1;
+            if local {
+                st.stats.local_creates += 1;
+            } else {
+                st.stats.remote_creates += 1;
+            }
+            ct
+        };
+
+        let rt = Arc::clone(self);
+        let pool = self.cfg.thread_pool;
+        let sim_tid = sim.spawn_on(target, start.max(sim.now()), "cables", move |csim| {
+            let mut job: Option<(u64, JobFn)> = Some((ct, Box::new(f)));
+            loop {
+                let (ct, body) = job.take().expect("pooled thread woken without a job");
+                // Acquire: observe the creator's released writes.
+                rt.svm().acquire(csim);
+                let pth = Pth {
+                    sim: csim,
+                    rt: Arc::clone(&rt),
+                    ct: CtId(ct),
+                };
+                let ret = body(&pth);
+                rt.thread_exit(csim, CtId(ct), ret);
+                if !pool {
+                    return;
+                }
+                // Park in the node's pool until redispatched.
+                {
+                    let mut st = rt.state.lock();
+                    if st.pool_shutdown {
+                        return;
+                    }
+                    st.pool_idle
+                        .entry(csim.node().0)
+                        .or_default()
+                        .push(csim.tid());
+                }
+                csim.block();
+                {
+                    let mut st = rt.state.lock();
+                    if st.pool_shutdown {
+                        return;
+                    }
+                    job = st.pool_jobs.remove(&csim.tid().0);
+                }
+            }
+        });
+
+        let mut st = self.state.lock();
+        st.threads.insert(
+            ct,
+            ThreadRec {
+                sim_tid,
+                phase: Phase::Running,
+                exit_time: SimTime::ZERO,
+                joiners: Vec::new(),
+                cancel_requested: false,
+            },
+        );
+        st.by_tid.insert(sim_tid.0, ct);
+        CtId(ct)
+    }
+
+    /// Hands `f` to an idle pooled thread on `target` (much cheaper than
+    /// an OS thread create — the reuse Table 4's creation costs motivate).
+    fn dispatch_pooled(self: &Arc<Self>, sim: &Sim, target: NodeId, tid: Tid, f: JobFn) -> CtId {
+        let c = &self.cfg.costs;
+        sim.op_point(c.pool_dispatch_ns);
+        let at = if target != sim.node() {
+            self.cluster().san.notify(sim.node(), target, sim.now()).arrival
+        } else {
+            sim.now()
+        };
+        let ct = {
+            let mut st = self.state.lock();
+            let ct = st.next_ct;
+            st.next_ct += 1;
+            *st.threads_on.entry(target.0).or_insert(0) += 1;
+            st.stats.pooled_dispatches += 1;
+            st.threads.insert(
+                ct,
+                ThreadRec {
+                    sim_tid: tid,
+                    phase: Phase::Running,
+                    exit_time: SimTime::ZERO,
+                    joiners: Vec::new(),
+                    cancel_requested: false,
+                },
+            );
+            st.by_tid.insert(tid.0, ct);
+            st.pool_jobs.insert(tid.0, (ct, f));
+            ct
+        };
+        sim.wake(tid, at);
+        CtId(ct)
+    }
+
+    /// Thread exit bookkeeping: records the return value in the ACB,
+    /// wakes joiners, and detaches the node if it became empty.
+    fn thread_exit(&self, sim: &Sim, ct: CtId, ret: u64) {
+        // Flush this node's writes so joiners observe them (RC release on
+        // thread termination).
+        self.svm.release(sim);
+        sim.op_point(self.cfg.costs.exit_ns);
+        if sim.node() != self.master {
+            let t = self.cluster().san.send(sim.node(), self.master, 32, sim.now());
+            sim.clock_at_least(t.local_done);
+        }
+        let node = sim.node();
+        let (joiners, detach) = {
+            let mut st = self.state.lock();
+            let rec = st.threads.get_mut(&ct.0).expect("exiting thread registered");
+            rec.phase = Phase::Finished(ret);
+            rec.exit_time = sim.now();
+            let joiners = std::mem::take(&mut rec.joiners);
+            let cnt = st.threads_on.entry(node.0).or_insert(1);
+            *cnt -= 1;
+            let detach = *cnt == 0 && node != self.master && self.cfg.auto_detach;
+            if detach {
+                st.attached.retain(|n| *n != node);
+                st.stats.nodes_detached += 1;
+            }
+            (joiners, detach)
+        };
+        for j in joiners {
+            sim.wake(j, sim.now());
+        }
+        if detach {
+            sim.advance(self.cfg.costs.detach_ns);
+        }
+    }
+
+    /// `pthread_join()`: waits for `ct` and returns its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ct` was never created.
+    pub fn join(&self, sim: &Sim, ct: CtId) -> u64 {
+        sim.op_point(self.cfg.costs.join_ns);
+        // Reading the thread's ACB entry.
+        if sim.node() != self.master {
+            let done = self.cluster().san.fetch(sim.node(), self.master, 16, sim.now());
+            sim.clock_at_least(done);
+        }
+        loop {
+            {
+                let mut st = self.state.lock();
+                let rec = st.threads.get_mut(&ct.0).expect("join of unknown thread");
+                match rec.phase {
+                    Phase::Finished(v) => {
+                        let t = rec.exit_time;
+                        drop(st);
+                        sim.clock_at_least(t);
+                        self.state.lock().stats.joins += 1;
+                        // Acquire so the joiner observes the thread's
+                        // writes.
+                        self.svm.acquire(sim);
+                        return v;
+                    }
+                    Phase::Running => {
+                        rec.joiners.push(sim.tid());
+                    }
+                }
+            }
+            sim.block();
+        }
+    }
+
+    /// `pthread_cancel()`: requests cancellation of `ct`. The target
+    /// observes it at its next cancellation point
+    /// ([`Pth::test_cancel`], [`Pth::cond_wait`]).
+    pub fn cancel(&self, sim: &Sim, ct: CtId) {
+        self.admin_request(sim);
+        let wake = {
+            let mut st = self.state.lock();
+            st.stats.cancels += 1;
+            let rec = match st.threads.get_mut(&ct.0) {
+                Some(r) => r,
+                None => return,
+            };
+            if rec.phase != Phase::Running || rec.cancel_requested {
+                None
+            } else {
+                rec.cancel_requested = true;
+                let tid = rec.sim_tid;
+                // If the target is parked in a condition wait, pull it out.
+                let mut waiting = false;
+                for cs in st.conds.values_mut() {
+                    let before = cs.waiters.len();
+                    cs.waiters.retain(|(t, _)| *t != tid);
+                    if cs.waiters.len() != before {
+                        waiting = true;
+                    }
+                }
+                waiting.then_some(tid)
+            }
+        };
+        if let Some(tid) = wake {
+            let at = if sim.node() == self.master {
+                sim.now()
+            } else {
+                self.cluster()
+                    .san
+                    .notify(sim.node(), self.master, sim.now())
+                    .arrival
+            };
+            sim.wake(tid, at);
+        }
+    }
+
+    /// Whether cancellation was requested for `ct`.
+    pub(crate) fn cancel_requested(&self, ct: CtId) -> bool {
+        let st = self.state.lock();
+        st.threads
+            .get(&ct.0)
+            .map(|r| r.cancel_requested)
+            .unwrap_or(false)
+    }
+
+    /// Allocates a fresh synchronization-object id (mutexes, conditions
+    /// and barriers share the namespace).
+    pub fn sync_id(&self) -> u64 {
+        let mut st = self.state.lock();
+        let id = st.next_sync_id;
+        st.next_sync_id += 1;
+        id
+    }
+}
+
+/// Per-thread handle passed to every CableS thread: the pthreads-like API.
+///
+/// See the crate docs for the full programming model; `Pth` bundles the
+/// simulation handle, the runtime and the thread's own id.
+pub struct Pth<'a> {
+    /// The engine handle of this thread.
+    pub sim: &'a Sim,
+    pub(crate) rt: Arc<CablesRt>,
+    pub(crate) ct: CtId,
+}
+
+impl fmt::Debug for Pth<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pth").field("ct", &self.ct).finish()
+    }
+}
+
+impl Pth<'_> {
+    /// The runtime this thread belongs to.
+    pub fn rt(&self) -> &Arc<CablesRt> {
+        &self.rt
+    }
+
+    /// This thread's CableS id (`pthread_self`).
+    pub fn self_id(&self) -> CtId {
+        self.ct
+    }
+
+    /// The node this thread runs on.
+    pub fn node(&self) -> NodeId {
+        self.sim.node()
+    }
+
+    /// Creates a thread (`pthread_create`).
+    pub fn create<F>(&self, f: F) -> CtId
+    where
+        F: FnOnce(&Pth) -> u64 + Send + 'static,
+    {
+        let t0 = self.sim.now();
+        let ct = self.rt.thread_create(self.sim, f);
+        self.rt.record_op(OpKind::Create, self.sim.now() - t0);
+        ct
+    }
+
+    /// Joins a thread and returns its value (`pthread_join`).
+    pub fn join(&self, ct: CtId) -> u64 {
+        let t0 = self.sim.now();
+        let v = self.rt.join(self.sim, ct);
+        self.rt.record_op(OpKind::Join, self.sim.now() - t0);
+        v
+    }
+
+    /// Requests cancellation of a thread (`pthread_cancel`).
+    pub fn cancel(&self, ct: CtId) {
+        self.rt.cancel(self.sim, ct)
+    }
+
+    /// Cancellation point (`pthread_testcancel`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if this thread has been cancelled; the thread
+    /// function should return promptly.
+    pub fn test_cancel(&self) -> Result<(), Cancelled> {
+        // Reading the cancellation flag is an ACB access: order it against
+        // other threads' operations.
+        self.sim.sync_point();
+        if self.rt.cancel_requested(self.ct) {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges `ns` nanoseconds of local computation.
+    pub fn compute(&self, ns: u64) {
+        self.sim.advance(ns);
+    }
+
+    /// Reads a scalar from global shared memory.
+    pub fn read<T: memsim::Scalar>(&self, addr: GAddr) -> T {
+        self.rt.svm.read(self.sim, addr)
+    }
+
+    /// Writes a scalar to global shared memory.
+    pub fn write<T: memsim::Scalar>(&self, addr: GAddr, v: T) {
+        self.rt.svm.write(self.sim, addr, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::ClusterConfig;
+
+    fn rt(nodes: usize, cpus: usize) -> Arc<CablesRt> {
+        let cluster = Cluster::build(ClusterConfig::small(nodes, cpus));
+        CablesRt::new(cluster, CablesConfig::paper())
+    }
+
+    #[test]
+    fn run_main_and_join_child() {
+        let rt = rt(2, 2);
+        let rt2 = Arc::clone(&rt);
+        let end = rt
+            .run(move |pth| {
+                let child = pth.create(|p| {
+                    p.compute(1_000);
+                    42
+                });
+                assert_eq!(pth.join(child), 42);
+                let _ = rt2.stats();
+                0
+            })
+            .unwrap();
+        assert!(end.as_nanos() > 0);
+        assert_eq!(rt.stats().joins, 1);
+    }
+
+    #[test]
+    fn threads_fill_master_then_attach() {
+        let rt = rt(3, 2);
+        let end = rt
+            .run(move |pth| {
+                // Master already runs the main thread; creating 3 more
+                // long-lived threads (cap 2/node) must attach a second node.
+                let worker = |p: &Pth| {
+                    p.compute(sim::dur::secs(30));
+                    p.node().0 as u64
+                };
+                let t1 = pth.create(worker);
+                let t2 = pth.create(worker);
+                let t3 = pth.create(worker);
+                let n1 = pth.join(t1);
+                let n2 = pth.join(t2);
+                let n3 = pth.join(t3);
+                assert_eq!(n1, 0, "first child fits on master");
+                assert_eq!(n2, 1, "second child forces an attach");
+                assert_eq!(n3, 1, "third child fits on node 1");
+                0
+            })
+            .unwrap();
+        assert_eq!(rt.stats().nodes_attached, 1);
+        // Node attach dominates: total time is seconds.
+        assert!(end.as_millis_f64() > 3_000.0, "end={end}");
+    }
+
+    #[test]
+    fn attach_cost_matches_table4_regime() {
+        let rt = rt(2, 1);
+        let cost = Arc::new(std::sync::Mutex::new(0u64));
+        let c2 = Arc::clone(&cost);
+        rt.run(move |pth| {
+            let t0 = pth.sim.now();
+            pth.rt().attach_node(pth.sim, pth.rt().cluster().nodes()[1]);
+            *c2.lock().unwrap() = pth.sim.now() - t0;
+            0
+        })
+        .unwrap();
+        let ms = *cost.lock().unwrap() as f64 / 1e6;
+        // Paper: 3690 ms.
+        assert!((3_000.0..4_600.0).contains(&ms), "attach took {ms} ms");
+    }
+
+    #[test]
+    fn cancel_is_observed_at_cancellation_point() {
+        let rt = rt(2, 2);
+        let end_state = Arc::new(std::sync::Mutex::new(0u64));
+        let e2 = Arc::clone(&end_state);
+        rt.run(move |pth| {
+            let victim = pth.create(move |p| {
+                for _ in 0..1_000 {
+                    p.compute(10_000);
+                    if p.test_cancel().is_err() {
+                        return 999;
+                    }
+                }
+                0
+            });
+            pth.compute(50_000);
+            pth.cancel(victim);
+            *e2.lock().unwrap() = pth.join(victim);
+            0
+        })
+        .unwrap();
+        assert_eq!(*end_state.lock().unwrap(), 999);
+        assert_eq!(rt.stats().cancels, 1);
+    }
+
+    #[test]
+    fn remote_create_slower_than_local() {
+        let rt = rt(2, 2);
+        let times = Arc::new(std::sync::Mutex::new((0u64, 0u64)));
+        let t2 = Arc::clone(&times);
+        rt.run(move |pth| {
+            // Local create: master (cap 2) has one free slot.
+            let a = pth.sim.now();
+            let c1 = pth.create(|p| {
+                p.compute(sim::dur::secs(20));
+                0
+            });
+            let local = pth.sim.now() - a;
+            // Attach node 1 up front so the next create pays only the
+            // remote-create path, not the attach.
+            pth.rt().attach_node(pth.sim, pth.rt().cluster().nodes()[1]);
+            let b = pth.sim.now();
+            let c2 = pth.create(|_| 0);
+            let remote = pth.sim.now() - b;
+            pth.join(c1);
+            pth.join(c2);
+            *t2.lock().unwrap() = (local, remote);
+            0
+        })
+        .unwrap();
+        let (local, remote) = *times.lock().unwrap();
+        // Table 4: local 766us; the remote creator-visible cost is the
+        // local bookkeeping plus the round trip (the 622us remote OS
+        // create overlaps with the creator).
+        assert!(local > 600_000 && local < 1_000_000, "local={local}");
+        assert!(remote > 100_000 && remote < 1_000_000, "remote={remote}");
+        assert_eq!(rt.stats().remote_creates, 1);
+        assert_eq!(rt.stats().local_creates, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CableS protocol mode")]
+    fn base_mode_rejected() {
+        let cluster = Cluster::build(ClusterConfig::small(1, 1));
+        let cfg = CablesConfig {
+            svm: svm::SvmConfig::base(),
+            ..CablesConfig::paper()
+        };
+        let _ = CablesRt::new(cluster, cfg);
+    }
+}

@@ -1,0 +1,470 @@
+//! CableS synchronization: pthreads mutexes, condition variables, and the
+//! `pthread_barrier` extension (paper §2.3).
+//!
+//! Mutexes wrap the underlying SVM system locks, adding ACB bookkeeping and
+//! competitive spinning (spin for a bounded time, then block — after
+//! Karlin et al.). Conditions are implemented with ACB state updated by
+//! direct remote operations, as in the paper. The barrier extension uses
+//! the native SVM barrier mechanism so legacy parallel applications get
+//! efficient global synchronization.
+
+use crate::rt::{Cancelled, CablesRt, OpKind, Pth};
+
+/// A CableS mutex handle (`pthread_mutex_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mutex(pub u64);
+
+/// A CableS condition-variable handle (`pthread_cond_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cond(pub u64);
+
+/// A CableS barrier handle (the `pthread_barrier(n)` extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Barrier(pub u64);
+
+impl CablesRt {
+    /// Creates a mutex.
+    pub fn mutex_new(&self) -> Mutex {
+        Mutex(self.sync_id())
+    }
+
+    /// Creates a condition variable.
+    pub fn cond_new(&self) -> Cond {
+        Cond(self.sync_id())
+    }
+
+    /// Creates a barrier.
+    pub fn barrier_new(&self) -> Barrier {
+        Barrier(self.sync_id())
+    }
+
+    /// Locks `m`, spinning briefly before blocking, then performs the RC
+    /// acquire. Re-acquiring a mutex last held on the same node is a local
+    /// operation (paper Table 4).
+    pub fn mutex_lock(&self, sim: &sim::Sim, m: Mutex) {
+        let c = &self.cfg.costs;
+        sim.op_point(c.mutex_local_extra_ns);
+        if matches!(self.svm().lock_owner_node(m.0), Some(owner) if owner != sim.node()) {
+            // Remote ACB handler work on top of the system lock.
+            sim.advance(c.mutex_remote_extra_ns);
+        }
+        let wait_start = sim.now();
+        self.svm().lock(sim, m.0);
+        // Competitive spinning: the processor is burnt for up to the spin
+        // bound while waiting; after that the thread had blocked.
+        let spun = sim
+            .now()
+            .min(wait_start + c.spin_before_block_ns);
+        sim.occupy_cpu_until(spun);
+    }
+
+    /// Unlocks `m` (RC release: dirty pages flush to their homes first).
+    pub fn mutex_unlock(&self, sim: &sim::Sim, m: Mutex) {
+        sim.op_point(self.cfg.costs.mutex_local_extra_ns);
+        self.svm().unlock(sim, m.0);
+    }
+
+    /// Waits on `cond`, releasing `mutex` while waiting and re-acquiring
+    /// it before returning (`pthread_cond_wait`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the thread was cancelled while waiting; the
+    /// mutex is *not* re-acquired in that case.
+    pub fn cond_wait(
+        &self,
+        sim: &sim::Sim,
+        ct: crate::rt::CtId,
+        cond: Cond,
+        mutex: Mutex,
+    ) -> Result<(), Cancelled> {
+        let c = &self.cfg.costs;
+        sim.op_point(c.cond_wait_local_ns);
+        // Register the waiter in the ACB (direct remote write).
+        if sim.node() != self.master() {
+            let t = self
+                .cluster()
+                .san
+                .send(sim.node(), self.master(), 16, sim.now());
+            sim.clock_at_least(t.local_done);
+        }
+        {
+            let mut st = self.state.lock();
+            st.stats.cond_waits += 1;
+            st.conds
+                .entry(cond.0)
+                .or_default()
+                .waiters
+                .push_back((sim.tid(), sim.node()));
+        }
+        self.mutex_unlock(sim, mutex);
+        sim.block();
+        if self.cancel_requested(ct) {
+            return Err(Cancelled);
+        }
+        sim.advance(c.cond_wakeup_ns);
+        self.mutex_lock(sim, mutex);
+        Ok(())
+    }
+
+    /// Wakes one waiter of `cond` (`pthread_cond_signal`).
+    pub fn cond_signal(&self, sim: &sim::Sim, cond: Cond) {
+        let c = &self.cfg.costs;
+        sim.op_point(c.cond_signal_local_ns);
+        sim.advance(c.cond_os_ns);
+        // Read the condition's ACB entry.
+        if sim.node() != self.master() {
+            let done = self
+                .cluster()
+                .san
+                .fetch(sim.node(), self.master(), 16, sim.now());
+            sim.clock_at_least(done);
+        }
+        let target = {
+            let mut st = self.state.lock();
+            st.stats.cond_signals += 1;
+            st.conds.entry(cond.0).or_default().waiters.pop_front()
+        };
+        if let Some((tid, wnode)) = target {
+            // ACB update recording the hand-off.
+            if sim.node() != self.master() {
+                let t = self.cluster().san.send(sim.node(), self.master(), 16, sim.now());
+                sim.clock_at_least(t.local_done);
+            }
+            // Activation: a notification dispatching the wakeup handler on
+            // the waiter's node.
+            let at = if wnode != sim.node() {
+                self.cluster().san.notify(sim.node(), wnode, sim.now()).arrival
+            } else {
+                sim.now()
+            };
+            sim.wake(tid, at);
+        }
+    }
+
+    /// Wakes all waiters of `cond` (`pthread_cond_broadcast`).
+    ///
+    /// Cost grows with the number of waiting nodes: one remote write per
+    /// waiter, as in the paper.
+    pub fn cond_broadcast(&self, sim: &sim::Sim, cond: Cond) {
+        let c = &self.cfg.costs;
+        sim.op_point(c.cond_broadcast_local_ns);
+        sim.advance(c.cond_os_ns);
+        if sim.node() != self.master() {
+            let done = self
+                .cluster()
+                .san
+                .fetch(sim.node(), self.master(), 16, sim.now());
+            sim.clock_at_least(done);
+        }
+        let targets: Vec<(sim::Tid, sim::NodeId)> = {
+            let mut st = self.state.lock();
+            st.stats.cond_broadcasts += 1;
+            st.conds
+                .entry(cond.0)
+                .or_default()
+                .waiters
+                .drain(..)
+                .collect()
+        };
+        for (tid, wnode) in targets {
+            // One remote write per waiting node, as in the paper.
+            let at = if wnode != sim.node() {
+                self.cluster().san.notify(sim.node(), wnode, sim.now()).arrival
+            } else {
+                sim.now()
+            };
+            sim.wake(tid, at);
+        }
+    }
+
+    /// The `pthread_barrier(number_of_threads)` extension: global
+    /// synchronization using the native SVM barrier mechanism.
+    pub fn pthread_barrier(&self, sim: &sim::Sim, b: Barrier, n: usize) {
+        sim.op_point(self.cfg.costs.mutex_local_extra_ns);
+        self.svm().barrier(sim, b.0, n);
+    }
+}
+
+/// A barrier built purely from pthreads primitives (mutex + condition +
+/// counter), as legacy pthreads code would write it. Used by the Table 4
+/// microbenchmark ("pthreads barrier" row) — it is two orders of magnitude
+/// slower than the native barrier because every operation funnels through
+/// point-to-point synchronization on one node.
+#[derive(Debug, Clone, Copy)]
+pub struct MutexCondBarrier {
+    mutex: Mutex,
+    cond: Cond,
+    /// Address of the shared counter word.
+    count_addr: memsim::GAddr,
+    /// Address of the shared generation word.
+    gen_addr: memsim::GAddr,
+}
+
+impl MutexCondBarrier {
+    /// Creates the barrier, allocating its shared counter.
+    pub fn new(pth: &Pth) -> Self {
+        let base = pth.malloc(16);
+        pth.write::<u64>(base, 0);
+        pth.write::<u64>(base + 8, 0);
+        MutexCondBarrier {
+            mutex: pth.rt().mutex_new(),
+            cond: pth.rt().cond_new(),
+            count_addr: base,
+            gen_addr: base + 8,
+        }
+    }
+
+    /// Waits until `n` threads have arrived.
+    pub fn wait(&self, pth: &Pth, n: u64) {
+        pth.mutex_lock(self.mutex);
+        let generation = pth.read::<u64>(self.gen_addr);
+        let arrived = pth.read::<u64>(self.count_addr) + 1;
+        pth.write::<u64>(self.count_addr, arrived);
+        if arrived == n {
+            pth.write::<u64>(self.count_addr, 0);
+            pth.write::<u64>(self.gen_addr, generation + 1);
+            pth.cond_broadcast(self.cond);
+            pth.mutex_unlock(self.mutex);
+        } else {
+            while pth.read::<u64>(self.gen_addr) == generation {
+                pth.cond_wait(self.cond, self.mutex)
+                    .expect("barrier wait cancelled");
+            }
+            pth.mutex_unlock(self.mutex);
+        }
+    }
+}
+
+impl Pth<'_> {
+    /// Locks a mutex (`pthread_mutex_lock`).
+    pub fn mutex_lock(&self, m: Mutex) {
+        let t0 = self.sim.now();
+        self.rt().clone().mutex_lock(self.sim, m);
+        self.rt().record_op(OpKind::MutexLock, self.sim.now() - t0);
+    }
+
+    /// Unlocks a mutex (`pthread_mutex_unlock`).
+    pub fn mutex_unlock(&self, m: Mutex) {
+        let t0 = self.sim.now();
+        self.rt().clone().mutex_unlock(self.sim, m);
+        self.rt().record_op(OpKind::MutexUnlock, self.sim.now() - t0);
+    }
+
+    /// Waits on a condition variable (`pthread_cond_wait`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if this thread was cancelled while waiting.
+    pub fn cond_wait(&self, c: Cond, m: Mutex) -> Result<(), Cancelled> {
+        let t0 = self.sim.now();
+        let r = self.rt().clone().cond_wait(self.sim, self.self_id(), c, m);
+        self.rt().record_op(OpKind::CondWait, self.sim.now() - t0);
+        r
+    }
+
+    /// Signals a condition variable (`pthread_cond_signal`).
+    pub fn cond_signal(&self, c: Cond) {
+        let t0 = self.sim.now();
+        self.rt().clone().cond_signal(self.sim, c);
+        self.rt().record_op(OpKind::CondSignal, self.sim.now() - t0);
+    }
+
+    /// Broadcasts a condition variable (`pthread_cond_broadcast`).
+    pub fn cond_broadcast(&self, c: Cond) {
+        let t0 = self.sim.now();
+        self.rt().clone().cond_broadcast(self.sim, c);
+        self.rt().record_op(OpKind::CondBroadcast, self.sim.now() - t0);
+    }
+
+    /// Global barrier over `n` threads (the CableS `pthread_barrier`
+    /// extension).
+    pub fn barrier(&self, b: Barrier, n: usize) {
+        let t0 = self.sim.now();
+        self.rt().clone().pthread_barrier(self.sim, b, n);
+        self.rt().record_op(OpKind::Barrier, self.sim.now() - t0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CablesConfig;
+    use crate::rt::CablesRt;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use svm::{Cluster, ClusterConfig};
+
+    fn rt(nodes: usize, cpus: usize) -> Arc<CablesRt> {
+        let cluster = Cluster::build(ClusterConfig::small(nodes, cpus));
+        CablesRt::new(cluster, CablesConfig::paper())
+    }
+
+    #[test]
+    fn mutex_mutual_exclusion_over_shared_counter() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let m = pth.rt().mutex_new();
+            let a = pth.malloc(8);
+            pth.write::<u64>(a, 0);
+            let mut kids = Vec::new();
+            for _ in 0..3 {
+                kids.push(pth.create(move |p| {
+                    for _ in 0..10 {
+                        p.mutex_lock(m);
+                        let v = p.read::<u64>(a);
+                        p.compute(500);
+                        p.write::<u64>(a, v + 1);
+                        p.mutex_unlock(m);
+                    }
+                    0
+                }));
+            }
+            for k in kids {
+                pth.join(k);
+            }
+            pth.mutex_lock(m);
+            assert_eq!(pth.read::<u64>(a), 30);
+            pth.mutex_unlock(m);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cond_signal_wakes_one_waiter() {
+        let rt = rt(2, 2);
+        let woken = Arc::new(AtomicU64::new(0));
+        let w2 = Arc::clone(&woken);
+        rt.run(move |pth| {
+            let m = pth.rt().mutex_new();
+            let c = pth.rt().cond_new();
+            let flag = pth.malloc(8);
+            pth.write::<u64>(flag, 0);
+            let w3 = Arc::clone(&w2);
+            let waiter = pth.create(move |p| {
+                p.mutex_lock(m);
+                while p.read::<u64>(flag) == 0 {
+                    p.cond_wait(c, m).unwrap();
+                }
+                p.mutex_unlock(m);
+                w3.fetch_add(1, Ordering::SeqCst);
+                0
+            });
+            pth.compute(200_000);
+            pth.mutex_lock(m);
+            pth.write::<u64>(flag, 1);
+            pth.cond_signal(c);
+            pth.mutex_unlock(m);
+            pth.join(waiter);
+            assert_eq!(w2.load(Ordering::SeqCst), 1);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cond_broadcast_wakes_all() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let m = pth.rt().mutex_new();
+            let c = pth.rt().cond_new();
+            let flag = pth.malloc(8);
+            pth.write::<u64>(flag, 0);
+            let mut kids = Vec::new();
+            for _ in 0..3 {
+                kids.push(pth.create(move |p| {
+                    p.mutex_lock(m);
+                    while p.read::<u64>(flag) == 0 {
+                        p.cond_wait(c, m).unwrap();
+                    }
+                    p.mutex_unlock(m);
+                    1
+                }));
+            }
+            pth.compute(500_000);
+            pth.mutex_lock(m);
+            pth.write::<u64>(flag, 1);
+            pth.cond_broadcast(c);
+            pth.mutex_unlock(m);
+            let sum: u64 = kids.into_iter().map(|k| pth.join(k)).sum();
+            assert_eq!(sum, 3);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pthread_barrier_extension_synchronizes() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let b = pth.rt().barrier_new();
+            let a = pth.malloc(8 * 4);
+            for i in 0..4 {
+                pth.write::<u64>(a + 8 * i, 0);
+            }
+            let mut kids = Vec::new();
+            for i in 0..3u64 {
+                kids.push(pth.create(move |p| {
+                    p.write::<u64>(a + 8 * (i + 1), i + 1);
+                    p.barrier(b, 4);
+                    // Everyone's writes visible after the barrier.
+                    let mut sum = 0;
+                    for j in 0..4 {
+                        sum += p.read::<u64>(a + 8 * j);
+                    }
+                    assert_eq!(sum, 1 + 2 + 3);
+                    0
+                }));
+            }
+            pth.barrier(b, 4);
+            for k in kids {
+                pth.join(k);
+            }
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mutex_cond_barrier_much_slower_than_native() {
+        // Table 4: GeNIMA barrier ~70us, pthreads (mutex+cond) barrier ~13ms.
+        use crate::sync::MutexCondBarrier;
+        let rt = rt(4, 2);
+        let times = Arc::new(std::sync::Mutex::new((0u64, 0u64)));
+        let t2 = Arc::clone(&times);
+        rt.run(move |pth| {
+            let n = 4u64;
+            let native = pth.rt().barrier_new();
+            let mcb = MutexCondBarrier::new(pth);
+            let mut kids = Vec::new();
+            for _ in 0..n - 1 {
+                kids.push(pth.create(move |p| {
+                    p.barrier(native, n as usize);
+                    p.barrier(native, n as usize);
+                    mcb.wait(p, n);
+                    p.barrier(native, n as usize);
+                    0
+                }));
+            }
+            pth.barrier(native, n as usize); // warm up (attach done)
+            let a = pth.sim.now();
+            pth.barrier(native, n as usize);
+            let native_cost = pth.sim.now() - a;
+            let b = pth.sim.now();
+            mcb.wait(pth, n);
+            let mcb_cost = pth.sim.now() - b;
+            pth.barrier(native, n as usize);
+            for k in kids {
+                pth.join(k);
+            }
+            *t2.lock().unwrap() = (native_cost, mcb_cost);
+            0
+        })
+        .unwrap();
+        let (native_cost, mcb_cost) = *times.lock().unwrap();
+        assert!(
+            mcb_cost > native_cost * 5,
+            "mutex+cond barrier ({mcb_cost}ns) should dwarf native ({native_cost}ns)"
+        );
+    }
+}

@@ -1,0 +1,708 @@
+//! Extended POSIX synchronization: `pthread_mutex_trylock`,
+//! `pthread_cond_timedwait`, read/write locks and thread-specific data.
+//!
+//! The paper demonstrates the core primitives (§2.3); these complete the
+//! IEEE 1003.1 surface the abstract promises ("a full pthreads API"),
+//! built from the same ACB/state machinery: waiter queues live in the
+//! runtime's global state on the master, updates are charged as direct
+//! remote operations, and wakeups are notifications.
+
+use std::fmt;
+
+use sim::SimTime;
+
+use crate::rt::{CablesRt, Cancelled, OpKind, Pth, RwState};
+use crate::sync::{Cond, Mutex};
+
+/// A CableS read/write lock handle (`pthread_rwlock_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RwLock(pub u64);
+
+/// A once-control handle (`pthread_once_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Once(pub u64);
+
+/// A thread-specific-data key (`pthread_key_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TsdKey(pub u64);
+
+impl fmt::Display for TsdKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key{}", self.0)
+    }
+}
+
+impl CablesRt {
+    /// Creates a read/write lock.
+    pub fn rwlock_new(&self) -> RwLock {
+        RwLock(self.sync_id())
+    }
+
+    /// Creates a once-control object.
+    pub fn once_new(&self) -> Once {
+        Once(self.sync_id())
+    }
+
+    /// Creates a thread-specific-data key (`pthread_key_create`).
+    pub fn key_create(&self) -> TsdKey {
+        let mut st = self.state.lock();
+        let k = st.next_tsd_key;
+        st.next_tsd_key += 1;
+        TsdKey(k)
+    }
+
+    /// Attempts to lock `m` without blocking (`pthread_mutex_trylock`).
+    /// Returns `true` on acquisition.
+    pub fn mutex_trylock(&self, sim: &sim::Sim, m: Mutex) -> bool {
+        let c = &self.cfg.costs;
+        sim.op_point(c.mutex_local_extra_ns);
+        if matches!(self.svm().lock_owner_node(m.0), Some(owner) if owner != sim.node()) {
+            sim.advance(c.mutex_remote_extra_ns);
+        }
+        self.svm().try_lock(sim, m.0)
+    }
+
+    /// Waits on `cond` with a relative timeout (`pthread_cond_timedwait`).
+    ///
+    /// Returns `Ok(true)` when signalled, `Ok(false)` on timeout; in both
+    /// cases the mutex is re-acquired before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the thread was cancelled while waiting
+    /// (the mutex is *not* re-acquired).
+    pub fn cond_timedwait(
+        &self,
+        sim: &sim::Sim,
+        ct: crate::rt::CtId,
+        cond: Cond,
+        mutex: Mutex,
+        timeout_ns: u64,
+    ) -> Result<bool, Cancelled> {
+        let c = &self.cfg.costs;
+        sim.op_point(c.cond_wait_local_ns);
+        if sim.node() != self.master() {
+            let t = self
+                .cluster()
+                .san
+                .send(sim.node(), self.master(), 16, sim.now());
+            sim.clock_at_least(t.local_done);
+        }
+        {
+            let mut st = self.state.lock();
+            st.stats.cond_waits += 1;
+            st.conds
+                .entry(cond.0)
+                .or_default()
+                .waiters
+                .push_back((sim.tid(), sim.node()));
+        }
+        let deadline = sim.now() + timeout_ns;
+        self.mutex_unlock(sim, mutex);
+        let woken = sim.block_deadline(deadline);
+        if !woken {
+            // Deregister before anyone can signal us (no ordering point
+            // between the timeout and this removal).
+            let mut st = self.state.lock();
+            if let Some(cs) = st.conds.get_mut(&cond.0) {
+                cs.waiters.retain(|(t, _)| *t != sim.tid());
+            }
+        }
+        if self.cancel_requested(ct) {
+            return Err(Cancelled);
+        }
+        sim.advance(c.cond_wakeup_ns);
+        self.mutex_lock(sim, mutex);
+        Ok(woken)
+    }
+
+    /// Acquires `rw` for reading (`pthread_rwlock_rdlock`). Multiple
+    /// readers may hold the lock; readers queue behind a writer.
+    pub fn rwlock_rdlock(&self, sim: &sim::Sim, rw: RwLock) {
+        self.admin_request(sim);
+        let granted = {
+            let mut st = self.state.lock();
+            let r = st.rwlocks.entry(rw.0).or_insert_with(RwState::default);
+            if r.writer.is_none() && r.waiters.iter().all(|(_, _, w)| !*w) {
+                r.readers += 1;
+                true
+            } else {
+                r.waiters.push_back((sim.tid(), sim.node(), false));
+                false
+            }
+        };
+        if !granted {
+            sim.block();
+        }
+        // RC acquire: observe the last writer's updates.
+        self.svm().acquire(sim);
+    }
+
+    /// Acquires `rw` for writing (`pthread_rwlock_wrlock`).
+    pub fn rwlock_wrlock(&self, sim: &sim::Sim, rw: RwLock) {
+        self.admin_request(sim);
+        let granted = {
+            let mut st = self.state.lock();
+            let r = st.rwlocks.entry(rw.0).or_insert_with(RwState::default);
+            if r.writer.is_none() && r.readers == 0 && r.waiters.is_empty() {
+                r.writer = Some(sim.tid());
+                true
+            } else {
+                r.waiters.push_back((sim.tid(), sim.node(), true));
+                false
+            }
+        };
+        if !granted {
+            sim.block();
+        }
+        self.svm().acquire(sim);
+    }
+
+    /// Releases `rw` (`pthread_rwlock_unlock`): either the write hold or
+    /// one read hold of the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held.
+    pub fn rwlock_unlock(&self, sim: &sim::Sim, rw: RwLock) {
+        let was_writer = {
+            let st = self.state.lock();
+            st.rwlocks
+                .get(&rw.0)
+                .map(|r| r.writer == Some(sim.tid()))
+                .unwrap_or(false)
+        };
+        if was_writer {
+            // RC release: publish this node's writes before handing over.
+            self.svm().release(sim);
+        }
+        self.admin_request(sim);
+        let to_wake = {
+            let mut st = self.state.lock();
+            let r = st
+                .rwlocks
+                .get_mut(&rw.0)
+                .expect("unlock of unknown rwlock");
+            if was_writer {
+                r.writer = None;
+            } else {
+                assert!(r.readers > 0, "rwlock unlock without a hold");
+                r.readers -= 1;
+            }
+            let mut to_wake = Vec::new();
+            if r.writer.is_none() && r.readers == 0 {
+                // Grant the head of the queue; if it is a reader, grant
+                // the whole run of leading readers.
+                if let Some(&(_, _, true)) = r.waiters.front() {
+                    let (tid, node, _) = r.waiters.pop_front().expect("head");
+                    r.writer = Some(tid);
+                    to_wake.push((tid, node));
+                } else {
+                    while let Some(&(_, _, false)) = r.waiters.front() {
+                        let (tid, node, _) = r.waiters.pop_front().expect("head");
+                        r.readers += 1;
+                        to_wake.push((tid, node));
+                    }
+                }
+            }
+            to_wake
+        };
+        for (tid, node) in to_wake {
+            let at = if node != sim.node() {
+                self.cluster().san.notify(sim.node(), node, sim.now()).arrival
+            } else {
+                sim.now()
+            };
+            sim.wake(tid, at);
+        }
+    }
+
+    /// Runs `f` exactly once across all threads (`pthread_once`): the
+    /// first caller executes it under the once-control's mutex semantics;
+    /// everyone returning from `once` observes its effects.
+    pub fn once<F: FnOnce(&Pth)>(&self, pth: &Pth, o: Once, f: F) {
+        // The once flag is ACB state guarded by an internal system lock.
+        self.svm().lock(pth.sim, o.0);
+        let first = {
+            let mut st = self.state.lock();
+            st.once_done.insert(o.0, ()).is_none()
+        };
+        if first {
+            f(pth);
+        }
+        self.svm().unlock(pth.sim, o.0);
+    }
+
+    /// Stores a thread-specific value (`pthread_setspecific`).
+    pub fn set_specific(&self, ct: crate::rt::CtId, key: TsdKey, value: u64) {
+        let mut st = self.state.lock();
+        st.tsd.insert((ct.0, key.0), value);
+    }
+
+    /// Loads a thread-specific value (`pthread_getspecific`).
+    pub fn get_specific(&self, ct: crate::rt::CtId, key: TsdKey) -> Option<u64> {
+        let st = self.state.lock();
+        st.tsd.get(&(ct.0, key.0)).copied()
+    }
+}
+
+impl Pth<'_> {
+    /// Tries to lock a mutex without blocking (`pthread_mutex_trylock`).
+    pub fn mutex_trylock(&self, m: Mutex) -> bool {
+        let t0 = self.sim.now();
+        let got = self.rt().mutex_trylock(self.sim, m);
+        self.rt().record_op(OpKind::MutexLock, self.sim.now() - t0);
+        got
+    }
+
+    /// Waits on a condition with a timeout (`pthread_cond_timedwait`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if this thread was cancelled while waiting.
+    pub fn cond_timedwait(&self, c: Cond, m: Mutex, timeout_ns: u64) -> Result<bool, Cancelled> {
+        let t0 = self.sim.now();
+        let r = self
+            .rt()
+            .clone()
+            .cond_timedwait(self.sim, self.self_id(), c, m, timeout_ns);
+        self.rt().record_op(OpKind::CondWait, self.sim.now() - t0);
+        r
+    }
+
+    /// Read-locks a read/write lock (`pthread_rwlock_rdlock`).
+    pub fn rwlock_rdlock(&self, rw: RwLock) {
+        self.rt().clone().rwlock_rdlock(self.sim, rw)
+    }
+
+    /// Write-locks a read/write lock (`pthread_rwlock_wrlock`).
+    pub fn rwlock_wrlock(&self, rw: RwLock) {
+        self.rt().clone().rwlock_wrlock(self.sim, rw)
+    }
+
+    /// Unlocks a read/write lock (`pthread_rwlock_unlock`).
+    pub fn rwlock_unlock(&self, rw: RwLock) {
+        self.rt().clone().rwlock_unlock(self.sim, rw)
+    }
+
+    /// Runs `f` exactly once across all threads (`pthread_once`).
+    pub fn once<F: FnOnce(&Pth)>(&self, o: Once, f: F) {
+        self.rt().clone().once(self, o, f)
+    }
+
+    /// Stores a thread-specific value (`pthread_setspecific`).
+    pub fn set_specific(&self, key: TsdKey, value: u64) {
+        self.rt().set_specific(self.self_id(), key, value)
+    }
+
+    /// Loads this thread's value for `key` (`pthread_getspecific`).
+    pub fn get_specific(&self, key: TsdKey) -> Option<u64> {
+        self.rt().get_specific(self.self_id(), key)
+    }
+
+    /// The deadline helper for timed waits: current time plus `ns`.
+    pub fn deadline_in(&self, ns: u64) -> SimTime {
+        self.sim.now() + ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CablesConfig;
+    use crate::rt::CablesRt;
+    use std::sync::Arc;
+    use svm::{Cluster, ClusterConfig};
+
+    fn rt(nodes: usize, cpus: usize) -> Arc<CablesRt> {
+        let cluster = Cluster::build(ClusterConfig::small(nodes, cpus));
+        CablesRt::new(cluster, CablesConfig::paper())
+    }
+
+    #[test]
+    fn trylock_succeeds_then_fails_under_hold() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let m = pth.rt().mutex_new();
+            assert!(pth.mutex_trylock(m));
+            let holder_blocks = pth.create(move |p| u64::from(p.mutex_trylock(m)));
+            assert_eq!(pth.join(holder_blocks), 0, "held elsewhere");
+            pth.mutex_unlock(m);
+            assert!(pth.mutex_trylock(m));
+            pth.mutex_unlock(m);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cond_timedwait_times_out_without_signal() {
+        let rt = rt(1, 1);
+        rt.run(|pth| {
+            let m = pth.rt().mutex_new();
+            let cv = pth.rt().cond_new();
+            pth.mutex_lock(m);
+            let t0 = pth.sim.now();
+            let signalled = pth.cond_timedwait(cv, m, 250_000).unwrap();
+            assert!(!signalled);
+            assert!(pth.sim.now() - t0 >= 250_000);
+            pth.mutex_unlock(m);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cond_timedwait_signalled_in_time() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let m = pth.rt().mutex_new();
+            let cv = pth.rt().cond_new();
+            let flag = pth.malloc(8);
+            pth.write::<u64>(flag, 0);
+            let waiter = pth.create(move |p| {
+                p.mutex_lock(m);
+                let mut sig = false;
+                while p.read::<u64>(flag) == 0 {
+                    sig = p.cond_timedwait(cv, m, sim::dur::secs(10)).unwrap();
+                    if !sig {
+                        break;
+                    }
+                }
+                p.mutex_unlock(m);
+                u64::from(sig)
+            });
+            pth.compute(300_000);
+            pth.mutex_lock(m);
+            pth.write::<u64>(flag, 1);
+            pth.cond_signal(cv);
+            pth.mutex_unlock(m);
+            assert_eq!(pth.join(waiter), 1, "signal must beat the deadline");
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn timed_out_waiter_is_deregistered() {
+        // After a timeout, a later signal must not target the departed
+        // waiter (its queue entry is removed atomically with the wake).
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let m = pth.rt().mutex_new();
+            let cv = pth.rt().cond_new();
+            let w = pth.create(move |p| {
+                p.mutex_lock(m);
+                let sig = p.cond_timedwait(cv, m, 100_000).unwrap();
+                p.mutex_unlock(m);
+                p.compute(sim::dur::millis(5));
+                u64::from(sig)
+            });
+            pth.compute(sim::dur::millis(2));
+            pth.mutex_lock(m);
+            pth.cond_signal(cv); // no waiter left: must be a no-op
+            pth.mutex_unlock(m);
+            assert_eq!(pth.join(w), 0);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let rw = pth.rt().rwlock_new();
+            let cell = pth.malloc(8);
+            pth.rwlock_wrlock(rw);
+            pth.write::<u64>(cell, 9);
+            pth.rwlock_unlock(rw);
+            let mut kids = Vec::new();
+            for _ in 0..3 {
+                kids.push(pth.create(move |p| {
+                    p.rwlock_rdlock(rw);
+                    let v = p.read::<u64>(cell);
+                    p.compute(200_000);
+                    p.rwlock_unlock(rw);
+                    v
+                }));
+            }
+            for k in kids {
+                assert_eq!(pth.join(k), 9);
+            }
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rwlock_writer_excludes_and_publishes() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let rw = pth.rt().rwlock_new();
+            let cell = pth.malloc(8);
+            pth.rwlock_wrlock(rw);
+            pth.write::<u64>(cell, 0);
+            pth.rwlock_unlock(rw);
+            let mut kids = Vec::new();
+            for _ in 0..3 {
+                kids.push(pth.create(move |p| {
+                    for _ in 0..5 {
+                        p.rwlock_wrlock(rw);
+                        let v = p.read::<u64>(cell);
+                        p.compute(1_000);
+                        p.write::<u64>(cell, v + 1);
+                        p.rwlock_unlock(rw);
+                    }
+                    0
+                }));
+            }
+            for k in kids {
+                pth.join(k);
+            }
+            pth.rwlock_rdlock(rw);
+            assert_eq!(pth.read::<u64>(cell), 15);
+            pth.rwlock_unlock(rw);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rwlock_queued_writer_blocks_new_readers() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let rw = pth.rt().rwlock_new();
+            let order = pth.malloc(8);
+            pth.rwlock_wrlock(rw);
+            pth.write::<u64>(order, 0);
+            pth.rwlock_unlock(rw);
+            // Reader holds; writer queues; late reader must wait behind
+            // the writer (no writer starvation).
+            pth.rwlock_rdlock(rw);
+            let writer = pth.create(move |p| {
+                p.rwlock_wrlock(rw);
+                p.write::<u64>(order, 1);
+                p.compute(100_000);
+                p.rwlock_unlock(rw);
+                0
+            });
+            let late_reader = pth.create(move |p| {
+                p.compute(2_000_000); // arrive after the writer queued
+                p.rwlock_rdlock(rw);
+                let v = p.read::<u64>(order);
+                p.rwlock_unlock(rw);
+                v
+            });
+            pth.compute(5_000_000);
+            pth.rwlock_unlock(rw);
+            assert_eq!(
+                pth.join(late_reader),
+                1,
+                "late reader must observe the queued writer's update"
+            );
+            pth.join(writer);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn thread_specific_data_is_per_thread() {
+        let rt = rt(2, 2);
+        rt.run(|pth| {
+            let key = pth.rt().key_create();
+            pth.set_specific(key, 111);
+            let mut kids = Vec::new();
+            for i in 0..3u64 {
+                kids.push(pth.create(move |p| {
+                    assert_eq!(p.get_specific(key), None, "fresh thread sees no value");
+                    p.set_specific(key, 1000 + i);
+                    p.compute(10_000);
+                    p.get_specific(key).unwrap()
+                }));
+            }
+            let vals: Vec<u64> = kids.into_iter().map(|k| pth.join(k)).collect();
+            assert_eq!(vals, vec![1000, 1001, 1002]);
+            assert_eq!(pth.get_specific(key), Some(111));
+            let other = pth.rt().key_create();
+            assert_eq!(pth.get_specific(other), None);
+            0
+        })
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod once_tests {
+    use crate::config::CablesConfig;
+    use crate::rt::CablesRt;
+    use std::sync::Arc;
+    use svm::{Cluster, ClusterConfig};
+
+    #[test]
+    fn once_runs_exactly_once_and_publishes() {
+        let cluster = Cluster::build(ClusterConfig::small(2, 2));
+        let rt = CablesRt::new(cluster, CablesConfig::paper());
+        rt.run(|pth| {
+            let o = pth.rt().once_new();
+            let cell = pth.malloc(16);
+            pth.write::<u64>(cell, 0);
+            pth.write::<u64>(cell + 8, 0);
+            let mut kids = Vec::new();
+            for _ in 0..4 {
+                kids.push(pth.create(move |p| {
+                    p.once(o, |p| {
+                        // Init runs once; count initializations.
+                        let runs = p.read::<u64>(cell + 8);
+                        p.write::<u64>(cell + 8, runs + 1);
+                        p.write::<u64>(cell, 99);
+                    });
+                    // Every thread past once() sees the initialization.
+                    p.read::<u64>(cell)
+                }));
+            }
+            for k in kids {
+                assert_eq!(pth.join(k), 99);
+            }
+            pth.once(o, |_| panic!("must not run again"));
+            assert_eq!(pth.read::<u64>(cell + 8), 1, "single initialization");
+            0
+        })
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use crate::config::CablesConfig;
+    use crate::rt::CablesRt;
+    use std::sync::Arc;
+    use svm::{Cluster, ClusterConfig};
+
+    fn pooled_rt(nodes: usize, cpus: usize) -> Arc<CablesRt> {
+        let cluster = Cluster::build(ClusterConfig::small(nodes, cpus));
+        let cfg = CablesConfig {
+            thread_pool: true,
+            ..CablesConfig::paper()
+        };
+        CablesRt::new(cluster, cfg)
+    }
+
+    #[test]
+    fn pooled_threads_are_reused() {
+        let rt = pooled_rt(2, 2);
+        let rt2 = Arc::clone(&rt);
+        rt.run(|pth| {
+            for round in 0..5u64 {
+                let w = pth.create(move |p| {
+                    p.compute(10_000);
+                    round * 10
+                });
+                assert_eq!(pth.join(w), round * 10);
+            }
+            0
+        })
+        .unwrap();
+        let s = rt2.stats();
+        assert_eq!(s.local_creates + s.remote_creates, 1, "one OS create");
+        assert_eq!(s.pooled_dispatches, 4, "four reuses");
+    }
+
+    #[test]
+    fn pooled_dispatch_is_much_cheaper_than_create() {
+        let rt = pooled_rt(2, 2);
+        let times = Arc::new(std::sync::Mutex::new((0u64, 0u64)));
+        let t2 = Arc::clone(&times);
+        rt.run(move |pth| {
+            let a = pth.sim.now();
+            let w = pth.create(|_| 0);
+            let first = pth.sim.now() - a;
+            pth.join(w);
+            let b = pth.sim.now();
+            let w = pth.create(|_| 0);
+            let second = pth.sim.now() - b;
+            pth.join(w);
+            *t2.lock().unwrap() = (first, second);
+            0
+        })
+        .unwrap();
+        let (first, second) = *times.lock().unwrap();
+        assert!(
+            second * 5 < first,
+            "dispatch ({second}ns) should be far cheaper than create ({first}ns)"
+        );
+    }
+
+    #[test]
+    fn pool_respects_node_capacity_and_concurrency() {
+        let rt = pooled_rt(2, 2);
+        rt.run(|pth| {
+            // Two concurrent long-lived workers cannot share one pooled
+            // thread: the second create spawns a fresh one.
+            let m = pth.rt().mutex_new();
+            let counter = pth.malloc(8);
+            pth.write::<u64>(counter, 0);
+            let mk = |pth: &crate::Pth| {
+                pth.create(move |p| {
+                    p.compute(500_000);
+                    p.mutex_lock(m);
+                    let v = p.read::<u64>(counter);
+                    p.write::<u64>(counter, v + 1);
+                    p.mutex_unlock(m);
+                    0
+                })
+            };
+            let a = mk(pth);
+            let b = mk(pth);
+            pth.join(a);
+            pth.join(b);
+            pth.mutex_lock(m);
+            assert_eq!(pth.read::<u64>(counter), 2);
+            pth.mutex_unlock(m);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pool_drains_cleanly_at_end() {
+        // pthread_end must terminate parked pooled threads (otherwise the
+        // engine would deadlock waiting for them).
+        let rt = pooled_rt(2, 1);
+        let end = rt
+            .run(|pth| {
+                for _ in 0..3 {
+                    let w = pth.create(|p| {
+                        p.compute(1_000);
+                        0
+                    });
+                    pth.join(w);
+                }
+                0
+            })
+            .unwrap();
+        assert!(end.as_nanos() > 0);
+    }
+
+    #[test]
+    fn pooled_threads_get_fresh_identities() {
+        let rt = pooled_rt(2, 2);
+        rt.run(|pth| {
+            let key = pth.rt().key_create();
+            let w1 = pth.create(move |p| {
+                p.set_specific(key, 7);
+                p.self_id().0
+            });
+            let id1 = pth.join(w1);
+            let w2 = pth.create(move |p| {
+                // A reused thread must not leak the previous ct's TSD.
+                assert_eq!(p.get_specific(key), None);
+                p.self_id().0
+            });
+            let id2 = pth.join(w2);
+            assert_ne!(id1, id2, "each create gets a fresh pthread id");
+            0
+        })
+        .unwrap();
+    }
+}

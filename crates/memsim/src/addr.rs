@@ -1,0 +1,187 @@
+//! Global virtual addresses and page arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size of a virtual-memory page in bytes (4 KBytes, as on the paper's
+/// PentiumPro/WindowsNT nodes).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// An address in the cluster-wide shared virtual address space.
+///
+/// Every node maps the shared region at the same virtual addresses, so a
+/// `GAddr` means the same datum on every node.
+///
+/// # Examples
+///
+/// ```
+/// use cables_memsim::{GAddr, PAGE_SIZE};
+/// let a = GAddr::new(3 * PAGE_SIZE + 16);
+/// assert_eq!(a.page().index(), 3);
+/// assert_eq!(a.page_offset(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GAddr(u64);
+
+impl GAddr {
+    /// Creates an address from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        GAddr(raw)
+    }
+
+    /// The raw address value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The page containing this address.
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Whether `len` bytes starting here stay within one page.
+    pub const fn fits_in_page(self, len: u64) -> bool {
+        self.page_offset() + len <= PAGE_SIZE
+    }
+
+    /// Aligns this address down to a multiple of `align` bytes.
+    pub const fn align_down(self, align: u64) -> GAddr {
+        GAddr(self.0 / align * align)
+    }
+
+    /// Aligns this address up to a multiple of `align` bytes.
+    pub const fn align_up(self, align: u64) -> GAddr {
+        GAddr(self.0.div_ceil(align) * align)
+    }
+}
+
+impl Add<u64> for GAddr {
+    type Output = GAddr;
+    fn add(self, off: u64) -> GAddr {
+        GAddr(self.0 + off)
+    }
+}
+
+impl AddAssign<u64> for GAddr {
+    fn add_assign(&mut self, off: u64) {
+        self.0 += off;
+    }
+}
+
+impl Sub<GAddr> for GAddr {
+    type Output = u64;
+    fn sub(self, other: GAddr) -> u64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for GAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// Index of a page in the shared virtual address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(u64);
+
+impl PageNum {
+    /// Creates a page number from its index.
+    pub const fn new(index: u64) -> Self {
+        PageNum(index)
+    }
+
+    /// The page index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first address of the page.
+    pub const fn base(self) -> GAddr {
+        GAddr(self.0 * PAGE_SIZE)
+    }
+
+    /// The next page.
+    pub const fn next(self) -> PageNum {
+        PageNum(self.0 + 1)
+    }
+
+    /// The index of the mapping chunk containing this page, for a chunk of
+    /// `chunk_pages` pages (e.g. 16 for WindowsNT's 64 KB granularity).
+    pub const fn chunk(self, chunk_pages: u64) -> u64 {
+        self.0 / chunk_pages
+    }
+
+    /// The first page of this page's chunk.
+    pub const fn chunk_base(self, chunk_pages: u64) -> PageNum {
+        PageNum(self.0 / chunk_pages * chunk_pages)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Iterates the pages covering `[start, start + len)`.
+pub fn pages_covering(start: GAddr, len: u64) -> impl Iterator<Item = PageNum> {
+    let first = start.page().index();
+    let last = if len == 0 {
+        first
+    } else {
+        (start.raw() + len - 1) / PAGE_SIZE + 1
+    };
+    (first..last).map(PageNum::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        let a = GAddr::new(2 * PAGE_SIZE + 100);
+        assert_eq!(a.page(), PageNum::new(2));
+        assert_eq!(a.page_offset(), 100);
+        assert_eq!(a.page().base(), GAddr::new(2 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn fits_in_page_boundaries() {
+        let a = GAddr::new(PAGE_SIZE - 8);
+        assert!(a.fits_in_page(8));
+        assert!(!a.fits_in_page(9));
+    }
+
+    #[test]
+    fn alignment() {
+        let a = GAddr::new(100);
+        assert_eq!(a.align_down(64).raw(), 64);
+        assert_eq!(a.align_up(64).raw(), 128);
+        assert_eq!(GAddr::new(128).align_up(64).raw(), 128);
+    }
+
+    #[test]
+    fn chunking_matches_64k() {
+        let chunk_pages = 16; // 64 KB / 4 KB
+        assert_eq!(PageNum::new(15).chunk(chunk_pages), 0);
+        assert_eq!(PageNum::new(16).chunk(chunk_pages), 1);
+        assert_eq!(PageNum::new(17).chunk_base(chunk_pages), PageNum::new(16));
+    }
+
+    #[test]
+    fn pages_covering_ranges() {
+        let ps: Vec<_> = pages_covering(GAddr::new(PAGE_SIZE - 1), 2).collect();
+        assert_eq!(ps, vec![PageNum::new(0), PageNum::new(1)]);
+        let ps: Vec<_> = pages_covering(GAddr::new(0), 0).collect();
+        assert!(ps.is_empty());
+        let ps: Vec<_> = pages_covering(GAddr::new(0), PAGE_SIZE).collect();
+        assert_eq!(ps, vec![PageNum::new(0)]);
+    }
+}

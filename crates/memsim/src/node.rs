@@ -1,0 +1,679 @@
+//! Per-node physical memory and page tables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim::NodeId;
+
+use crate::addr::{GAddr, PageNum, PAGE_SIZE};
+use crate::scalar::Scalar;
+
+/// Access rights of a mapped page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Prot {
+    /// Mapped but inaccessible (protocol-invalidated copy).
+    None,
+    /// Readable only; a write triggers a fault.
+    Read,
+    /// Readable and writable.
+    ReadWrite,
+}
+
+/// Why an access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Read access to an unmapped or `Prot::None` page.
+    Read,
+    /// Write access to a page without write permission.
+    Write,
+}
+
+/// A simulated page fault, surfaced to the DSM protocol layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Faulting node.
+    pub node: NodeId,
+    /// Faulting page.
+    pub page: PageNum,
+    /// Kind of access that faulted.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} fault on {} at {}", self.kind, self.node, self.page)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// A physical page frame on some node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId {
+    /// Owning node.
+    pub node: NodeId,
+    /// Frame index within the node.
+    pub index: u32,
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:f{}", self.node, self.index)
+    }
+}
+
+/// Errors from memory-management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The node's physical memory is exhausted.
+    OutOfMemory {
+        /// Node that ran out.
+        node: NodeId,
+    },
+    /// A mapping request violated the OS mapping granularity.
+    Granularity {
+        /// Offending base page.
+        base: PageNum,
+        /// Pages requested.
+        pages: usize,
+        /// Required chunk size in pages.
+        chunk_pages: u64,
+    },
+    /// Operation referenced an unknown node.
+    NoSuchNode(NodeId),
+    /// Operation referenced an unmapped page.
+    Unmapped(NodeId, PageNum),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory { node } => write!(f, "out of physical memory on {node}"),
+            MemError::Granularity {
+                base,
+                pages,
+                chunk_pages,
+            } => write!(
+                f,
+                "mapping of {pages} pages at {base} violates the {chunk_pages}-page OS mapping granularity"
+            ),
+            MemError::NoSuchNode(n) => write!(f, "no such node {n}"),
+            MemError::Unmapped(n, p) => write!(f, "page {p} not mapped on {n}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Operating-system virtual-memory model parameters.
+///
+/// The defaults model WindowsNT on the paper's cluster: 4 KB pages, but
+/// virtual-to-physical *mappings* can only be established at **64 KB
+/// granularity** (16 pages) — the limitation responsible for the paper's
+/// misplaced-page results (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OsVmConfig {
+    /// Mapping granularity in pages (16 = 64 KB on NT; 1 = page-granular).
+    pub map_chunk_pages: u64,
+    /// Physical memory per node, bytes.
+    pub node_mem_bytes: u64,
+    /// Cost of establishing or changing one mapping region, ns.
+    pub map_op_ns: u64,
+    /// Cost of changing page protection, ns.
+    pub protect_ns: u64,
+    /// Cost of allocating a physical frame, ns.
+    pub frame_alloc_ns: u64,
+    /// Cost of a local memory copy, per byte, ns.
+    pub copy_per_byte_ns: f64,
+    /// Kernel page-fault entry/exit overhead, ns.
+    pub fault_overhead_ns: u64,
+}
+
+impl Default for OsVmConfig {
+    fn default() -> Self {
+        OsVmConfig {
+            map_chunk_pages: 16,
+            node_mem_bytes: 512 << 20,
+            map_op_ns: 20_000,
+            protect_ns: 4_000,
+            frame_alloc_ns: 2_000,
+            copy_per_byte_ns: 0.5,
+            fault_overhead_ns: 6_000,
+        }
+    }
+}
+
+impl OsVmConfig {
+    /// The WindowsNT model used in the paper (64 KB mapping granularity).
+    pub fn windows_nt() -> Self {
+        OsVmConfig::default()
+    }
+
+    /// A page-granular OS model (used by the ablation benches).
+    pub fn page_granular() -> Self {
+        OsVmConfig {
+            map_chunk_pages: 1,
+            ..OsVmConfig::default()
+        }
+    }
+
+    /// Mapping granularity in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.map_chunk_pages * PAGE_SIZE
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pte {
+    frame: FrameId,
+    prot: Prot,
+}
+
+struct NodeMem {
+    frames: Vec<Option<Box<[u8]>>>,
+    free_frames: Vec<u32>,
+    pinned: Vec<bool>,
+    page_table: HashMap<u64, Pte>,
+    used_bytes: u64,
+    pinned_bytes: u64,
+    faults: u64,
+}
+
+impl NodeMem {
+    fn new() -> Self {
+        NodeMem {
+            frames: Vec::new(),
+            free_frames: Vec::new(),
+            pinned: Vec::new(),
+            page_table: HashMap::new(),
+            used_bytes: 0,
+            pinned_bytes: 0,
+            faults: 0,
+        }
+    }
+}
+
+/// Per-node memory usage counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemStats {
+    /// Bytes of physical memory in use.
+    pub used_bytes: u64,
+    /// Bytes pinned (never swappable).
+    pub pinned_bytes: u64,
+    /// Page faults taken on this node.
+    pub faults: u64,
+    /// Pages currently mapped.
+    pub mapped_pages: u64,
+}
+
+/// All nodes' physical memories and page tables.
+///
+/// Every operation is an explicit method because the simulation replaces
+/// the MMU: shared accesses go through [`ClusterMem::read_scalar`] /
+/// [`ClusterMem::write_scalar`], which return a [`Fault`] exactly where
+/// hardware would have trapped.
+pub struct ClusterMem {
+    cfg: OsVmConfig,
+    nodes: Mutex<Vec<NodeMem>>,
+}
+
+impl fmt::Debug for ClusterMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterMem")
+            .field("nodes", &self.nodes.lock().len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl ClusterMem {
+    /// Creates an empty cluster memory with the given OS model.
+    pub fn new(cfg: OsVmConfig) -> Self {
+        ClusterMem {
+            cfg,
+            nodes: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The OS virtual-memory model.
+    pub fn config(&self) -> &OsVmConfig {
+        &self.cfg
+    }
+
+    /// Ensures per-node state exists for nodes `0..=node`.
+    pub fn ensure_node(&self, node: NodeId) {
+        let mut ns = self.nodes.lock();
+        while ns.len() <= node.0 as usize {
+            ns.push(NodeMem::new());
+        }
+    }
+
+    /// Usage counters for `node`.
+    pub fn stats(&self, node: NodeId) -> MemStats {
+        let ns = self.nodes.lock();
+        match ns.get(node.0 as usize) {
+            None => MemStats::default(),
+            Some(n) => MemStats {
+                used_bytes: n.used_bytes,
+                pinned_bytes: n.pinned_bytes,
+                faults: n.faults,
+                mapped_pages: n.page_table.len() as u64,
+            },
+        }
+    }
+
+    /// Allocates a zeroed physical frame on `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when the node's physical memory is full.
+    pub fn alloc_frame(&self, node: NodeId) -> Result<FrameId, MemError> {
+        let mut ns = self.nodes.lock();
+        let n = ns
+            .get_mut(node.0 as usize)
+            .ok_or(MemError::NoSuchNode(node))?;
+        if n.used_bytes + PAGE_SIZE > self.cfg.node_mem_bytes {
+            return Err(MemError::OutOfMemory { node });
+        }
+        n.used_bytes += PAGE_SIZE;
+        let index = if let Some(i) = n.free_frames.pop() {
+            n.frames[i as usize] = Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            i
+        } else {
+            n.frames
+                .push(Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice()));
+            n.pinned.push(false);
+            (n.frames.len() - 1) as u32
+        };
+        n.pinned[index as usize] = false;
+        Ok(FrameId { node, index })
+    }
+
+    /// Releases a frame back to the node's pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not allocated (double free).
+    pub fn free_frame(&self, frame: FrameId) {
+        let mut ns = self.nodes.lock();
+        let n = &mut ns[frame.node.0 as usize];
+        let slot = &mut n.frames[frame.index as usize];
+        assert!(slot.is_some(), "double free of {frame}");
+        *slot = None;
+        if n.pinned[frame.index as usize] {
+            n.pinned[frame.index as usize] = false;
+            n.pinned_bytes -= PAGE_SIZE;
+        }
+        n.used_bytes -= PAGE_SIZE;
+        n.free_frames.push(frame.index);
+    }
+
+    /// Pins a frame (it will never be swapped; required before the NIC may
+    /// target it with remote operations).
+    pub fn pin_frame(&self, frame: FrameId) {
+        let mut ns = self.nodes.lock();
+        let n = &mut ns[frame.node.0 as usize];
+        if !n.pinned[frame.index as usize] {
+            n.pinned[frame.index as usize] = true;
+            n.pinned_bytes += PAGE_SIZE;
+        }
+    }
+
+    /// Whether a frame is pinned.
+    pub fn is_pinned(&self, frame: FrameId) -> bool {
+        let ns = self.nodes.lock();
+        ns[frame.node.0 as usize].pinned[frame.index as usize]
+    }
+
+    /// Maps `page` on `node` to `frame` with protection `prot`, at page
+    /// granularity. This models the *protocol* mapping (and protection
+    /// changes), which are page-granular on every OS.
+    pub fn map_page(&self, node: NodeId, page: PageNum, frame: FrameId, prot: Prot) {
+        let mut ns = self.nodes.lock();
+        let n = &mut ns[node.0 as usize];
+        n.page_table.insert(page.index(), Pte { frame, prot });
+    }
+
+    /// Maps a whole OS chunk (e.g. 64 KB) of the application address space
+    /// in one operation, as WindowsNT requires for CableS's remapping of
+    /// home frames (`frames.len()` must equal the chunk size and `base`
+    /// must be chunk-aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Granularity`] if alignment or size is violated.
+    pub fn map_chunk(
+        &self,
+        node: NodeId,
+        base: PageNum,
+        frames: &[FrameId],
+        prot: Prot,
+    ) -> Result<(), MemError> {
+        let cp = self.cfg.map_chunk_pages;
+        if base.index() % cp != 0 || frames.len() as u64 != cp {
+            return Err(MemError::Granularity {
+                base,
+                pages: frames.len(),
+                chunk_pages: cp,
+            });
+        }
+        let mut ns = self.nodes.lock();
+        let n = &mut ns[node.0 as usize];
+        for (i, &frame) in frames.iter().enumerate() {
+            n.page_table
+                .insert(base.index() + i as u64, Pte { frame, prot });
+        }
+        Ok(())
+    }
+
+    /// Removes a mapping.
+    pub fn unmap_page(&self, node: NodeId, page: PageNum) {
+        let mut ns = self.nodes.lock();
+        ns[node.0 as usize].page_table.remove(&page.index());
+    }
+
+    /// Changes the protection of a mapped page (page-granular, like
+    /// `mprotect`/`VirtualProtect`).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Unmapped`] if the page has no mapping on `node`.
+    pub fn set_prot(&self, node: NodeId, page: PageNum, prot: Prot) -> Result<(), MemError> {
+        let mut ns = self.nodes.lock();
+        let n = &mut ns[node.0 as usize];
+        match n.page_table.get_mut(&page.index()) {
+            Some(pte) => {
+                pte.prot = prot;
+                Ok(())
+            }
+            None => Err(MemError::Unmapped(node, page)),
+        }
+    }
+
+    /// Returns `(frame, prot)` for a mapped page.
+    pub fn translate(&self, node: NodeId, page: PageNum) -> Option<(FrameId, Prot)> {
+        let ns = self.nodes.lock();
+        ns.get(node.0 as usize)?
+            .page_table
+            .get(&page.index())
+            .map(|pte| (pte.frame, pte.prot))
+    }
+
+    fn record_fault(&self, node: NodeId) {
+        let mut ns = self.nodes.lock();
+        ns[node.0 as usize].faults += 1;
+    }
+
+    /// Reads a scalar at `addr` through `node`'s page table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] if the page is unmapped or `Prot::None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value straddles a page boundary (the allocators keep
+    /// scalars naturally aligned, so this indicates a corrupted address).
+    pub fn read_scalar<T: Scalar>(&self, node: NodeId, addr: GAddr) -> Result<T, Fault> {
+        assert!(
+            addr.fits_in_page(T::SIZE as u64),
+            "scalar read at {addr} straddles a page"
+        );
+        let page = addr.page();
+        let ns = self.nodes.lock();
+        let n = &ns[node.0 as usize];
+        match n.page_table.get(&page.index()) {
+            Some(pte) if pte.prot != Prot::None => {
+                let frame = &ns[pte.frame.node.0 as usize].frames[pte.frame.index as usize];
+                let data = frame.as_ref().expect("mapped page points at freed frame");
+                let off = addr.page_offset() as usize;
+                Ok(T::load(&data[off..off + T::SIZE]))
+            }
+            _ => {
+                drop(ns);
+                self.record_fault(node);
+                Err(Fault {
+                    node,
+                    page,
+                    kind: FaultKind::Read,
+                })
+            }
+        }
+    }
+
+    /// Writes a scalar at `addr` through `node`'s page table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] if the page is unmapped or not writable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value straddles a page boundary.
+    pub fn write_scalar<T: Scalar>(&self, node: NodeId, addr: GAddr, v: T) -> Result<(), Fault> {
+        assert!(
+            addr.fits_in_page(T::SIZE as u64),
+            "scalar write at {addr} straddles a page"
+        );
+        let page = addr.page();
+        let mut ns = self.nodes.lock();
+        let pte = match ns[node.0 as usize].page_table.get(&page.index()) {
+            Some(pte) if pte.prot == Prot::ReadWrite => *pte,
+            _ => {
+                ns[node.0 as usize].faults += 1;
+                return Err(Fault {
+                    node,
+                    page,
+                    kind: FaultKind::Write,
+                });
+            }
+        };
+        let frame = ns[pte.frame.node.0 as usize].frames[pte.frame.index as usize]
+            .as_mut()
+            .expect("mapped page points at freed frame");
+        let off = addr.page_offset() as usize;
+        v.store(&mut frame[off..off + T::SIZE]);
+        Ok(())
+    }
+
+    /// Copies bytes out of a physical frame (NIC DMA read path).
+    pub fn frame_read(&self, frame: FrameId, offset: usize, out: &mut [u8]) {
+        let ns = self.nodes.lock();
+        let data = ns[frame.node.0 as usize].frames[frame.index as usize]
+            .as_ref()
+            .expect("frame_read of freed frame");
+        out.copy_from_slice(&data[offset..offset + out.len()]);
+    }
+
+    /// Copies bytes into a physical frame (NIC DMA write path).
+    pub fn frame_write(&self, frame: FrameId, offset: usize, data: &[u8]) {
+        let mut ns = self.nodes.lock();
+        let buf = ns[frame.node.0 as usize].frames[frame.index as usize]
+            .as_mut()
+            .expect("frame_write of freed frame");
+        buf[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies a whole frame `src` → `dst` (page transfer landing).
+    pub fn copy_frame(&self, src: FrameId, dst: FrameId) {
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        self.frame_read(src, 0, &mut buf);
+        self.frame_write(dst, 0, &buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> ClusterMem {
+        let m = ClusterMem::new(OsVmConfig::windows_nt());
+        m.ensure_node(NodeId(0));
+        m.ensure_node(NodeId(1));
+        m
+    }
+
+    #[test]
+    fn alloc_and_free_frames() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        assert_eq!(m.stats(NodeId(0)).used_bytes, PAGE_SIZE);
+        m.free_frame(f);
+        assert_eq!(m.stats(NodeId(0)).used_bytes, 0);
+        // Reuse of the freed slot.
+        let f2 = m.alloc_frame(NodeId(0)).unwrap();
+        assert_eq!(f2.index, f.index);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let m = ClusterMem::new(OsVmConfig {
+            node_mem_bytes: 2 * PAGE_SIZE,
+            ..OsVmConfig::default()
+        });
+        m.ensure_node(NodeId(0));
+        m.alloc_frame(NodeId(0)).unwrap();
+        m.alloc_frame(NodeId(0)).unwrap();
+        assert!(matches!(
+            m.alloc_frame(NodeId(0)),
+            Err(MemError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn pinning_accounts_bytes() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        assert!(!m.is_pinned(f));
+        m.pin_frame(f);
+        m.pin_frame(f); // idempotent
+        assert!(m.is_pinned(f));
+        assert_eq!(m.stats(NodeId(0)).pinned_bytes, PAGE_SIZE);
+        m.free_frame(f);
+        assert_eq!(m.stats(NodeId(0)).pinned_bytes, 0);
+    }
+
+    #[test]
+    fn scalar_roundtrip_through_mapping() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        let page = PageNum::new(5);
+        m.map_page(NodeId(0), page, f, Prot::ReadWrite);
+        let addr = page.base() + 64;
+        m.write_scalar(NodeId(0), addr, 0xABCD_EF01u32).unwrap();
+        assert_eq!(m.read_scalar::<u32>(NodeId(0), addr).unwrap(), 0xABCD_EF01);
+    }
+
+    #[test]
+    fn unmapped_read_faults() {
+        let m = mem();
+        let err = m
+            .read_scalar::<u32>(NodeId(0), GAddr::new(0))
+            .expect_err("should fault");
+        assert_eq!(err.kind, FaultKind::Read);
+        assert_eq!(m.stats(NodeId(0)).faults, 1);
+    }
+
+    #[test]
+    fn readonly_write_faults() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        let page = PageNum::new(0);
+        m.map_page(NodeId(0), page, f, Prot::Read);
+        assert!(m.read_scalar::<u8>(NodeId(0), page.base()).is_ok());
+        let err = m
+            .write_scalar(NodeId(0), page.base(), 1u8)
+            .expect_err("should fault");
+        assert_eq!(err.kind, FaultKind::Write);
+    }
+
+    #[test]
+    fn prot_none_read_faults() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        let page = PageNum::new(0);
+        m.map_page(NodeId(0), page, f, Prot::None);
+        assert!(m.read_scalar::<u8>(NodeId(0), page.base()).is_err());
+        m.set_prot(NodeId(0), page, Prot::Read).unwrap();
+        assert!(m.read_scalar::<u8>(NodeId(0), page.base()).is_ok());
+    }
+
+    #[test]
+    fn chunk_mapping_enforces_granularity() {
+        let m = mem();
+        let frames: Vec<FrameId> = (0..16).map(|_| m.alloc_frame(NodeId(0)).unwrap()).collect();
+        // Misaligned base.
+        assert!(matches!(
+            m.map_chunk(NodeId(0), PageNum::new(8), &frames, Prot::ReadWrite),
+            Err(MemError::Granularity { .. })
+        ));
+        // Wrong size.
+        assert!(matches!(
+            m.map_chunk(NodeId(0), PageNum::new(16), &frames[..8], Prot::ReadWrite),
+            Err(MemError::Granularity { .. })
+        ));
+        // Correct.
+        m.map_chunk(NodeId(0), PageNum::new(16), &frames, Prot::ReadWrite)
+            .unwrap();
+        assert_eq!(m.stats(NodeId(0)).mapped_pages, 16);
+    }
+
+    #[test]
+    fn page_granular_os_allows_single_pages() {
+        let m = ClusterMem::new(OsVmConfig::page_granular());
+        m.ensure_node(NodeId(0));
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        m.map_chunk(NodeId(0), PageNum::new(3), &[f], Prot::Read)
+            .unwrap();
+        assert!(m.translate(NodeId(0), PageNum::new(3)).is_some());
+    }
+
+    #[test]
+    fn remote_frame_dma() {
+        let m = mem();
+        let f0 = m.alloc_frame(NodeId(0)).unwrap();
+        let f1 = m.alloc_frame(NodeId(1)).unwrap();
+        m.frame_write(f0, 100, &[1, 2, 3, 4]);
+        m.copy_frame(f0, f1);
+        let mut buf = [0u8; 4];
+        m.frame_read(f1, 100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn double_mapping_same_frame() {
+        // CableS double virtual mapping: protocol + application views of
+        // the same home frame.
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        m.map_page(NodeId(0), PageNum::new(10), f, Prot::ReadWrite);
+        m.map_page(NodeId(0), PageNum::new(999), f, Prot::ReadWrite);
+        m.write_scalar(NodeId(0), PageNum::new(10).base(), 42u64)
+            .unwrap();
+        assert_eq!(
+            m.read_scalar::<u64>(NodeId(0), PageNum::new(999).base())
+                .unwrap(),
+            42
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "straddles a page")]
+    fn straddling_scalar_panics() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        m.map_page(NodeId(0), PageNum::new(0), f, Prot::ReadWrite);
+        let _ = m.read_scalar::<u64>(NodeId(0), GAddr::new(PAGE_SIZE - 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        m.free_frame(f);
+        m.free_frame(f);
+    }
+}

@@ -1,0 +1,140 @@
+//! Model-based property tests: the page table behaves like a simple map
+//! with protections, and the frame allocator like a counted pool.
+
+use cables_memsim::{ClusterMem, FrameId, OsVmConfig, PageNum, Prot, PAGE_SIZE};
+use proptest::prelude::*;
+use sim::NodeId;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc,
+    Free(u8),
+    Map { page: u8, frame: u8, prot: u8 },
+    Unmap(u8),
+    SetProt { page: u8, prot: u8 },
+    Write { page: u8, val: u64 },
+    Read(u8),
+    Pin(u8),
+}
+
+fn prot_of(code: u8) -> Prot {
+    match code % 3 {
+        0 => Prot::None,
+        1 => Prot::Read,
+        _ => Prot::ReadWrite,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Alloc),
+        any::<u8>().prop_map(Op::Free),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(page, frame, prot)| Op::Map {
+            page,
+            frame,
+            prot
+        }),
+        any::<u8>().prop_map(Op::Unmap),
+        (any::<u8>(), any::<u8>()).prop_map(|(page, prot)| Op::SetProt { page, prot }),
+        (any::<u8>(), any::<u64>()).prop_map(|(page, val)| Op::Write { page, val }),
+        any::<u8>().prop_map(Op::Read),
+        any::<u8>().prop_map(Op::Pin),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_table_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let node = NodeId(0);
+        let mem = ClusterMem::new(OsVmConfig::page_granular());
+        mem.ensure_node(node);
+
+        let mut frames: Vec<FrameId> = Vec::new();
+        let mut freed: Vec<bool> = Vec::new();
+        let mut live = 0u64;
+        // Model: page -> (frame idx in `frames`, prot); frame -> value.
+        let mut table: HashMap<u64, (usize, Prot)> = HashMap::new();
+        let mut values: HashMap<usize, u64> = HashMap::new();
+        let mut pinned = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Alloc => {
+                    let f = mem.alloc_frame(node).unwrap();
+                    frames.push(f);
+                    freed.push(false);
+                    live += 1;
+                }
+                Op::Free(i) => {
+                    if frames.is_empty() { continue; }
+                    let i = i as usize % frames.len();
+                    if freed[i] { continue; }
+                    // Only free unmapped frames (the protocol's contract).
+                    if table.values().any(|(fi, _)| *fi == i) { continue; }
+                    if mem.is_pinned(frames[i]) { pinned -= 1; }
+                    mem.free_frame(frames[i]);
+                    freed[i] = true;
+                    live -= 1;
+                    values.remove(&i);
+                }
+                Op::Map { page, frame, prot } => {
+                    if frames.is_empty() { continue; }
+                    let fi = frame as usize % frames.len();
+                    if freed[fi] { continue; }
+                    let p = PageNum::new(page as u64);
+                    let pr = prot_of(prot);
+                    mem.map_page(node, p, frames[fi], pr);
+                    table.insert(page as u64, (fi, pr));
+                }
+                Op::Unmap(page) => {
+                    mem.unmap_page(node, PageNum::new(page as u64));
+                    table.remove(&(page as u64));
+                }
+                Op::SetProt { page, prot } => {
+                    let pr = prot_of(prot);
+                    let res = mem.set_prot(node, PageNum::new(page as u64), pr);
+                    match table.get_mut(&(page as u64)) {
+                        Some(e) => { prop_assert!(res.is_ok()); e.1 = pr; }
+                        None => prop_assert!(res.is_err()),
+                    }
+                }
+                Op::Write { page, val } => {
+                    let addr = PageNum::new(page as u64).base() + 16;
+                    let res = mem.write_scalar::<u64>(node, addr, val);
+                    match table.get(&(page as u64)) {
+                        Some((fi, Prot::ReadWrite)) => {
+                            prop_assert!(res.is_ok());
+                            values.insert(*fi, val);
+                        }
+                        _ => prop_assert!(res.is_err()),
+                    }
+                }
+                Op::Read(page) => {
+                    let addr = PageNum::new(page as u64).base() + 16;
+                    let res = mem.read_scalar::<u64>(node, addr);
+                    match table.get(&(page as u64)) {
+                        Some((fi, p)) if *p != Prot::None => {
+                            let want = values.get(fi).copied().unwrap_or(0);
+                            prop_assert_eq!(res.unwrap(), want, "page {}", page);
+                        }
+                        _ => prop_assert!(res.is_err()),
+                    }
+                }
+                Op::Pin(i) => {
+                    if frames.is_empty() { continue; }
+                    let i = i as usize % frames.len();
+                    if freed[i] { continue; }
+                    if !mem.is_pinned(frames[i]) { pinned += 1; }
+                    mem.pin_frame(frames[i]);
+                }
+            }
+            let st = mem.stats(node);
+            prop_assert_eq!(st.used_bytes, live * PAGE_SIZE);
+            prop_assert_eq!(st.pinned_bytes, pinned * PAGE_SIZE);
+            prop_assert_eq!(st.mapped_pages, table.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! # cables-san — SAN cost model
+//!
+//! Models the timing of a Myrinet-class system area network as used by the
+//! CableS paper's cluster (Table 3 of the paper):
+//!
+//! | VMMC operation                | cost      |
+//! |-------------------------------|-----------|
+//! | 1-word send (one-way)         | 7.8 µs    |
+//! | 1-word fetch (round trip)     | 22 µs     |
+//! | 4 KByte send (one-way)        | 52 µs     |
+//! | 4 KByte fetch (round trip)    | 81 µs     |
+//! | max ping-pong bandwidth       | 125 MB/s  |
+//! | max fetch bandwidth           | 125 MB/s  |
+//! | notification                  | 18 µs     |
+//!
+//! The model is linear in message size with a fixed base, plus per-NIC
+//! transmit/receive serialization so that back-to-back transfers are
+//! bandwidth-limited (contention). The defaults are calibrated so a
+//! microbenchmark over the model reproduces the table.
+//!
+//! This crate is pure cost arithmetic plus per-NIC occupancy state; actual
+//! data movement and registration limits live in [`cables-vmmc`].
+//!
+//! [`cables-vmmc`]: ../cables_vmmc/index.html
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim::{NodeId, SimTime};
+use std::fmt;
+
+/// Timing parameters of the SAN. Defaults reproduce the paper's Table 3.
+///
+/// # Examples
+///
+/// ```
+/// use cables_san::SanConfig;
+/// let cfg = SanConfig::default();
+/// assert_eq!(cfg.send_latency_ns(4), 7_800);          // 7.8us
+/// assert!((cfg.send_latency_ns(4096) as i64 - 52_000).abs() < 300);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SanConfig {
+    /// One-way latency of a minimum-size (1 machine word) send, ns.
+    pub send_base_ns: u64,
+    /// Additional one-way send latency per byte beyond one word, ns.
+    pub send_per_byte_ns: f64,
+    /// Round-trip latency of a minimum-size fetch, ns.
+    pub fetch_base_ns: u64,
+    /// Additional fetch round-trip latency per byte beyond one word, ns.
+    pub fetch_per_byte_ns: f64,
+    /// Cost of a notification (small send + remote handler dispatch), ns.
+    pub notification_ns: u64,
+    /// NIC occupancy per transferred byte (pipelined/streaming), ns.
+    /// 8 ns/byte = 125 MBytes/s.
+    pub occupancy_per_byte_ns: f64,
+    /// Fixed NIC occupancy per message, ns.
+    pub occupancy_base_ns: u64,
+    /// Machine word size in bytes.
+    pub word_bytes: u64,
+}
+
+impl Default for SanConfig {
+    fn default() -> Self {
+        // send: 7.8us + (52 - 7.8)us / (4096 - 4)B = 10.8 ns/B
+        // fetch: 22us + (81 - 22)us / (4096 - 4)B = 14.42 ns/B
+        SanConfig {
+            send_base_ns: 7_800,
+            send_per_byte_ns: 10.8,
+            fetch_base_ns: 22_000,
+            fetch_per_byte_ns: 14.42,
+            notification_ns: 18_000,
+            occupancy_per_byte_ns: 8.0,
+            occupancy_base_ns: 200,
+            word_bytes: 4,
+        }
+    }
+}
+
+impl SanConfig {
+    /// The configuration used throughout the paper's evaluation (Table 3).
+    pub fn paper() -> Self {
+        SanConfig::default()
+    }
+
+    /// One-way latency of a `bytes`-long send, ns.
+    pub fn send_latency_ns(&self, bytes: u64) -> u64 {
+        let extra = bytes.saturating_sub(self.word_bytes) as f64 * self.send_per_byte_ns;
+        self.send_base_ns + extra as u64
+    }
+
+    /// Round-trip latency of a `bytes`-long fetch, ns.
+    pub fn fetch_latency_ns(&self, bytes: u64) -> u64 {
+        let extra = bytes.saturating_sub(self.word_bytes) as f64 * self.fetch_per_byte_ns;
+        self.fetch_base_ns + extra as u64
+    }
+
+    /// NIC occupancy of a `bytes`-long transfer, ns.
+    pub fn occupancy_ns(&self, bytes: u64) -> u64 {
+        self.occupancy_base_ns + (bytes as f64 * self.occupancy_per_byte_ns) as u64
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Nic {
+    tx_free_at: SimTime,
+    rx_free_at: SimTime,
+}
+
+/// Cumulative traffic counters for one direction of a node's NIC.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages sent (sends, fetch requests, notifications).
+    pub messages_out: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+    /// Messages received.
+    pub messages_in: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+}
+
+/// The network: per-node NIC occupancy plus the cost model.
+///
+/// All methods take the caller's current virtual time and return the virtual
+/// time at which the operation completes; NIC occupancy state is updated so
+/// concurrent transfers contend for link bandwidth.
+pub struct San {
+    cfg: SanConfig,
+    state: Mutex<Vec<NicEntry>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NicEntry {
+    nic: Nic,
+    traffic: TrafficStats,
+}
+
+impl fmt::Debug for San {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("San")
+            .field("nodes", &self.state.lock().len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl San {
+    /// Creates a network with the given timing model and no nodes.
+    pub fn new(cfg: SanConfig) -> Self {
+        San {
+            cfg,
+            state: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &SanConfig {
+        &self.cfg
+    }
+
+    /// Ensures NIC state exists for nodes `0..=node`.
+    pub fn ensure_node(&self, node: NodeId) {
+        let mut s = self.state.lock();
+        while s.len() <= node.0 as usize {
+            s.push(NicEntry::default());
+        }
+    }
+
+    /// Traffic counters for `node`.
+    pub fn traffic(&self, node: NodeId) -> TrafficStats {
+        let s = self.state.lock();
+        s.get(node.0 as usize).map(|e| e.traffic).unwrap_or_default()
+    }
+
+    /// A one-way data send of `bytes` from `from` to `to`, issued at `now`.
+    ///
+    /// Returns `(local_done, arrival)`: the sender's CPU is free at
+    /// `local_done` (after handing the message to the NIC) while the data
+    /// lands in remote memory at `arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`; local transfers never touch the SAN.
+    pub fn send(&self, from: NodeId, to: NodeId, bytes: u64, now: SimTime) -> SendTiming {
+        assert_ne!(from, to, "SAN send to self");
+        let mut s = self.state.lock();
+        let need = from.0.max(to.0) as usize;
+        while s.len() <= need {
+            s.push(NicEntry::default());
+        }
+        let occ = self.cfg.occupancy_ns(bytes);
+        let tx_start = now.max(s[from.0 as usize].nic.tx_free_at);
+        s[from.0 as usize].nic.tx_free_at = tx_start + occ;
+        let lat_arrival = tx_start + self.cfg.send_latency_ns(bytes);
+        // Receive-side serialization: a stream of messages cannot land
+        // faster than the wire delivers them.
+        let rx_ready = s[to.0 as usize].nic.rx_free_at + occ;
+        let arrival = lat_arrival.max(rx_ready);
+        s[to.0 as usize].nic.rx_free_at = arrival;
+        s[from.0 as usize].traffic.messages_out += 1;
+        s[from.0 as usize].traffic.bytes_out += bytes;
+        s[to.0 as usize].traffic.messages_in += 1;
+        s[to.0 as usize].traffic.bytes_in += bytes;
+        SendTiming {
+            local_done: tx_start + occ,
+            arrival,
+        }
+    }
+
+    /// A synchronous fetch (direct remote read) of `bytes` from `to`'s
+    /// memory into `from`'s, issued at `now`. Returns completion time at
+    /// the requester.
+    pub fn fetch(&self, from: NodeId, to: NodeId, bytes: u64, now: SimTime) -> SimTime {
+        assert_ne!(from, to, "SAN fetch from self");
+        let mut s = self.state.lock();
+        let need = from.0.max(to.0) as usize;
+        while s.len() <= need {
+            s.push(NicEntry::default());
+        }
+        let req_occ = self.cfg.occupancy_ns(self.cfg.word_bytes);
+        let tx_start = now.max(s[from.0 as usize].nic.tx_free_at);
+        s[from.0 as usize].nic.tx_free_at = tx_start + req_occ;
+        // The remote NIC serves the data without CPU intervention but its
+        // transmit path serializes with other outgoing traffic.
+        let data_occ = self.cfg.occupancy_ns(bytes);
+        let remote_serve_start = (tx_start + self.cfg.send_base_ns)
+            .max(s[to.0 as usize].nic.tx_free_at);
+        s[to.0 as usize].nic.tx_free_at = remote_serve_start + data_occ;
+        let latency_done = tx_start + self.cfg.fetch_latency_ns(bytes);
+        let contended_done = remote_serve_start + data_occ;
+        let done = latency_done.max(contended_done);
+        s[from.0 as usize].traffic.messages_out += 1;
+        s[from.0 as usize].traffic.bytes_out += self.cfg.word_bytes;
+        s[to.0 as usize].traffic.messages_out += 1;
+        s[to.0 as usize].traffic.bytes_out += bytes;
+        s[from.0 as usize].traffic.messages_in += 1;
+        s[from.0 as usize].traffic.bytes_in += bytes;
+        done
+    }
+
+    /// A notification (small message that dispatches a remote handler).
+    /// Returns `(local_done, handler_start)` at the destination.
+    pub fn notify(&self, from: NodeId, to: NodeId, now: SimTime) -> SendTiming {
+        assert_ne!(from, to, "SAN notify to self");
+        let mut s = self.state.lock();
+        let need = from.0.max(to.0) as usize;
+        while s.len() <= need {
+            s.push(NicEntry::default());
+        }
+        let occ = self.cfg.occupancy_ns(self.cfg.word_bytes);
+        let tx_start = now.max(s[from.0 as usize].nic.tx_free_at);
+        s[from.0 as usize].nic.tx_free_at = tx_start + occ;
+        let arrival = tx_start + self.cfg.notification_ns;
+        s[from.0 as usize].traffic.messages_out += 1;
+        s[from.0 as usize].traffic.bytes_out += self.cfg.word_bytes;
+        s[to.0 as usize].traffic.messages_in += 1;
+        s[to.0 as usize].traffic.bytes_in += self.cfg.word_bytes;
+        SendTiming {
+            local_done: tx_start + occ,
+            arrival,
+        }
+    }
+}
+
+/// Timing of an asynchronous SAN operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendTiming {
+    /// When the issuing CPU is free again (message handed to the NIC).
+    pub local_done: SimTime,
+    /// When the payload is visible at the destination.
+    pub arrival: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn table3_one_word_send() {
+        let cfg = SanConfig::paper();
+        assert_eq!(cfg.send_latency_ns(4), 7_800);
+    }
+
+    #[test]
+    fn table3_one_word_fetch() {
+        let cfg = SanConfig::paper();
+        assert_eq!(cfg.fetch_latency_ns(4), 22_000);
+    }
+
+    #[test]
+    fn table3_4k_send_close_to_52us() {
+        let cfg = SanConfig::paper();
+        let lat = cfg.send_latency_ns(4096) as i64;
+        assert!((lat - 52_000).abs() < 500, "got {lat}");
+    }
+
+    #[test]
+    fn table3_4k_fetch_close_to_81us() {
+        let cfg = SanConfig::paper();
+        let lat = cfg.fetch_latency_ns(4096) as i64;
+        assert!((lat - 81_000).abs() < 500, "got {lat}");
+    }
+
+    #[test]
+    fn table3_streaming_bandwidth_near_125mbs() {
+        // Steady-state: one 4KB message per occupancy slot.
+        let cfg = SanConfig::paper();
+        let occ = cfg.occupancy_ns(4096) as f64; // ns per message
+        let mbs = 4096.0 / occ * 1_000.0; // bytes/ns -> MB/s
+        assert!((118.0..127.0).contains(&mbs), "bandwidth {mbs} MB/s");
+    }
+
+    #[test]
+    fn send_returns_monotone_times() {
+        let san = San::new(SanConfig::paper());
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let s = san.send(a, b, 4096, t(0));
+        assert!(s.local_done < s.arrival);
+        assert_eq!(s.arrival.as_nanos(), SanConfig::paper().send_latency_ns(4096));
+    }
+
+    #[test]
+    fn back_to_back_sends_are_bandwidth_limited() {
+        let san = San::new(SanConfig::paper());
+        let cfg = SanConfig::paper();
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let n = 100u64;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = san.send(a, b, 4096, SimTime::ZERO).arrival;
+        }
+        let per_msg = last.as_nanos() as f64 / n as f64;
+        // Must approach the occupancy, not n * full latency.
+        assert!(per_msg < cfg.send_latency_ns(4096) as f64);
+        assert!((per_msg - cfg.occupancy_ns(4096) as f64).abs() < 2_000.0);
+    }
+
+    #[test]
+    fn fetch_completes_after_rtt() {
+        let san = San::new(SanConfig::paper());
+        let done = san.fetch(NodeId(0), NodeId(1), 4096, t(0));
+        assert!(done.as_nanos() >= SanConfig::paper().fetch_latency_ns(4096));
+    }
+
+    #[test]
+    fn fetch_contends_on_remote_tx() {
+        let san = San::new(SanConfig::paper());
+        // Saturate node 1's transmit path.
+        for _ in 0..50 {
+            san.send(NodeId(1), NodeId(2), 4096, t(0));
+        }
+        let uncontended = San::new(SanConfig::paper()).fetch(NodeId(0), NodeId(1), 4096, t(0));
+        let contended = san.fetch(NodeId(0), NodeId(1), 4096, t(0));
+        assert!(contended > uncontended);
+    }
+
+    #[test]
+    fn notify_costs_18us() {
+        let san = San::new(SanConfig::paper());
+        let s = san.notify(NodeId(0), NodeId(1), t(0));
+        assert_eq!(s.arrival.as_nanos(), 18_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "SAN send to self")]
+    fn send_to_self_panics() {
+        San::new(SanConfig::paper()).send(NodeId(0), NodeId(0), 8, t(0));
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let san = San::new(SanConfig::paper());
+        san.send(NodeId(0), NodeId(1), 100, t(0));
+        san.send(NodeId(0), NodeId(1), 100, t(0));
+        let out = san.traffic(NodeId(0));
+        let inn = san.traffic(NodeId(1));
+        assert_eq!(out.messages_out, 2);
+        assert_eq!(out.bytes_out, 200);
+        assert_eq!(inn.messages_in, 2);
+        assert_eq!(inn.bytes_in, 200);
+    }
+
+    #[test]
+    fn later_issue_time_is_respected() {
+        let san = San::new(SanConfig::paper());
+        let s = san.send(NodeId(0), NodeId(1), 8, t(1_000_000));
+        assert!(s.arrival.as_nanos() >= 1_000_000 + 7_800);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests of the SAN cost model: causality, monotonicity and
+//! bandwidth bounds hold for arbitrary traffic.
+
+use cables_san::{San, SanConfig};
+use proptest::prelude::*;
+use sim::{NodeId, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arrivals_never_precede_issue_plus_latency(
+        msgs in prop::collection::vec((0u32..4, 0u32..4, 1u64..16_384, 0u64..1_000_000), 1..50)
+    ) {
+        let san = San::new(SanConfig::paper());
+        let cfg = SanConfig::paper();
+        for (from, to, bytes, at) in msgs {
+            if from == to { continue; }
+            let t = san.send(NodeId(from), NodeId(to), bytes, SimTime::from_nanos(at));
+            prop_assert!(t.arrival.as_nanos() >= at + cfg.send_latency_ns(bytes));
+            prop_assert!(t.local_done.as_nanos() >= at);
+            prop_assert!(t.local_done <= t.arrival);
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_size(a in 4u64..100_000, b in 4u64..100_000) {
+        let cfg = SanConfig::paper();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(cfg.send_latency_ns(lo) <= cfg.send_latency_ns(hi));
+        prop_assert!(cfg.fetch_latency_ns(lo) <= cfg.fetch_latency_ns(hi));
+        prop_assert!(cfg.occupancy_ns(lo) <= cfg.occupancy_ns(hi));
+    }
+
+    #[test]
+    fn streaming_respects_the_bandwidth_bound(
+        n in 2u64..100,
+        bytes in 64u64..8_192,
+    ) {
+        let san = San::new(SanConfig::paper());
+        let cfg = SanConfig::paper();
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = san.send(NodeId(0), NodeId(1), bytes, SimTime::ZERO).arrival;
+        }
+        // n messages cannot land faster than the occupancy allows.
+        let min_ns = (n - 1) * cfg.occupancy_ns(bytes) + cfg.send_latency_ns(bytes);
+        prop_assert!(last.as_nanos() >= min_ns);
+    }
+
+    #[test]
+    fn traffic_counters_are_exact(
+        msgs in prop::collection::vec((1u64..4_096,), 1..30)
+    ) {
+        let san = San::new(SanConfig::paper());
+        let mut total = 0u64;
+        for (bytes,) in &msgs {
+            san.send(NodeId(0), NodeId(1), *bytes, SimTime::ZERO);
+            total += bytes;
+        }
+        prop_assert_eq!(san.traffic(NodeId(0)).bytes_out, total);
+        prop_assert_eq!(san.traffic(NodeId(1)).bytes_in, total);
+        prop_assert_eq!(san.traffic(NodeId(0)).messages_out, msgs.len() as u64);
+    }
+}

@@ -1,0 +1,1151 @@
+//! Deterministic discrete-event execution engine.
+//!
+//! The CableS reproduction runs real Rust code (the SPLASH-2 kernels, the
+//! pthreads demo programs) on a *simulated* cluster. Each simulated thread
+//! executes on a dedicated OS thread, but the engine serializes execution:
+//! at any instant exactly one simulated thread is unparked, and scheduling
+//! points always pick the runnable thread with the smallest virtual clock
+//! (ties broken by thread id). This is direct-execution simulation in the
+//! style of the Wisconsin Wind Tunnel: compute advances a thread's private
+//! virtual clock, and *operations* on shared simulation state (protocol
+//! actions, messages, synchronization) are executed in global timestamp
+//! order via [`Sim::sync_point`].
+//!
+//! Determinism argument: execution is a pure function of the program and the
+//! scheduling policy. The policy is min-`(clock, tid)`; clocks are derived
+//! only from deterministic cost charges. Blocked threads are woken at
+//! explicit virtual times by running threads, and a woken thread never
+//! resumes with a clock earlier than the waker's clock at the wake, so
+//! operations execute in nondecreasing timestamp order.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::SimTime;
+
+/// Identifier of a simulated cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u64);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Error returned by [`Engine::run`] when the simulation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A simulated thread panicked; carries the panic message.
+    Panicked(String),
+    /// All live threads were blocked with nothing runnable.
+    Deadlock(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Panicked(m) => write!(f, "simulated thread panicked: {m}"),
+            SimError::Deadlock(m) => write!(f, "simulation deadlock: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    Running,
+    Blocked,
+    Exited,
+}
+
+/// Per-thread parking cell. `chosen` is the hand-off token.
+struct WaitCell {
+    chosen: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WaitCell {
+    fn new() -> Arc<Self> {
+        Arc::new(WaitCell {
+            chosen: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn signal(&self) {
+        let mut g = self.chosen.lock();
+        *g = true;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) {
+        let mut g = self.chosen.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+        *g = false;
+    }
+}
+
+struct ThreadRec {
+    clock: SimTime,
+    node: NodeId,
+    cpu: usize,
+    state: ThreadState,
+    cell: Arc<WaitCell>,
+    exit_waiters: Vec<Tid>,
+    /// A wake that arrived while the thread was not blocked; consumed by
+    /// the next [`Sim::block`] (wake-token semantics).
+    pending_wake: Option<SimTime>,
+    /// Generation counter invalidating stale sleeper-heap entries.
+    sleep_gen: u64,
+    /// Set when the last timed block expired instead of being woken.
+    timed_out: bool,
+    name: String,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CpuRec {
+    free_at: SimTime,
+}
+
+struct NodeRec {
+    cpus: Vec<CpuRec>,
+    next_cpu: usize,
+}
+
+/// Aggregate engine counters, exposed for debugging and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of thread-to-thread hand-offs performed.
+    pub context_switches: u64,
+    /// Number of simulated threads ever spawned.
+    pub threads_spawned: u64,
+}
+
+struct Kernel {
+    threads: Vec<ThreadRec>,
+    ready: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Sleeping (timed-blocked) threads: (deadline ns, tid, sleep_gen).
+    sleepers: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    running: Option<Tid>,
+    live: usize,
+    nodes: Vec<NodeRec>,
+    poisoned: Option<SimError>,
+    final_time: SimTime,
+    stats: EngineStats,
+    fresh: u64,
+}
+
+impl Kernel {
+    fn rec(&self, tid: Tid) -> &ThreadRec {
+        &self.threads[tid.0 as usize]
+    }
+
+    fn rec_mut(&mut self, tid: Tid) -> &mut ThreadRec {
+        &mut self.threads[tid.0 as usize]
+    }
+
+    fn push_ready(&mut self, tid: Tid) {
+        let clock = self.rec(tid).clock;
+        self.rec_mut(tid).state = ThreadState::Ready;
+        self.ready.push(Reverse((clock.as_nanos(), tid.0)));
+    }
+
+    /// Drops invalidated entries and returns the earliest valid sleeper
+    /// deadline without popping it.
+    fn peek_sleeper(&mut self) -> Option<u64> {
+        while let Some(&Reverse((deadline, tid_raw, gen))) = self.sleepers.peek() {
+            let tid = Tid(tid_raw);
+            let rec = self.rec(tid);
+            if rec.state != ThreadState::Blocked || rec.sleep_gen != gen {
+                self.sleepers.pop();
+                continue;
+            }
+            return Some(deadline);
+        }
+        None
+    }
+
+    /// Drops invalidated ready entries and returns the minimum ready key.
+    fn peek_ready(&mut self) -> Option<(u64, u64)> {
+        while let Some(&Reverse(top)) = self.ready.peek() {
+            if self.rec(Tid(top.1)).state != ThreadState::Ready {
+                self.ready.pop();
+                continue;
+            }
+            return Some(top);
+        }
+        None
+    }
+
+    /// Fires the earliest sleeper as a timeout: it becomes ready at its
+    /// deadline with `timed_out` set.
+    fn fire_sleeper(&mut self) {
+        let Some(&Reverse((deadline, tid_raw, _))) = self.sleepers.peek() else {
+            return;
+        };
+        self.sleepers.pop();
+        let tid = Tid(tid_raw);
+        let c = self.rec(tid).clock.max(SimTime::from_nanos(deadline));
+        let rec = self.rec_mut(tid);
+        rec.clock = c;
+        rec.timed_out = true;
+        rec.sleep_gen += 1;
+        self.push_ready(tid);
+    }
+
+    /// Hands the baton to the minimum-clock ready thread, waking timed
+    /// sleepers whose deadlines come first.
+    fn schedule_next(&mut self) {
+        debug_assert!(self.running.is_none());
+        loop {
+            let sleeper = self.peek_sleeper();
+            let ready = self.peek_ready();
+            match (ready, sleeper) {
+                (Some((rt, _)), Some(st)) if st < rt => {
+                    self.fire_sleeper();
+                    continue;
+                }
+                (None, Some(_)) => {
+                    self.fire_sleeper();
+                    continue;
+                }
+                (Some(_), _) => {
+                    let Some(&Reverse((_, tid_raw))) = self.ready.peek() else {
+                        unreachable!("peek_ready validated an entry");
+                    };
+                    let tid = Tid(tid_raw);
+                    self.ready.pop();
+                    self.rec_mut(tid).state = ThreadState::Running;
+                    self.running = Some(tid);
+                    self.stats.context_switches += 1;
+                    self.rec(tid).cell.signal();
+                    return;
+                }
+                (None, None) => break,
+            }
+        }
+        if self.live > 0 && self.poisoned.is_none() {
+            let blocked: Vec<String> = self
+                .threads
+                .iter()
+                .filter(|t| t.state == ThreadState::Blocked)
+                .map(|t| t.name.clone())
+                .collect();
+            self.poison(SimError::Deadlock(format!(
+                "{} threads blocked with nothing runnable: {:?}",
+                self.live, blocked
+            )));
+        }
+    }
+
+    /// Marks the simulation failed and unparks every parked thread so its
+    /// OS thread can unwind and exit.
+    fn poison(&mut self, err: SimError) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(err);
+        }
+        for t in &self.threads {
+            if matches!(t.state, ThreadState::Ready | ThreadState::Blocked) {
+                t.cell.signal();
+            }
+        }
+    }
+}
+
+struct EngineInner {
+    kernel: Mutex<Kernel>,
+    done: Condvar,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A deterministic discrete-event engine for a simulated cluster.
+///
+/// Cloning the handle is cheap; all clones refer to the same simulation.
+///
+/// # Examples
+///
+/// ```
+/// use cables_sim::{Engine, SimTime};
+/// let engine = Engine::new();
+/// let n0 = engine.add_node(2);
+/// let end = engine
+///     .run(n0, |sim| {
+///         sim.advance(1_000); // 1us of compute
+///     })
+///     .unwrap();
+/// assert_eq!(end, SimTime::from_micros(1));
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = self.inner.kernel.lock();
+        f.debug_struct("Engine")
+            .field("threads", &k.threads.len())
+            .field("live", &k.live)
+            .field("nodes", &k.nodes.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with no nodes; add nodes with [`Engine::add_node`].
+    pub fn new() -> Self {
+        Engine {
+            inner: Arc::new(EngineInner {
+                kernel: Mutex::new(Kernel {
+                    threads: Vec::new(),
+                    ready: BinaryHeap::new(),
+                    sleepers: BinaryHeap::new(),
+                    running: None,
+                    live: 0,
+                    nodes: Vec::new(),
+                    poisoned: None,
+                    final_time: SimTime::ZERO,
+                    stats: EngineStats::default(),
+                    fresh: 0,
+                }),
+                done: Condvar::new(),
+                handles: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Adds a node with `cpus` processors and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus == 0`.
+    pub fn add_node(&self, cpus: usize) -> NodeId {
+        assert!(cpus > 0, "a node needs at least one processor");
+        let mut k = self.inner.kernel.lock();
+        let id = NodeId(k.nodes.len() as u32);
+        k.nodes.push(NodeRec {
+            cpus: vec![CpuRec::default(); cpus],
+            next_cpu: 0,
+        });
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.inner.kernel.lock().nodes.len()
+    }
+
+    /// Number of processors on `node`.
+    pub fn cpu_count(&self, node: NodeId) -> usize {
+        self.inner.kernel.lock().nodes[node.0 as usize].cpus.len()
+    }
+
+    /// Engine counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.kernel.lock().stats
+    }
+
+    /// Runs `root` as the first simulated thread on `node` and blocks the
+    /// calling OS thread until every simulated thread has exited.
+    ///
+    /// Returns the final virtual time (the latest thread exit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Panicked`] if any simulated thread panicked and
+    /// [`SimError::Deadlock`] if all live threads blocked forever.
+    pub fn run<F>(&self, node: NodeId, root: F) -> Result<SimTime, SimError>
+    where
+        F: FnOnce(&Sim) + Send + 'static,
+    {
+        self.spawn_thread(node, SimTime::ZERO, "root".to_string(), Box::new(root));
+        {
+            let mut k = self.inner.kernel.lock();
+            if k.running.is_none() {
+                k.schedule_next();
+            }
+            while k.live > 0 && k.poisoned.is_none() {
+                self.inner.done.wait(&mut k);
+            }
+        }
+        // Join all OS threads so no stragglers outlive the run.
+        let handles: Vec<_> = std::mem::take(&mut *self.inner.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        let k = self.inner.kernel.lock();
+        match &k.poisoned {
+            Some(e) => Err(e.clone()),
+            None => Ok(k.final_time),
+        }
+    }
+
+    fn spawn_thread(
+        &self,
+        node: NodeId,
+        start: SimTime,
+        name: String,
+        f: Box<dyn FnOnce(&Sim) + Send + 'static>,
+    ) -> Tid {
+        let inner = Arc::clone(&self.inner);
+        let tid;
+        let cell;
+        {
+            let mut k = self.inner.kernel.lock();
+            assert!(
+                (node.0 as usize) < k.nodes.len(),
+                "spawn on unknown node {node}"
+            );
+            tid = Tid(k.threads.len() as u64);
+            cell = WaitCell::new();
+            let cpu = {
+                let n = &mut k.nodes[node.0 as usize];
+                let c = n.next_cpu;
+                n.next_cpu = (n.next_cpu + 1) % n.cpus.len();
+                c
+            };
+            k.threads.push(ThreadRec {
+                clock: start,
+                node,
+                cpu,
+                state: ThreadState::Ready,
+                cell: Arc::clone(&cell),
+                exit_waiters: Vec::new(),
+                pending_wake: None,
+                sleep_gen: 0,
+                timed_out: false,
+                name: name.clone(),
+            });
+            k.live += 1;
+            k.stats.threads_spawned += 1;
+            k.push_ready(tid);
+        }
+        let engine = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                cell.wait();
+                {
+                    let k = inner.kernel.lock();
+                    if k.poisoned.is_some() {
+                        drop(k);
+                        engine.thread_exit(tid, None);
+                        return;
+                    }
+                }
+                let sim = Sim {
+                    engine: engine.clone(),
+                    tid,
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| f(&sim)));
+                let panic_msg = result.err().and_then(|p| {
+                    if p.downcast_ref::<PoisonUnwind>().is_some() {
+                        // Cascade from an already-recorded failure.
+                        return None;
+                    }
+                    Some(
+                        p.downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string()),
+                    )
+                });
+                engine.thread_exit(tid, panic_msg);
+            })
+            .expect("failed to spawn OS thread for simulated thread");
+        self.inner.handles.lock().push(handle);
+        tid
+    }
+
+    fn thread_exit(&self, tid: Tid, panic_msg: Option<String>) {
+        let mut k = self.inner.kernel.lock();
+        let clock = k.rec(tid).clock;
+        k.rec_mut(tid).state = ThreadState::Exited;
+        k.final_time = k.final_time.max(clock);
+        k.live -= 1;
+        if k.running == Some(tid) {
+            k.running = None;
+        }
+        let waiters = std::mem::take(&mut k.rec_mut(tid).exit_waiters);
+        for w in waiters {
+            if k.rec(w).state == ThreadState::Blocked {
+                let wc = k.rec(w).clock.max(clock);
+                k.rec_mut(w).clock = wc;
+                k.push_ready(w);
+            }
+        }
+        if let Some(msg) = panic_msg {
+            // Suppress cascade panics from poisoning so the first cause wins.
+            let already = k.poisoned.is_some();
+            if !already {
+                k.poison(SimError::Panicked(msg));
+            }
+        }
+        if k.running.is_none() {
+            k.schedule_next();
+        }
+        if k.live == 0 || k.poisoned.is_some() {
+            self.inner.done.notify_all();
+        }
+    }
+}
+
+/// Marker payload used to unwind threads of a poisoned simulation
+/// without triggering the panic hook.
+struct PoisonUnwind;
+
+/// Per-thread handle to the simulation, passed to every simulated thread.
+///
+/// All methods must be called from the simulated thread that owns the
+/// handle.
+pub struct Sim {
+    engine: Engine,
+    tid: Tid,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim").field("tid", &self.tid).finish()
+    }
+}
+
+impl Sim {
+    /// This thread's id.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The node this thread runs on.
+    pub fn node(&self) -> NodeId {
+        self.engine.inner.kernel.lock().rec(self.tid).node
+    }
+
+    /// The engine driving this simulation.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Current virtual time of this thread.
+    pub fn now(&self) -> SimTime {
+        self.engine.inner.kernel.lock().rec(self.tid).clock
+    }
+
+    /// A fresh process-unique integer (deterministic).
+    pub fn fresh_u64(&self) -> u64 {
+        let mut k = self.engine.inner.kernel.lock();
+        k.fresh += 1;
+        k.fresh
+    }
+
+    /// Charges `ns` nanoseconds of processor-occupying compute time.
+    ///
+    /// Threads sharing a processor serialize here: the segment starts no
+    /// earlier than the processor's previous segment ended.
+    pub fn advance(&self, ns: u64) {
+        let mut k = self.engine.inner.kernel.lock();
+        let (node, cpu) = {
+            let r = k.rec(self.tid);
+            (r.node, r.cpu)
+        };
+        let free_at = k.nodes[node.0 as usize].cpus[cpu].free_at;
+        let clock = k.rec(self.tid).clock;
+        let start = clock.max(free_at);
+        let end = start + ns;
+        k.rec_mut(self.tid).clock = end;
+        k.nodes[node.0 as usize].cpus[cpu].free_at = end;
+    }
+
+    /// Charges `ns` nanoseconds of latency that does *not* occupy the
+    /// processor (e.g., waiting on an OS event).
+    pub fn advance_idle(&self, ns: u64) {
+        let mut k = self.engine.inner.kernel.lock();
+        let clock = k.rec(self.tid).clock;
+        k.rec_mut(self.tid).clock = clock + ns;
+    }
+
+    /// Raises this thread's clock to at least `t`.
+    pub fn clock_at_least(&self, t: SimTime) {
+        let mut k = self.engine.inner.kernel.lock();
+        let clock = k.rec(self.tid).clock;
+        k.rec_mut(self.tid).clock = clock.max(t);
+    }
+
+    /// Timestamp-ordering point: yields until this thread has the smallest
+    /// `(clock, tid)` among runnable threads. Call before every operation
+    /// on shared simulation state.
+    pub fn sync_point(&self) {
+        let cell;
+        {
+            let mut k = self.engine.inner.kernel.lock();
+            debug_assert_eq!(k.running, Some(self.tid), "sync_point while not running");
+            let my = (k.rec(self.tid).clock.as_nanos(), self.tid.0);
+            // Fast path: still the global minimum among ready threads and
+            // pending timed sleepers.
+            let ready_first = k.peek_ready().map(|top| top < my).unwrap_or(false);
+            let sleeper_first = k
+                .peek_sleeper()
+                .map(|deadline| deadline < my.0)
+                .unwrap_or(false);
+            let must_yield = ready_first || sleeper_first;
+            if !must_yield {
+                return;
+            }
+            cell = Arc::clone(&k.rec(self.tid).cell);
+            k.running = None;
+            k.push_ready(self.tid);
+            k.schedule_next();
+        }
+        cell.wait();
+        self.check_poison();
+    }
+
+    /// Convenience: charge `cost` of compute then order at a sync point.
+    pub fn op_point(&self, cost: u64) {
+        if cost > 0 {
+            self.advance(cost);
+        }
+        self.sync_point();
+    }
+
+    /// Parks this thread until another thread calls [`Sim::wake`] on it.
+    ///
+    /// Wake-token semantics: if a wake arrived since the last `block`
+    /// (while this thread was running), `block` consumes it and returns
+    /// immediately, with the clock raised to the wake time. This makes
+    /// register-then-block race-free even when registration and blocking
+    /// are separated by scheduling points.
+    pub fn block(&self) {
+        let cell;
+        {
+            let mut k = self.engine.inner.kernel.lock();
+            debug_assert_eq!(k.running, Some(self.tid), "block while not running");
+            if let Some(at) = k.rec_mut(self.tid).pending_wake.take() {
+                let c = k.rec(self.tid).clock.max(at);
+                k.rec_mut(self.tid).clock = c;
+                return;
+            }
+            cell = Arc::clone(&k.rec(self.tid).cell);
+            k.rec_mut(self.tid).state = ThreadState::Blocked;
+            k.running = None;
+            k.schedule_next();
+        }
+        cell.wait();
+        self.check_poison();
+    }
+
+    /// Like [`Sim::block`], but with a virtual-time deadline: returns
+    /// `true` if another thread woke this one, `false` if the deadline
+    /// expired first (the clock is then at least the deadline).
+    ///
+    /// A pending wake token is consumed immediately (returns `true`).
+    pub fn block_deadline(&self, deadline: SimTime) -> bool {
+        let cell;
+        {
+            let mut k = self.engine.inner.kernel.lock();
+            debug_assert_eq!(k.running, Some(self.tid), "block while not running");
+            if let Some(at) = k.rec_mut(self.tid).pending_wake.take() {
+                let c = k.rec(self.tid).clock.max(at);
+                k.rec_mut(self.tid).clock = c;
+                return true;
+            }
+            cell = Arc::clone(&k.rec(self.tid).cell);
+            let gen = {
+                let rec = k.rec_mut(self.tid);
+                rec.state = ThreadState::Blocked;
+                rec.timed_out = false;
+                rec.sleep_gen
+            };
+            k.sleepers
+                .push(Reverse((deadline.as_nanos(), self.tid.0, gen)));
+            k.running = None;
+            k.schedule_next();
+        }
+        cell.wait();
+        self.check_poison();
+        let k = self.engine.inner.kernel.lock();
+        !k.rec(self.tid).timed_out
+    }
+
+    /// Wakes a blocked thread so it resumes no earlier than virtual time
+    /// `at` (and never earlier than this thread's current clock). If the
+    /// target is not currently blocked, the wake is left as a token that
+    /// its next [`Sim::block`] consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target has already exited.
+    pub fn wake(&self, target: Tid, at: SimTime) {
+        let mut k = self.engine.inner.kernel.lock();
+        let mine = k.rec(self.tid).clock;
+        let at = at.max(mine);
+        match k.rec(target).state {
+            ThreadState::Blocked => {
+                let tc = k.rec(target).clock.max(at);
+                let rec = k.rec_mut(target);
+                rec.clock = tc;
+                rec.timed_out = false;
+                rec.sleep_gen += 1; // invalidate any pending timeout
+                k.push_ready(target);
+            }
+            ThreadState::Ready | ThreadState::Running => {
+                let t = k.rec(target).pending_wake.unwrap_or(SimTime::ZERO).max(at);
+                k.rec_mut(target).pending_wake = Some(t);
+            }
+            ThreadState::Exited => panic!("wake of exited thread {target}"),
+        }
+    }
+
+    /// Charges spin-wait occupancy: marks this thread's processor busy up
+    /// to time `t` (e.g. after a competitive-spinning wait, so co-located
+    /// threads cannot have used the processor meanwhile).
+    pub fn occupy_cpu_until(&self, t: SimTime) {
+        let mut k = self.engine.inner.kernel.lock();
+        let (node, cpu) = {
+            let r = k.rec(self.tid);
+            (r.node, r.cpu)
+        };
+        let cur = k.nodes[node.0 as usize].cpus[cpu].free_at;
+        k.nodes[node.0 as usize].cpus[cpu].free_at = cur.max(t);
+    }
+
+    /// Spawns a new simulated thread on `node`, starting at virtual time
+    /// `start` (clamped to this thread's clock).
+    pub fn spawn_on<F>(&self, node: NodeId, start: SimTime, name: &str, f: F) -> Tid
+    where
+        F: FnOnce(&Sim) + Send + 'static,
+    {
+        let start = start.max(self.now());
+        self.engine
+            .spawn_thread(node, start, name.to_string(), Box::new(f))
+    }
+
+    /// Blocks until `target` exits; on resume this thread's clock is at
+    /// least the target's exit time.
+    pub fn wait_exit(&self, target: Tid) {
+        let cell;
+        {
+            let mut k = self.engine.inner.kernel.lock();
+            match k.rec(target).state {
+                ThreadState::Exited => {
+                    let t = k.rec(target).clock;
+                    let mine = k.rec(self.tid).clock.max(t);
+                    k.rec_mut(self.tid).clock = mine;
+                    return;
+                }
+                _ => {
+                    k.rec_mut(target).exit_waiters.push(self.tid);
+                    cell = Arc::clone(&k.rec(self.tid).cell);
+                    k.rec_mut(self.tid).state = ThreadState::Blocked;
+                    k.running = None;
+                    k.schedule_next();
+                }
+            }
+        }
+        cell.wait();
+        self.check_poison();
+    }
+
+    fn check_poison(&self) {
+        let k = self.engine.inner.kernel.lock();
+        if k.poisoned.is_some() {
+            drop(k);
+            // Unwind without invoking the panic hook: the original
+            // failure has already been recorded and reported; cascades
+            // from other threads are noise.
+            std::panic::resume_unwind(Box::new(PoisonUnwind));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    fn one_node_engine(cpus: usize) -> (Engine, NodeId) {
+        let e = Engine::new();
+        let n = e.add_node(cpus);
+        (e, n)
+    }
+
+    #[test]
+    fn run_root_returns_final_time() {
+        let (e, n) = one_node_engine(1);
+        let t = e.run(n, |sim| sim.advance(1234)).unwrap();
+        assert_eq!(t.as_nanos(), 1234);
+    }
+
+    #[test]
+    fn spawn_and_wait_exit_propagates_clock() {
+        let (e, n) = one_node_engine(2);
+        let t = e
+            .run(n, move |sim| {
+                let child = sim.spawn_on(sim.node(), sim.now(), "child", |s| {
+                    s.advance(10_000);
+                });
+                sim.wait_exit(child);
+                assert_eq!(sim.now().as_nanos(), 10_000);
+            })
+            .unwrap();
+        assert_eq!(t.as_nanos(), 10_000);
+    }
+
+    #[test]
+    fn threads_on_same_cpu_serialize() {
+        let (e, n) = one_node_engine(1);
+        let t = e
+            .run(n, move |sim| {
+                let c1 = sim.spawn_on(sim.node(), SimTime::ZERO, "a", |s| s.advance(100));
+                let c2 = sim.spawn_on(sim.node(), SimTime::ZERO, "b", |s| s.advance(100));
+                sim.wait_exit(c1);
+                sim.wait_exit(c2);
+            })
+            .unwrap();
+        // root + 2 children share one processor: 2 segments of 100ns
+        // serialize after root's (zero-length) usage.
+        assert_eq!(t.as_nanos(), 200);
+    }
+
+    #[test]
+    fn threads_on_distinct_cpus_overlap() {
+        let (e, n) = one_node_engine(4);
+        let t = e
+            .run(n, move |sim| {
+                let c1 = sim.spawn_on(sim.node(), SimTime::ZERO, "a", |s| s.advance(100));
+                let c2 = sim.spawn_on(sim.node(), SimTime::ZERO, "b", |s| s.advance(100));
+                sim.wait_exit(c1);
+                sim.wait_exit(c2);
+            })
+            .unwrap();
+        assert_eq!(t.as_nanos(), 100);
+    }
+
+    #[test]
+    fn block_and_wake_transfers_time() {
+        let (e, n) = one_node_engine(2);
+        let observed = Arc::new(AtomicU64::new(0));
+        let obs = Arc::clone(&observed);
+        e.run(n, move |sim| {
+            let waiter_tid = Arc::new(StdMutex::new(None::<Tid>));
+            let wt = Arc::clone(&waiter_tid);
+            let obs2 = Arc::clone(&obs);
+            let child = sim.spawn_on(sim.node(), SimTime::ZERO, "waiter", move |s| {
+                *wt.lock().unwrap() = Some(s.tid());
+                s.block();
+                obs2.store(s.now().as_nanos(), Ordering::SeqCst);
+            });
+            // Let the child run first and block.
+            sim.advance(1_000);
+            sim.sync_point();
+            let t = waiter_tid.lock().unwrap().expect("child registered");
+            sim.wake(t, sim.now() + 500);
+            sim.wait_exit(child);
+        })
+        .unwrap();
+        assert_eq!(observed.load(Ordering::SeqCst), 1_500);
+    }
+
+    #[test]
+    fn deterministic_interleaving() {
+        // Two runs of a mildly contended program produce identical traces.
+        fn trace() -> Vec<u64> {
+            let (e, n) = one_node_engine(4);
+            let log = Arc::new(StdMutex::new(Vec::new()));
+            let l2 = Arc::clone(&log);
+            e.run(n, move |sim| {
+                let mut kids = Vec::new();
+                for i in 0..4u64 {
+                    let l3 = Arc::clone(&l2);
+                    kids.push(sim.spawn_on(sim.node(), SimTime::ZERO, "k", move |s| {
+                        s.advance(10 * (i + 1));
+                        s.sync_point();
+                        l3.lock().unwrap().push(i);
+                        s.advance(5);
+                        s.sync_point();
+                        l3.lock().unwrap().push(100 + i);
+                    }));
+                }
+                for k in kids {
+                    sim.wait_exit(k);
+                }
+            })
+            .unwrap();
+            let v = log.lock().unwrap().clone();
+            v
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn panic_in_thread_reports_error() {
+        let (e, n) = one_node_engine(1);
+        let err = e
+            .run(n, |_sim| panic!("boom in sim"))
+            .expect_err("should fail");
+        match err {
+            SimError::Panicked(m) => assert!(m.contains("boom in sim")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let (e, n) = one_node_engine(1);
+        let err = e.run(n, |sim| sim.block()).expect_err("should deadlock");
+        assert!(matches!(err, SimError::Deadlock(_)));
+    }
+
+    #[test]
+    fn advance_idle_does_not_occupy_cpu() {
+        let (e, n) = one_node_engine(1);
+        let t = e
+            .run(n, move |sim| {
+                let c = sim.spawn_on(sim.node(), SimTime::ZERO, "idler", |s| {
+                    s.advance_idle(1_000);
+                });
+                sim.advance(1_000);
+                sim.wait_exit(c);
+            })
+            .unwrap();
+        // Both "use" 1000ns but only root occupies the single CPU, so the
+        // idler's wait overlaps with root's compute.
+        assert_eq!(t.as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn sync_point_orders_by_timestamp() {
+        let (e, n) = one_node_engine(4);
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let l2 = Arc::clone(&log);
+        e.run(n, move |sim| {
+            let mut kids = Vec::new();
+            // Spawn in reverse cost order; sync order must follow clocks.
+            for (i, cost) in [(0u64, 300u64), (1, 200), (2, 100)] {
+                let l3 = Arc::clone(&l2);
+                kids.push(sim.spawn_on(sim.node(), SimTime::ZERO, "k", move |s| {
+                    s.advance(cost);
+                    s.sync_point();
+                    l3.lock().unwrap().push(i);
+                }));
+            }
+            for k in kids {
+                sim.wait_exit(k);
+            }
+        })
+        .unwrap();
+        assert_eq!(*log.lock().unwrap(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn stats_counts_threads() {
+        let (e, n) = one_node_engine(2);
+        e.run(n, move |sim| {
+            let k = sim.spawn_on(sim.node(), SimTime::ZERO, "c", |_| {});
+            sim.wait_exit(k);
+        })
+        .unwrap();
+        assert_eq!(e.stats().threads_spawned, 2);
+        assert!(e.stats().context_switches >= 2);
+    }
+
+    #[test]
+    fn fresh_u64_is_unique() {
+        let (e, n) = one_node_engine(1);
+        e.run(n, |sim| {
+            let a = sim.fresh_u64();
+            let b = sim.fresh_u64();
+            assert_ne!(a, b);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn spawn_on_second_node() {
+        let e = Engine::new();
+        let n0 = e.add_node(1);
+        let n1 = e.add_node(1);
+        e.run(n0, move |sim| {
+            let k = sim.spawn_on(n1, SimTime::ZERO, "remote", move |s| {
+                assert_eq!(s.node(), n1);
+                s.advance(50);
+            });
+            sim.wait_exit(k);
+            assert_eq!(sim.now().as_nanos(), 50);
+        })
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod wake_token_tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn wake_before_block_is_consumed() {
+        let e = Engine::new();
+        let n = e.add_node(2);
+        let tid_cell = Arc::new(StdMutex::new(None::<Tid>));
+        let tc = Arc::clone(&tid_cell);
+        e.run(n, move |sim| {
+            let child = sim.spawn_on(sim.node(), SimTime::ZERO, "w", move |s| {
+                *tc.lock().unwrap() = Some(s.tid());
+                // Burn time so the parent wakes us while we are Running.
+                s.advance(10_000);
+                s.sync_point();
+                s.advance(10_000);
+                // The wake arrived before this block: must not deadlock.
+                s.block();
+                assert!(s.now().as_nanos() >= 20_000);
+            });
+            sim.advance(1);
+            sim.sync_point();
+            let t = tid_cell.lock().unwrap().expect("registered");
+            sim.wake(t, sim.now());
+            sim.wait_exit(child);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn occupy_cpu_until_blocks_sharers() {
+        let e = Engine::new();
+        let n = e.add_node(1);
+        let end = e
+            .run(n, move |sim| {
+                // Spin until t=5000 on the only CPU.
+                sim.advance_idle(5_000);
+                sim.occupy_cpu_until(sim.now());
+                let c = sim.spawn_on(sim.node(), SimTime::ZERO, "x", |s| s.advance(100));
+                sim.wait_exit(c);
+            })
+            .unwrap();
+        assert_eq!(end.as_nanos(), 5_100);
+    }
+}
+
+#[cfg(test)]
+mod timed_block_tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn timeout_fires_at_deadline() {
+        let e = Engine::new();
+        let n = e.add_node(1);
+        e.run(n, |sim| {
+            let woken = sim.block_deadline(SimTime::from_micros(50));
+            assert!(!woken, "nothing wakes us");
+            assert_eq!(sim.now(), SimTime::from_micros(50));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wake_beats_deadline() {
+        let e = Engine::new();
+        let n = e.add_node(2);
+        let tid_cell = Arc::new(StdMutex::new(None::<Tid>));
+        let tc = Arc::clone(&tid_cell);
+        e.run(n, move |sim| {
+            let child = sim.spawn_on(sim.node(), SimTime::ZERO, "w", move |s| {
+                *tc.lock().unwrap() = Some(s.tid());
+                let woken = s.block_deadline(SimTime::from_millis(100));
+                assert!(woken, "waker beats the deadline");
+                assert!(s.now() < SimTime::from_millis(100));
+            });
+            sim.advance(10_000);
+            sim.sync_point();
+            let t = tid_cell.lock().unwrap().expect("registered");
+            sim.wake(t, sim.now());
+            sim.wait_exit(child);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn timeout_respects_timestamp_order() {
+        // A runnable thread with an earlier clock runs before the timeout
+        // fires, and the timed thread's resume clock equals its deadline.
+        let e = Engine::new();
+        let n = e.add_node(2);
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let l2 = Arc::clone(&log);
+        e.run(n, move |sim| {
+            let l3 = Arc::clone(&l2);
+            let sleeper = sim.spawn_on(sim.node(), SimTime::ZERO, "sleep", move |s| {
+                s.block_deadline(SimTime::from_micros(30));
+                l3.lock().unwrap().push(("sleeper", s.now().as_nanos()));
+            });
+            let l4 = Arc::clone(&l2);
+            let worker = sim.spawn_on(sim.node(), SimTime::ZERO, "work", move |s| {
+                s.advance(10_000);
+                s.sync_point();
+                l4.lock().unwrap().push(("worker", s.now().as_nanos()));
+            });
+            sim.wait_exit(sleeper);
+            sim.wait_exit(worker);
+        })
+        .unwrap();
+        let v = log.lock().unwrap().clone();
+        assert_eq!(v[0].0, "worker");
+        assert_eq!(v[1], ("sleeper", 30_000));
+    }
+
+    #[test]
+    fn stale_timeout_does_not_fire_after_wake() {
+        let e = Engine::new();
+        let n = e.add_node(2);
+        let tid_cell = Arc::new(StdMutex::new(None::<Tid>));
+        let tc = Arc::clone(&tid_cell);
+        e.run(n, move |sim| {
+            let child = sim.spawn_on(sim.node(), SimTime::ZERO, "w", move |s| {
+                *tc.lock().unwrap() = Some(s.tid());
+                assert!(s.block_deadline(SimTime::from_micros(20)));
+                // Second, untimed block: the stale deadline entry from the
+                // first sleep must not wake us spuriously.
+                s.block();
+                assert!(s.now() >= SimTime::from_micros(100));
+            });
+            sim.advance(5_000);
+            sim.sync_point();
+            let t = tid_cell.lock().unwrap().expect("registered");
+            sim.wake(t, sim.now());
+            sim.advance(95_000);
+            sim.sync_point();
+            sim.wake(t, sim.now());
+            sim.wait_exit(child);
+        })
+        .unwrap();
+    }
+}

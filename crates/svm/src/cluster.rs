@@ -1,0 +1,129 @@
+//! The simulated cluster: engine + network + memory + communication layer.
+
+use std::fmt;
+use std::sync::Arc;
+
+use memsim::{ClusterMem, OsVmConfig};
+use san::{San, SanConfig};
+use sim::{Engine, NodeId};
+use vmmc::{Vmmc, VmmcConfig};
+
+/// Hardware/OS description of the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Processors per node (the paper's nodes are 2-way SMPs).
+    pub cpus_per_node: usize,
+    /// SAN timing model.
+    pub san: SanConfig,
+    /// OS virtual-memory model.
+    pub os: OsVmConfig,
+    /// NIC registration limits.
+    pub vmmc: VmmcConfig,
+}
+
+impl ClusterConfig {
+    /// The paper's platform: sixteen 2-way PentiumPro SMPs, Myrinet,
+    /// WindowsNT (32 processors total).
+    pub fn paper() -> Self {
+        ClusterConfig {
+            nodes: 16,
+            cpus_per_node: 2,
+            san: SanConfig::paper(),
+            os: OsVmConfig::windows_nt(),
+            vmmc: VmmcConfig::paper(),
+        }
+    }
+
+    /// A convenient small cluster for tests.
+    pub fn small(nodes: usize, cpus_per_node: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            cpus_per_node,
+            ..ClusterConfig::paper()
+        }
+    }
+}
+
+/// All substrate layers of one simulated cluster, wired together.
+pub struct Cluster {
+    /// The discrete-event engine (topology + scheduler).
+    pub engine: Engine,
+    /// The SAN timing model.
+    pub san: Arc<San>,
+    /// Node physical memories and page tables.
+    pub mem: Arc<ClusterMem>,
+    /// The VMMC communication layer.
+    pub vmmc: Arc<Vmmc>,
+    nodes: Vec<NodeId>,
+    cpus_per_node: usize,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("cpus_per_node", &self.cpus_per_node)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster: engine nodes, NICs and memories for every node.
+    pub fn build(cfg: ClusterConfig) -> Arc<Cluster> {
+        let engine = Engine::new();
+        let san = Arc::new(San::new(cfg.san));
+        let mem = Arc::new(ClusterMem::new(cfg.os));
+        let vmmc = Arc::new(Vmmc::new(cfg.vmmc, Arc::clone(&san), Arc::clone(&mem)));
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for _ in 0..cfg.nodes {
+            let id = engine.add_node(cfg.cpus_per_node);
+            vmmc.ensure_node(id);
+            nodes.push(id);
+        }
+        Arc::new(Cluster {
+            engine,
+            san,
+            mem,
+            vmmc,
+            nodes,
+            cpus_per_node: cfg.cpus_per_node,
+        })
+    }
+
+    /// The node ids, in order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Processors per node.
+    pub fn cpus_per_node(&self) -> usize {
+        self.cpus_per_node
+    }
+
+    /// Total processors in the cluster.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes.len() * self.cpus_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_paper_cluster() {
+        let c = Cluster::build(ClusterConfig::paper());
+        assert_eq!(c.nodes().len(), 16);
+        assert_eq!(c.total_cpus(), 32);
+        assert_eq!(c.engine.cpu_count(c.nodes()[0]), 2);
+    }
+
+    #[test]
+    fn small_cluster_overrides_size() {
+        let c = Cluster::build(ClusterConfig::small(2, 1));
+        assert_eq!(c.nodes().len(), 2);
+        assert_eq!(c.total_cpus(), 2);
+    }
+}

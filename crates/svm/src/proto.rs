@@ -1,0 +1,1172 @@
+//! The home-based release-consistency memory protocol.
+//!
+//! One engine implements both systems of the paper:
+//!
+//! - **Base (GeNIMA)**: first-touch homes bound at page (4 KB) granularity;
+//!   contiguous same-home pages are registered as runs, so irregular
+//!   placement consumes NIC region entries (which is what keeps OCEAN from
+//!   running on 32 processors in the paper).
+//! - **CableS**: homes bound by remapping home frames into the application
+//!   address space, which WindowsNT only allows at 64 KB granularity — the
+//!   first toucher of any page in a chunk becomes home of the *whole*
+//!   chunk. Home frames extend one contiguous per-node region (the double
+//!   virtual mapping), so NIC registration pressure stays constant.
+//!
+//! Consistency: writers track dirty words per page (the software-MMU
+//! analogue of twin/diff); at a release the dirty words are remote-written
+//! to the home and a write notice `(page, version)` is appended to the
+//! global interval log; at an acquire a node applies all notices it has
+//! not yet seen, invalidating stale copies. This is slightly *eager*
+//! compared to lazy release consistency (notices propagate on every
+//! acquire, not just along happens-before chains), which is conservative:
+//! data-race-free programs see identical values and at worst extra
+//! invalidations.
+
+use std::collections::{HashMap, VecDeque};
+
+use memsim::{FaultKind, GAddr, PageNum, Prot, Scalar, PAGE_SIZE};
+use sim::{NodeId, Sim, SimTime, Tid};
+use vmmc::RegionId;
+
+use crate::api::SvmSystem;
+use crate::config::ProtoMode;
+
+pub(crate) const WORDS_PER_PAGE: usize = (PAGE_SIZE / 8) as usize;
+pub(crate) const BITMAP_WORDS: usize = WORDS_PER_PAGE / 64;
+
+/// Base of the heap portion of the shared virtual address space.
+pub const HEAP_BASE: GAddr = GAddr::new(0x4000_0000);
+/// Base of the GLOBAL static-data section (maps the paper's
+/// `GLOBAL_DATA` executable section).
+pub const GLOBAL_SECTION_BASE: GAddr = GAddr::new(0x1000_0000);
+/// Size of the GLOBAL static-data section.
+pub const GLOBAL_SECTION_BYTES: u64 = 4 << 20;
+
+#[derive(Debug)]
+pub(crate) struct PageDir {
+    pub home: NodeId,
+    pub version: u64,
+    pub region: RegionId,
+    pub region_off: u64,
+    pub first_writer: Option<NodeId>,
+    pub multi_writer: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct CopyState {
+    pub version: u64,
+    /// Dirty 8-byte-word bitmap; present iff the page is locally writable.
+    pub dirty: Option<Box<[u64; BITMAP_WORDS]>>,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+/// Per-node protocol event counters.
+pub struct NodeStats {
+    /// Read faults taken.
+    pub read_faults: u64,
+    /// Write faults taken.
+    pub write_faults: u64,
+    /// Whole-page fetches from remote homes.
+    pub remote_fetches: u64,
+    /// Bytes fetched from remote homes.
+    pub fetch_bytes: u64,
+    /// Diffs sent to remote homes at releases.
+    pub diffs_sent: u64,
+    /// Diff payload bytes sent.
+    pub diff_bytes: u64,
+    /// Write notices applied at acquires.
+    pub notices_applied: u64,
+    /// Placements performed (chunks homed here).
+    pub placements: u64,
+    /// Chunks migrated to this node by the migration policy.
+    pub migrations: u64,
+    /// Lock acquires by threads of this node.
+    pub lock_acquires: u64,
+    /// Barrier episodes joined by threads of this node.
+    pub barrier_waits: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct NodeProto {
+    pub copies: HashMap<u64, CopyState>,
+    pub dirty_pages: Vec<u64>,
+    pub seg_cache: HashMap<u64, ()>,
+    pub imported: HashMap<u64, ()>,
+    pub log_cursor: usize,
+    pub stats: NodeStats,
+}
+
+#[derive(Debug)]
+pub(crate) struct LockState {
+    pub manager: NodeId,
+    pub holder: Option<Tid>,
+    pub holder_node: Option<NodeId>,
+    pub waiters: VecDeque<(Tid, NodeId)>,
+    pub acquired_from: HashMap<u32, ()>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct BarrierState {
+    pub count: usize,
+    pub waiters: Vec<Tid>,
+    pub max_arrival: SimTime,
+}
+
+#[derive(Debug)]
+pub(crate) struct ProtoState {
+    pub dir: HashMap<u64, PageDir>,
+    pub nodes: Vec<NodeProto>,
+    /// Global interval log of write notices `(page, version)`.
+    pub log: Vec<(u64, u64)>,
+    /// CableS mode: the single growing home region per node, with its
+    /// current length in bytes.
+    pub home_region: Vec<Option<(RegionId, u64)>>,
+    pub first_toucher: HashMap<u64, NodeId>,
+    /// Migration policy state: chunk -> (last sole remote differ, streak).
+    pub diff_streaks: HashMap<u64, (NodeId, u32)>,
+    pub alloc_next: u64,
+    pub alloc_ranges: Vec<(u64, u64)>,
+    pub locks: HashMap<u64, LockState>,
+    pub barriers: HashMap<u64, BarrierState>,
+    pub next_proc: usize,
+    pub created: Vec<Tid>,
+    pub tracing: bool,
+    pub trace: Vec<crate::trace::TraceRecord>,
+}
+
+impl ProtoState {
+    pub fn new(nodes: usize) -> Self {
+        ProtoState {
+            dir: HashMap::new(),
+            nodes: (0..nodes).map(|_| NodeProto::default()).collect(),
+            log: Vec::new(),
+            home_region: vec![None; nodes],
+            first_toucher: HashMap::new(),
+            diff_streaks: HashMap::new(),
+            alloc_next: HEAP_BASE.raw(),
+            alloc_ranges: Vec::new(),
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            next_proc: 1,
+            created: Vec::new(),
+            tracing: false,
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// Placement quality of a finished run (paper Fig. 6).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct PlacementReport {
+    /// Shared pages that were touched during the run.
+    pub touched_pages: u64,
+    /// Pages whose home is not their first toucher (misplaced).
+    pub misplaced_pages: u64,
+}
+
+impl PlacementReport {
+    /// Misplaced pages as a percentage of touched pages.
+    pub fn misplaced_pct(&self) -> f64 {
+        if self.touched_pages == 0 {
+            0.0
+        } else {
+            self.misplaced_pages as f64 * 100.0 / self.touched_pages as f64
+        }
+    }
+}
+
+impl SvmSystem {
+    /// Handles a simulated page fault: placement on first touch, page
+    /// fetch from a remote home, or a write upgrade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a NIC registration limit is exceeded — this mirrors the
+    /// paper's base system failing to run OCEAN on 32 processors; the
+    /// benchmark harness reports such runs as failed.
+    pub(crate) fn handle_fault(&self, sim: &Sim, page: PageNum, kind: FaultKind) {
+        let node = sim.node();
+        // OS fault entry + protocol handler, ordered against other ops.
+        sim.advance(self.cluster.mem.config().fault_overhead_ns);
+        sim.op_point(self.cfg.costs.fault_handler_ns);
+
+        // First-touch attribution happens at fault order (the paper's
+        // placement policy binds on the touch, not on handler completion).
+        {
+            let mut st = self.state.lock();
+            st.first_toucher.entry(page.index()).or_insert(node);
+        }
+
+        // Another thread of this node may have serviced the same fault
+        // while we waited at the ordering point; if the page is already
+        // accessible, re-fetching would clobber its locally dirty words.
+        if let Some((_, prot)) = self.cluster.mem.translate(node, page) {
+            let satisfied = match kind {
+                FaultKind::Read => prot != Prot::None,
+                FaultKind::Write => prot == Prot::ReadWrite,
+            };
+            if satisfied {
+                return;
+            }
+        }
+
+        {
+            let mut st = self.state.lock();
+            match kind {
+                FaultKind::Read => st.nodes[node.0 as usize].stats.read_faults += 1,
+                FaultKind::Write => st.nodes[node.0 as usize].stats.write_faults += 1,
+            }
+        }
+        self.trace(
+            sim.now(),
+            crate::trace::TraceEvent::Fault {
+                node,
+                page,
+                write: kind == FaultKind::Write,
+            },
+        );
+
+        self.owner_detect(sim, page);
+
+        let home = {
+            let st = self.state.lock();
+            st.dir.get(&page.index()).map(|d| d.home)
+        };
+        match home {
+            None => self.place_chunk(sim, page, kind),
+            Some(h) if h == node => self.home_upgrade(sim, page, kind),
+            Some(h) => self.fetch_page(sim, page, h, kind),
+        }
+    }
+
+    /// Directory lookup with per-node caching ("segment owner detect").
+    fn owner_detect(&self, sim: &Sim, page: PageNum) {
+        let node = sim.node();
+        // In the base system placement is static and broadcast at
+        // registration time, so lookups are always local.
+        if self.cfg.mode == ProtoMode::Base {
+            sim.advance(1_000);
+            return;
+        }
+        let chunk = page.chunk(self.cfg.home_granularity_pages);
+        let mut st = self.state.lock();
+        if st.nodes[node.0 as usize]
+            .seg_cache
+            .insert(chunk, ())
+            .is_none()
+        {
+            // First lookup of this segment's entry.
+            drop(st);
+            if node == self.master {
+                sim.advance(1_000);
+            } else {
+                // Fetch the directory entry from the master (ACB owner).
+                let done = self
+                    .cluster
+                    .san
+                    .fetch(node, self.master, 32, sim.now());
+                sim.clock_at_least(done);
+                sim.advance(1_000);
+            }
+        } else {
+            sim.advance(1_000);
+        }
+    }
+
+    /// First touch: the faulting node becomes home of the whole placement
+    /// chunk (1 page for base, 16 pages / 64 KB for CableS-on-NT).
+    fn place_chunk(&self, sim: &Sim, page: PageNum, kind: FaultKind) {
+        let node = sim.node();
+        let gran = self.cfg.home_granularity_pages;
+        let base = page.chunk_base(gran);
+        let os = self.cluster.mem.config().clone();
+
+        // Allocate home frames.
+        let mut frames = Vec::with_capacity(gran as usize);
+        for _ in 0..gran {
+            let f = self
+                .cluster
+                .mem
+                .alloc_frame(node)
+                .unwrap_or_else(|e| panic!("home frame allocation failed: {e}"));
+            frames.push(f);
+        }
+        sim.advance(os.frame_alloc_ns * gran);
+
+        // Register with the NIC.
+        let mut register_cost = self.cluster.vmmc.config().register_op_ns;
+        let mut new_region = None;
+        let (region, base_off) = match self.cfg.mode {
+            ProtoMode::Cables => {
+                // Double virtual mapping: extend the node's single home
+                // region, keeping one NIC registration.
+                let st = self.state.lock();
+                let entry = st.home_region[node.0 as usize];
+                drop(st);
+                let (region, off) = match entry {
+                    Some((r, len)) => {
+                        self.cluster
+                            .vmmc
+                            .extend_region(r, frames.clone())
+                            .unwrap_or_else(|e| panic!("home region extension failed: {e}"));
+                        register_cost = self.cluster.vmmc.config().extend_op_ns;
+                        (r, len)
+                    }
+                    None => {
+                        let r = self
+                            .cluster
+                            .vmmc
+                            .export_region(node, frames.clone())
+                            .unwrap_or_else(|e| panic!("home region export failed: {e}"));
+                        (r, 0)
+                    }
+                };
+                let mut st = self.state.lock();
+                st.home_region[node.0 as usize] =
+                    Some((region, off + gran * PAGE_SIZE));
+                (region, off)
+            }
+            ProtoMode::Base => {
+                // Per-run registration: extend the run ending at page-1 if
+                // it has the same home, else start a new region.
+                let prev = {
+                    let st = self.state.lock();
+                    st.dir.get(&(base.index().wrapping_sub(1))).map(|d| {
+                        (d.home, d.region, d.region_off)
+                    })
+                };
+                match prev {
+                    Some((h, r, off))
+                        if h == node
+                            && self
+                                .cluster
+                                .vmmc
+                                .region_pages(r)
+                                .map(|p| (p as u64 - 1) * PAGE_SIZE == off)
+                                .unwrap_or(false) =>
+                    {
+                        self.cluster
+                            .vmmc
+                            .extend_region(r, frames.clone())
+                            .unwrap_or_else(|e| panic!("run extension failed: {e}"));
+                        register_cost = self.cluster.vmmc.config().extend_op_ns;
+                        (r, off + PAGE_SIZE)
+                    }
+                    _ => {
+                        let r = self
+                            .cluster
+                            .vmmc
+                            .export_region(node, frames.clone())
+                            .unwrap_or_else(|e| {
+                                panic!("registration failed (paper §3.4 OCEAN regime): {e}")
+                            });
+                        new_region = Some(r);
+                        (r, 0)
+                    }
+                }
+            }
+        };
+        sim.advance(register_cost);
+
+        // In the base system every other node registers each newly
+        // exported region with its NIC at creation time (paper §2.1.3:
+        // "Every other node in the system registers the newly allocated
+        // virtual memory region with the NIC") — this is what exhausts
+        // NIC region entries on irregular placements (OCEAN, §3.4).
+        if let (ProtoMode::Base, Some(r)) = (self.cfg.mode, new_region) {
+            for other in self.cluster.nodes() {
+                if *other != node {
+                    self.cluster.vmmc.import_region(*other, r).unwrap_or_else(|e| {
+                        panic!("registration failed (paper §3.4 OCEAN regime): {e}")
+                    });
+                }
+            }
+            // Announce the new region to the cluster.
+            if node != self.master {
+                let t = self.cluster.san.send(node, self.master, 32, sim.now());
+                sim.clock_at_least(t.local_done);
+            }
+        }
+
+        // Map the chunk into the application address space. All pages
+        // start inaccessible so later first touches are observable.
+        match self.cfg.mode {
+            ProtoMode::Cables => {
+                self.cluster
+                    .mem
+                    .map_chunk(node, base, &frames, Prot::None)
+                    .expect("chunk-aligned mapping");
+                sim.advance(os.map_op_ns);
+            }
+            ProtoMode::Base => {
+                for (i, f) in frames.iter().enumerate() {
+                    self.cluster
+                        .mem
+                        .map_page(node, PageNum::new(base.index() + i as u64), *f, Prot::None);
+                }
+                sim.advance(os.map_op_ns);
+            }
+        }
+
+        // Directory update (on the master / ACB owner).
+        {
+            let mut st = self.state.lock();
+            for i in 0..gran {
+                st.dir.insert(
+                    base.index() + i,
+                    PageDir {
+                        home: node,
+                        version: 0,
+                        region,
+                        region_off: base_off + i * PAGE_SIZE,
+                        first_writer: None,
+                        multi_writer: false,
+                    },
+                );
+                st.nodes[node.0 as usize]
+                    .copies
+                    .insert(base.index() + i, CopyState {
+                        version: 0,
+                        dirty: None,
+                    });
+            }
+            st.nodes[node.0 as usize].stats.placements += 1;
+        }
+        self.trace(sim.now(), crate::trace::TraceEvent::Place { node, base });
+        sim.op_point(self.cfg.costs.placement_bookkeeping_ns);
+        if node != self.master {
+            // Publish the new entry to the global directory.
+            let t = self.cluster.san.send(node, self.master, 64, sim.now());
+            sim.clock_at_least(t.local_done);
+        }
+
+        // Finally grant the faulting access on the faulting page.
+        self.home_upgrade(sim, page, kind);
+    }
+
+    /// Grants access on a page homed at the faulting node (either the
+    /// just-placed chunk or a later first touch of a chunk sibling).
+    fn home_upgrade(&self, sim: &Sim, page: PageNum, kind: FaultKind) {
+        let node = sim.node();
+        let os_protect = self.cluster.mem.config().protect_ns;
+        {
+            let mut st = self.state.lock();
+            let d = st.dir.get_mut(&page.index()).expect("home page in dir");
+            match kind {
+                FaultKind::Read => {
+                    drop(st);
+                    self.cluster
+                        .mem
+                        .set_prot(node, page, Prot::Read)
+                        .expect("home page mapped");
+                }
+                FaultKind::Write => {
+                    match d.first_writer {
+                        None => d.first_writer = Some(node),
+                        Some(w) if w != node => d.multi_writer = true,
+                        _ => {}
+                    }
+                    let np = &mut st.nodes[node.0 as usize];
+                    let copy = np.copies.entry(page.index()).or_insert(CopyState {
+                        version: 0,
+                        dirty: None,
+                    });
+                    if copy.dirty.is_none() {
+                        copy.dirty = Some(Box::new([0; BITMAP_WORDS]));
+                        np.dirty_pages.push(page.index());
+                    }
+                    drop(st);
+                    self.cluster
+                        .mem
+                        .set_prot(node, page, Prot::ReadWrite)
+                        .expect("home page mapped");
+                }
+            }
+        }
+        sim.advance(os_protect);
+    }
+
+    /// Fetches a page copy from its remote home.
+    fn fetch_page(&self, sim: &Sim, page: PageNum, _home: NodeId, kind: FaultKind) {
+        let node = sim.node();
+        let (region, region_off, version) = {
+            let st = self.state.lock();
+            let d = &st.dir[&page.index()];
+            (d.region, d.region_off, d.version)
+        };
+
+        // Lazily import the home's region.
+        let need_import = {
+            let mut st = self.state.lock();
+            st.nodes[node.0 as usize]
+                .imported
+                .insert(region.0, ())
+                .is_none()
+        };
+        if need_import {
+            self.cluster
+                .vmmc
+                .import_region(node, region)
+                .unwrap_or_else(|e| panic!("region import failed (paper §3.4 regime): {e}"));
+            sim.advance(self.cluster.vmmc.config().import_op_ns);
+        }
+
+        // Local frame for the copy (normal page-granular OS paging).
+        let have_frame = self.cluster.mem.translate(node, page).is_some();
+        if !have_frame {
+            let f = self
+                .cluster
+                .mem
+                .alloc_frame(node)
+                .unwrap_or_else(|e| panic!("copy frame allocation failed: {e}"));
+            self.cluster.mem.map_page(node, page, f, Prot::None);
+            sim.advance(self.cluster.mem.config().frame_alloc_ns);
+        }
+
+        // A locally dirty copy must never be overwritten by a refetch —
+        // its unflushed words would be lost. (Cannot happen after the
+        // handler's re-check, but guard the invariant.)
+        let (locally_dirty, copy_current) = {
+            let st = self.state.lock();
+            match st.nodes[node.0 as usize].copies.get(&page.index()) {
+                Some(c) => (
+                    c.dirty.is_some(),
+                    st.dir
+                        .get(&page.index())
+                        .map(|d| c.version >= d.version)
+                        .unwrap_or(false),
+                ),
+                None => (false, false),
+            }
+        };
+        assert!(
+            !locally_dirty,
+            "refetch of a locally dirty page {page} on {node}"
+        );
+
+        // A write upgrade on a current clean copy needs no data transfer:
+        // only the protection changes (and dirty tracking starts).
+        if copy_current && kind == FaultKind::Write && have_frame {
+            let mut st = self.state.lock();
+            let np = &mut st.nodes[node.0 as usize];
+            let copy = np.copies.get_mut(&page.index()).expect("current copy");
+            if copy.dirty.is_none() {
+                copy.dirty = Some(Box::new([0; BITMAP_WORDS]));
+                np.dirty_pages.push(page.index());
+            }
+            {
+                let d = st.dir.get_mut(&page.index()).expect("dir entry");
+                match d.first_writer {
+                    None => d.first_writer = Some(node),
+                    Some(w) if w != node => d.multi_writer = true,
+                    _ => {}
+                }
+            }
+            drop(st);
+            self.cluster
+                .mem
+                .set_prot(node, page, Prot::ReadWrite)
+                .expect("copy mapped");
+            sim.advance(self.cluster.mem.config().protect_ns);
+            return;
+        }
+
+        // Fetch the page contents from the home.
+        let (data, done) = self
+            .cluster
+            .vmmc
+            .remote_fetch(node, region, region_off, PAGE_SIZE, sim.now())
+            .unwrap_or_else(|e| panic!("page fetch failed: {e}"));
+        sim.clock_at_least(done);
+        let (frame, _) = self.cluster.mem.translate(node, page).expect("just mapped");
+        self.cluster.mem.frame_write(frame, 0, &data);
+
+        {
+            let mut st = self.state.lock();
+            let home = st.dir[&page.index()].home;
+            {
+                let np = &mut st.nodes[node.0 as usize];
+                np.stats.remote_fetches += 1;
+                np.stats.fetch_bytes += PAGE_SIZE;
+            }
+            drop(st);
+            self.trace(sim.now(), crate::trace::TraceEvent::Fetch { node, page, home });
+            let mut st = self.state.lock();
+            let np = &mut st.nodes[node.0 as usize];
+            let copy = np.copies.entry(page.index()).or_insert(CopyState {
+                version: 0,
+                dirty: None,
+            });
+            copy.version = version;
+            match kind {
+                FaultKind::Read => {
+                    drop(st);
+                    self.cluster
+                        .mem
+                        .set_prot(node, page, Prot::Read)
+                        .expect("copy mapped");
+                }
+                FaultKind::Write => {
+                    if copy.dirty.is_none() {
+                        copy.dirty = Some(Box::new([0; BITMAP_WORDS]));
+                        np.dirty_pages.push(page.index());
+                    }
+                    {
+                        let d = st.dir.get_mut(&page.index()).expect("dir entry");
+                        match d.first_writer {
+                            None => d.first_writer = Some(node),
+                            Some(w) if w != node => d.multi_writer = true,
+                            _ => {}
+                        }
+                    }
+                    drop(st);
+                    self.cluster
+                        .mem
+                        .set_prot(node, page, Prot::ReadWrite)
+                        .expect("copy mapped");
+                }
+            }
+        }
+        sim.advance(self.cluster.mem.config().protect_ns);
+    }
+
+    /// Marks the dirty words covered by a write of `len` bytes at `addr`.
+    pub(crate) fn mark_dirty(&self, node: NodeId, addr: GAddr, len: u64) {
+        let mut st = self.state.lock();
+        let np = &mut st.nodes[node.0 as usize];
+        if let Some(copy) = np.copies.get_mut(&addr.page().index()) {
+            if let Some(dirty) = copy.dirty.as_mut() {
+                let first = addr.page_offset() / 8;
+                let last = (addr.page_offset() + len - 1) / 8;
+                for w in first..=last {
+                    dirty[(w / 64) as usize] |= 1u64 << (w % 64);
+                }
+            }
+        }
+    }
+
+    /// Release: flushes this node's dirty pages to their homes and
+    /// publishes write notices. Called before every lock release and
+    /// barrier arrival.
+    pub fn release(&self, sim: &Sim) {
+        let node = sim.node();
+        sim.sync_point();
+        let dirty_pages = {
+            let mut st = self.state.lock();
+            std::mem::take(&mut st.nodes[node.0 as usize].dirty_pages)
+        };
+        if dirty_pages.is_empty() {
+            return;
+        }
+        let mut max_arrival = sim.now();
+        if let Some(threshold) = self.cfg.migration_threshold {
+            // Migration policy (extension): a chunk repeatedly diffed by a
+            // single remote node moves home to that node. One streak bump
+            // per chunk per release.
+            let gran = self.cfg.home_granularity_pages;
+            let mut chunks: Vec<u64> = dirty_pages
+                .iter()
+                .map(|p| PageNum::new(*p).chunk_base(gran).index())
+                .collect();
+            chunks.sort_unstable();
+            chunks.dedup();
+            for chunk in chunks {
+                self.consider_migration(sim, PageNum::new(chunk), threshold);
+            }
+        }
+        for page_idx in dirty_pages {
+            let page = PageNum::new(page_idx);
+            let (home, region, region_off, write_through) = {
+                let st = self.state.lock();
+                let d = &st.dir[&page_idx];
+                let wt = self.cfg.write_through_single_writer
+                    && !d.multi_writer
+                    && d.first_writer == Some(node);
+                (d.home, d.region, d.region_off, wt)
+            };
+
+            // Collect dirty runs from the bitmap.
+            let bitmap = {
+                let mut st = self.state.lock();
+                let copy = st.nodes[node.0 as usize]
+                    .copies
+                    .get_mut(&page_idx)
+                    .expect("dirty page has copy");
+                copy.dirty.take().expect("dirty page has bitmap")
+            };
+            let runs = dirty_runs(&bitmap);
+            let dirty_bytes: u64 = runs.iter().map(|r| (r.1 - r.0) * 8).sum();
+
+            if home == node {
+                // Home writer: data already authoritative, just a notice.
+                sim.advance(self.cfg.costs.diff_build_ns / 4);
+            } else {
+                if write_through {
+                    // Single-writer write-through: updates streamed during
+                    // computation; release only fences.
+                    sim.advance(500);
+                } else {
+                    sim.advance(self.cfg.costs.diff_build_ns);
+                }
+                // The home region may have changed (migration) since we
+                // fetched this page; import lazily like the fetch path.
+                let need_import = {
+                    let mut st = self.state.lock();
+                    st.nodes[node.0 as usize]
+                        .imported
+                        .insert(region.0, ())
+                        .is_none()
+                };
+                if need_import {
+                    self.cluster
+                        .vmmc
+                        .import_region(node, region)
+                        .unwrap_or_else(|e| panic!("region import failed: {e}"));
+                    sim.advance(self.cluster.vmmc.config().import_op_ns);
+                }
+                let (frame, _) = self
+                    .cluster
+                    .mem
+                    .translate(node, page)
+                    .expect("dirty page mapped");
+                for (w0, w1) in &runs {
+                    let off = w0 * 8;
+                    let len = (w1 - w0) * 8;
+                    let mut buf = vec![0u8; len as usize];
+                    self.cluster.mem.frame_read(frame, off as usize, &mut buf);
+                    let t = self
+                        .cluster
+                        .vmmc
+                        .remote_write(node, region, region_off + off, &buf, sim.now())
+                        .unwrap_or_else(|e| panic!("diff write failed: {e}"));
+                    if !write_through {
+                        max_arrival = max_arrival.max(t.arrival);
+                    }
+                }
+                {
+                    let mut st = self.state.lock();
+                    st.nodes[node.0 as usize].stats.diffs_sent += 1;
+                    st.nodes[node.0 as usize].stats.diff_bytes += dirty_bytes;
+                }
+                self.trace(
+                    sim.now(),
+                    crate::trace::TraceEvent::Diff {
+                        node,
+                        page,
+                        bytes: dirty_bytes,
+                    },
+                );
+            }
+
+            // Bump the version and publish the notice. The releaser's own
+            // copy is complete only if nobody else released this page
+            // since we fetched it (multiple concurrent writers must
+            // invalidate each other at their next acquire — their local
+            // copies each miss the other's words).
+            {
+                let mut st = self.state.lock();
+                let d = st.dir.get_mut(&page_idx).expect("dir entry");
+                let pre = d.version;
+                d.version += 1;
+                let v = d.version;
+                st.log.push((page_idx, v));
+                let copy = st.nodes[node.0 as usize]
+                    .copies
+                    .get_mut(&page_idx)
+                    .expect("copy");
+                if copy.version == pre {
+                    copy.version = v;
+                }
+            }
+            // Downgrade to read-only so new writes are tracked again.
+            self.cluster
+                .mem
+                .set_prot(node, page, Prot::Read)
+                .expect("dirty page mapped");
+            sim.advance(self.cluster.mem.config().protect_ns);
+        }
+        // Release fence: diffs must be remotely visible.
+        sim.clock_at_least(max_arrival);
+    }
+
+    /// Acquire: applies all write notices this node has not yet seen,
+    /// invalidating stale copies. Called after every lock grant and
+    /// barrier departure.
+    pub fn acquire(&self, sim: &Sim) {
+        let node = sim.node();
+        let mut invalidate = Vec::new();
+        let applied;
+        {
+            let mut st = self.state.lock();
+            let cursor = st.nodes[node.0 as usize].log_cursor;
+            let end = st.log.len();
+            applied = end - cursor;
+            for i in cursor..end {
+                let (page_idx, version) = st.log[i];
+                let home = st.dir[&page_idx].home;
+                if home == node {
+                    continue;
+                }
+                if let Some(copy) = st.nodes[node.0 as usize].copies.get(&page_idx) {
+                    if copy.version < version && copy.dirty.is_none() {
+                        invalidate.push(page_idx);
+                    }
+                }
+            }
+            st.nodes[node.0 as usize].log_cursor = end;
+            st.nodes[node.0 as usize].stats.notices_applied += invalidate.len() as u64;
+        }
+        for page_idx in &invalidate {
+            let page = PageNum::new(*page_idx);
+            self.cluster
+                .mem
+                .set_prot(node, page, Prot::None)
+                .expect("cached copy mapped");
+            {
+                let mut st = self.state.lock();
+                st.nodes[node.0 as usize].copies.remove(page_idx);
+            }
+            self.trace(sim.now(), crate::trace::TraceEvent::Invalidate { node, page });
+        }
+        if applied > 0 {
+            sim.advance(self.cfg.costs.notice_apply_ns * invalidate.len().max(1) as u64);
+        }
+    }
+
+    /// Detailed misplacement list `(page, first_toucher, home)` for
+    /// diagnostics.
+    pub fn misplaced_pages(&self) -> Vec<(u64, NodeId, NodeId)> {
+        let st = self.state.lock();
+        let mut out = Vec::new();
+        for (page, toucher) in &st.first_toucher {
+            if let Some(d) = st.dir.get(page) {
+                if d.home != *toucher {
+                    out.push((*page, *toucher, d.home));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Applies the migration policy for one dirty page: bump the chunk's
+    /// sole-remote-differ streak and migrate the chunk here once the
+    /// streak reaches `threshold`.
+    fn consider_migration(&self, sim: &Sim, page: PageNum, threshold: u32) {
+        let node = sim.node();
+        let gran = self.cfg.home_granularity_pages;
+        let chunk_base = page.chunk_base(gran);
+        let migrate = {
+            let mut st = self.state.lock();
+            let home = match st.dir.get(&page.index()) {
+                Some(d) => d.home,
+                None => return,
+            };
+            if home == node {
+                return;
+            }
+            // Only migrate chunks whose local copies are all current
+            // (another interval's diff would otherwise be lost) and on
+            // which no node holds unflushed dirty words.
+            let current = (0..gran).all(|i| {
+                let idx = chunk_base.index() + i;
+                match (st.dir.get(&idx), st.nodes[node.0 as usize].copies.get(&idx)) {
+                    (Some(d), Some(c)) => c.version >= d.version,
+                    (Some(_), None) => true, // no copy: nothing to lose
+                    _ => true,
+                }
+            });
+            let foreign_dirty = st.nodes.iter().enumerate().any(|(n, np)| {
+                n != node.0 as usize
+                    && (0..gran).any(|i| {
+                        np.copies
+                            .get(&(chunk_base.index() + i))
+                            .map(|c| c.dirty.is_some())
+                            .unwrap_or(false)
+                    })
+            });
+            if !current || foreign_dirty {
+                return;
+            }
+            let e = st
+                .diff_streaks
+                .entry(chunk_base.index())
+                .or_insert((node, 0));
+            if e.0 == node {
+                e.1 += 1;
+            } else {
+                *e = (node, 1);
+            }
+            e.1 >= threshold
+        };
+        if migrate {
+            self.migrate_chunk(sim, chunk_base);
+            let mut st = self.state.lock();
+            st.diff_streaks.remove(&chunk_base.index());
+        }
+    }
+
+    /// Migrates the chunk at `base` to the calling node: new home frames
+    /// are allocated in this node's home region, current contents are
+    /// pulled over, the directory is updated and a write notice makes
+    /// every stale copy refetch from the new home. (The mechanism of
+    /// paper §2.1.3, driven by the policy above.)
+    fn migrate_chunk(&self, sim: &Sim, base: PageNum) {
+        debug_assert_eq!(self.cfg.mode, ProtoMode::Cables, "migration is a CableS mechanism");
+        let node = sim.node();
+        let gran = self.cfg.home_granularity_pages;
+        let os = self.cluster.mem.config().clone();
+
+        // New home frames in this node's (single) registered region.
+        let mut frames = Vec::with_capacity(gran as usize);
+        for _ in 0..gran {
+            frames.push(
+                self.cluster
+                    .mem
+                    .alloc_frame(node)
+                    .unwrap_or_else(|e| panic!("migration frame allocation failed: {e}")),
+            );
+        }
+        sim.advance(os.frame_alloc_ns * gran);
+        let (region, base_off) = {
+            let entry = {
+                let st = self.state.lock();
+                st.home_region[node.0 as usize]
+            };
+            let (region, off) = match entry {
+                Some((r, len)) => {
+                    self.cluster
+                        .vmmc
+                        .extend_region(r, frames.clone())
+                        .unwrap_or_else(|e| panic!("migration region extension failed: {e}"));
+                    (r, len)
+                }
+                None => {
+                    let r = self
+                        .cluster
+                        .vmmc
+                        .export_region(node, frames.clone())
+                        .unwrap_or_else(|e| panic!("migration region export failed: {e}"));
+                    (r, 0)
+                }
+            };
+            let mut st = self.state.lock();
+            st.home_region[node.0 as usize] = Some((region, off + gran * PAGE_SIZE));
+            (region, off)
+        };
+        sim.advance(self.cluster.vmmc.config().extend_op_ns);
+
+        // Pull current contents: from the local (current) copy when one
+        // exists, otherwise fetched from the old home.
+        for i in 0..gran {
+            let idx = base.index() + i;
+            let new_frame = frames[i as usize];
+            let local = self
+                .cluster
+                .mem
+                .translate(node, PageNum::new(idx))
+                .map(|(f, _)| f);
+            let (old_region, old_off, in_dir) = {
+                let st = self.state.lock();
+                match st.dir.get(&idx) {
+                    Some(d) => (d.region, d.region_off, true),
+                    None => (region, 0, false),
+                }
+            };
+            match local {
+                Some(f) => self.cluster.mem.copy_frame(f, new_frame),
+                None if in_dir => {
+                    let (data, done) = self
+                        .cluster
+                        .vmmc
+                        .remote_fetch(node, old_region, old_off, PAGE_SIZE, sim.now())
+                        .unwrap_or_else(|e| panic!("migration fetch failed: {e}"));
+                    sim.clock_at_least(done);
+                    self.cluster.mem.frame_write(new_frame, 0, &data);
+                }
+                None => {}
+            }
+        }
+
+        // Remap the chunk locally onto the new home frames and update the
+        // directory; the version bump invalidates every remote copy.
+        self.cluster
+            .mem
+            .map_chunk(node, base, &frames, Prot::None)
+            .expect("chunk-aligned migration mapping");
+        sim.advance(os.map_op_ns);
+        {
+            let mut st = self.state.lock();
+            let stx = &mut *st;
+            for i in 0..gran {
+                let idx = base.index() + i;
+                if let Some(d) = stx.dir.get_mut(&idx) {
+                    d.home = node;
+                    d.region = region;
+                    d.region_off = base_off + i * PAGE_SIZE;
+                    d.version += 1;
+                    let v = d.version;
+                    stx.log.push((idx, v));
+                    let np = &mut stx.nodes[node.0 as usize];
+                    let copy = np.copies.entry(idx).or_insert(CopyState {
+                        version: 0,
+                        dirty: None,
+                    });
+                    copy.version = v;
+                    // A pending dirty map stays attached: the flush that
+                    // follows is now a (free) home-local release.
+                }
+            }
+            stx.nodes[node.0 as usize].stats.migrations += 1;
+        }
+        self.trace(sim.now(), crate::trace::TraceEvent::Migrate { node, base });
+        sim.op_point(self.cfg.costs.placement_bookkeeping_ns);
+        if node != self.master {
+            let t = self.cluster.san.send(node, self.master, 64, sim.now());
+            sim.clock_at_least(t.local_done);
+        }
+    }
+
+    /// Placement quality of the run so far (paper Fig. 6): a page is
+    /// *misplaced* when its home is not its first toucher — i.e. when the
+    /// 64 KB binding granularity overruled the page-granular first-touch
+    /// placement the base system would have produced.
+    pub fn placement_report(&self) -> PlacementReport {
+        let st = self.state.lock();
+        let mut rep = PlacementReport::default();
+        for (page, toucher) in &st.first_toucher {
+            if let Some(d) = st.dir.get(page) {
+                rep.touched_pages += 1;
+                if d.home != *toucher {
+                    rep.misplaced_pages += 1;
+                }
+            }
+        }
+        rep
+    }
+
+    /// Protocol counters for `node`.
+    pub fn node_stats(&self, node: NodeId) -> NodeStats {
+        let st = self.state.lock();
+        st.nodes[node.0 as usize].stats
+    }
+
+    /// Sum of protocol counters over all nodes.
+    pub fn total_stats(&self) -> NodeStats {
+        let st = self.state.lock();
+        let mut out = NodeStats::default();
+        for n in &st.nodes {
+            let s = n.stats;
+            out.read_faults += s.read_faults;
+            out.write_faults += s.write_faults;
+            out.remote_fetches += s.remote_fetches;
+            out.fetch_bytes += s.fetch_bytes;
+            out.diffs_sent += s.diffs_sent;
+            out.diff_bytes += s.diff_bytes;
+            out.notices_applied += s.notices_applied;
+            out.placements += s.placements;
+            out.migrations += s.migrations;
+            out.lock_acquires += s.lock_acquires;
+            out.barrier_waits += s.barrier_waits;
+        }
+        out
+    }
+}
+
+/// Decodes a dirty bitmap into half-open word ranges `(first, last+1)`.
+pub(crate) fn dirty_runs(bitmap: &[u64; BITMAP_WORDS]) -> Vec<(u64, u64)> {
+    let mut runs = Vec::new();
+    let mut start: Option<u64> = None;
+    for w in 0..WORDS_PER_PAGE as u64 {
+        let set = bitmap[(w / 64) as usize] >> (w % 64) & 1 == 1;
+        match (set, start) {
+            (true, None) => start = Some(w),
+            (false, Some(s)) => {
+                runs.push((s, w));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        runs.push((s, WORDS_PER_PAGE as u64));
+    }
+    runs
+}
+
+/// Typed read/write entry points live on [`SvmSystem`]; see `api.rs`.
+impl SvmSystem {
+    /// Reads a scalar from the shared address space, faulting into the
+    /// protocol as needed.
+    pub fn read<T: Scalar>(&self, sim: &Sim, addr: GAddr) -> T {
+        sim.advance(self.cfg.costs.access_check_ns);
+        loop {
+            match self.cluster.mem.read_scalar::<T>(sim.node(), addr) {
+                Ok(v) => return v,
+                Err(f) => self.handle_fault(sim, f.page, f.kind),
+            }
+        }
+    }
+
+    /// Writes a scalar to the shared address space, faulting into the
+    /// protocol as needed; the touched words become part of the next
+    /// release's diff.
+    pub fn write<T: Scalar>(&self, sim: &Sim, addr: GAddr, v: T) {
+        sim.advance(self.cfg.costs.access_check_ns);
+        loop {
+            match self.cluster.mem.write_scalar::<T>(sim.node(), addr, v) {
+                Ok(()) => {
+                    self.mark_dirty(sim.node(), addr, T::SIZE as u64);
+                    return;
+                }
+                Err(f) => self.handle_fault(sim, f.page, f.kind),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_runs_empty() {
+        let bm = [0u64; BITMAP_WORDS];
+        assert!(dirty_runs(&bm).is_empty());
+    }
+
+    #[test]
+    fn dirty_runs_single_word() {
+        let mut bm = [0u64; BITMAP_WORDS];
+        bm[0] |= 1 << 5;
+        assert_eq!(dirty_runs(&bm), vec![(5, 6)]);
+    }
+
+    #[test]
+    fn dirty_runs_merges_adjacent() {
+        let mut bm = [0u64; BITMAP_WORDS];
+        for w in 10..20 {
+            bm[w / 64] |= 1 << (w % 64);
+        }
+        bm[1] |= 1; // word 64, separate run
+        assert_eq!(dirty_runs(&bm), vec![(10, 20), (64, 65)]);
+    }
+
+    #[test]
+    fn dirty_runs_tail_run() {
+        let mut bm = [0u64; BITMAP_WORDS];
+        let last = WORDS_PER_PAGE as u64 - 1;
+        bm[(last / 64) as usize] |= 1 << (last % 64);
+        assert_eq!(dirty_runs(&bm), vec![(last, last + 1)]);
+    }
+
+    #[test]
+    fn placement_report_pct() {
+        let r = PlacementReport {
+            touched_pages: 200,
+            misplaced_pages: 50,
+        };
+        assert!((r.misplaced_pct() - 25.0).abs() < 1e-9);
+        assert_eq!(PlacementReport::default().misplaced_pct(), 0.0);
+    }
+}

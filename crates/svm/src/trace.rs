@@ -1,0 +1,146 @@
+//! Optional protocol event tracing.
+//!
+//! A bounded, deterministic record of protocol activity — the tool one
+//! reaches for when debugging a DSM protocol ("why did this page bounce?").
+//! Disabled by default (zero overhead beyond a branch); enable with
+//! [`SvmSystem::set_tracing`] and drain with [`SvmSystem::take_trace`].
+
+use std::fmt;
+
+use memsim::PageNum;
+use sim::{NodeId, SimTime};
+
+use crate::api::SvmSystem;
+
+/// One protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A page fault entered the protocol handler.
+    Fault {
+        /// Faulting node.
+        node: NodeId,
+        /// Faulting page.
+        page: PageNum,
+        /// Whether the faulting access was a write.
+        write: bool,
+    },
+    /// First touch placed a chunk.
+    Place {
+        /// New home node.
+        node: NodeId,
+        /// First page of the placed chunk.
+        base: PageNum,
+    },
+    /// A whole page was fetched from its home.
+    Fetch {
+        /// Requesting node.
+        node: NodeId,
+        /// Fetched page.
+        page: PageNum,
+        /// Home node serving the fetch.
+        home: NodeId,
+    },
+    /// A diff was flushed to a remote home at a release.
+    Diff {
+        /// Releasing node.
+        node: NodeId,
+        /// Page whose dirty words were flushed.
+        page: PageNum,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A cached copy was invalidated at an acquire.
+    Invalidate {
+        /// Node whose copy died.
+        node: NodeId,
+        /// Invalidated page.
+        page: PageNum,
+    },
+    /// A chunk migrated to a new home (policy extension).
+    Migrate {
+        /// The new home.
+        node: NodeId,
+        /// First page of the migrated chunk.
+        base: PageNum,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Fault { node, page, write } => {
+                write!(f, "fault {} {} {}", node, page, if *write { "W" } else { "R" })
+            }
+            TraceEvent::Place { node, base } => write!(f, "place {node} chunk@{base}"),
+            TraceEvent::Fetch { node, page, home } => {
+                write!(f, "fetch {node} <- {home} {page}")
+            }
+            TraceEvent::Diff { node, page, bytes } => {
+                write!(f, "diff {node} {page} {bytes}B")
+            }
+            TraceEvent::Invalidate { node, page } => write!(f, "inval {node} {page}"),
+            TraceEvent::Migrate { node, base } => write!(f, "migrate -> {node} chunk@{base}"),
+        }
+    }
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Cap on retained records (oldest are dropped beyond this).
+pub const TRACE_CAP: usize = 65_536;
+
+impl SvmSystem {
+    /// Enables or disables protocol tracing.
+    pub fn set_tracing(&self, on: bool) {
+        let mut st = self.state.lock();
+        st.tracing = on;
+        if !on {
+            st.trace.clear();
+        }
+    }
+
+    /// Drains and returns the recorded events (oldest first).
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        let mut st = self.state.lock();
+        std::mem::take(&mut st.trace)
+    }
+
+    pub(crate) fn trace(&self, at: SimTime, event: TraceEvent) {
+        let mut st = self.state.lock();
+        if !st.tracing {
+            return;
+        }
+        if st.trace.len() >= TRACE_CAP {
+            st.trace.remove(0);
+        }
+        st.trace.push(TraceRecord { at, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let e = TraceEvent::Fetch {
+            node: NodeId(1),
+            page: PageNum::new(7),
+            home: NodeId(0),
+        };
+        assert_eq!(e.to_string(), "fetch n1 <- n0 p7");
+        let e = TraceEvent::Fault {
+            node: NodeId(2),
+            page: PageNum::new(3),
+            write: true,
+        };
+        assert_eq!(e.to_string(), "fault n2 p3 W");
+    }
+}

@@ -1,0 +1,96 @@
+//! The protocol trace facility records the canonical event sequence of a
+//! producer/consumer hand-off.
+
+use std::sync::Arc;
+
+use cables_svm::{Cluster, ClusterConfig, SvmConfig, SvmSystem, TraceEvent};
+
+#[test]
+fn trace_records_fault_place_fetch_diff_invalidate() {
+    let cluster = Cluster::build(ClusterConfig::small(2, 1));
+    let sys = SvmSystem::new(Arc::clone(&cluster), SvmConfig::cables());
+    sys.set_tracing(true);
+    let s = Arc::clone(&sys);
+    cluster
+        .engine
+        .clone()
+        .run(cluster.nodes()[0], move |sim| {
+            let a = s.g_malloc(sim, 4096);
+            s.lock(sim, 1);
+            s.write::<u64>(sim, a, 1); // fault + place on master
+            s.unlock(sim, 1);
+            let s2 = Arc::clone(&s);
+            let w = s.create(sim, move |ws| {
+                s2.lock(ws, 1);
+                let v = s2.read::<u64>(ws, a); // fault + fetch
+                s2.write::<u64>(ws, a, v + 1); // write upgrade
+                s2.unlock(ws, 1); // diff to home
+            });
+            sim.wait_exit(w);
+            s.lock(sim, 1); // acquire: master's copy is home, no inval
+            assert_eq!(s.read::<u64>(sim, a), 2);
+            s.unlock(sim, 1);
+        })
+        .unwrap();
+
+    let trace = sys.take_trace();
+    assert!(!trace.is_empty());
+    // Timestamps are nondecreasing.
+    for pair in trace.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "trace out of order");
+    }
+    let kinds: Vec<&'static str> = trace
+        .iter()
+        .map(|r| match r.event {
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Place { .. } => "place",
+            TraceEvent::Fetch { .. } => "fetch",
+            TraceEvent::Diff { .. } => "diff",
+            TraceEvent::Invalidate { .. } => "inval",
+            TraceEvent::Migrate { .. } => "migrate",
+        })
+        .collect();
+    assert!(kinds.contains(&"fault"));
+    assert!(kinds.contains(&"place"));
+    assert!(kinds.contains(&"fetch"));
+    assert!(kinds.contains(&"diff"));
+    // Ordering: the place precedes any fetch, which precedes the diff.
+    let pos = |k: &str| kinds.iter().position(|x| *x == k).unwrap();
+    assert!(pos("place") < pos("fetch"));
+    assert!(pos("fetch") < pos("diff"));
+    // Disabled tracing records nothing.
+    sys.set_tracing(false);
+    assert!(sys.take_trace().is_empty());
+}
+
+#[test]
+fn trace_is_deterministic() {
+    fn one() -> Vec<String> {
+        let cluster = Cluster::build(ClusterConfig::small(2, 1));
+        let sys = SvmSystem::new(Arc::clone(&cluster), SvmConfig::cables());
+        sys.set_tracing(true);
+        let s = Arc::clone(&sys);
+        cluster
+            .engine
+            .clone()
+            .run(cluster.nodes()[0], move |sim| {
+                let a = s.g_malloc(sim, 4096 * 2);
+                s.write::<u64>(sim, a, 1);
+                let s2 = Arc::clone(&s);
+                let w = s.create(sim, move |ws| {
+                    for r in 0..3u64 {
+                        s2.lock(ws, 1);
+                        s2.write::<u64>(ws, a + 8, r);
+                        s2.unlock(ws, 1);
+                    }
+                });
+                sim.wait_exit(w);
+            })
+            .unwrap();
+        sys.take_trace()
+            .iter()
+            .map(|r| format!("{} {}", r.at, r.event))
+            .collect()
+    }
+    assert_eq!(one(), one());
+}

@@ -1,0 +1,94 @@
+//! An OpenMP program on the cluster, OdinMP-style: a heat-diffusion
+//! stencil written with parallel regions, static worksharing, reductions
+//! and singles — all lowered onto CableS pthreads (paper §3.3).
+//!
+//! Run with: `cargo run --release --example openmp_stencil`
+
+use std::sync::Arc;
+
+use cables::{CablesConfig, CablesRt};
+use omp::Omp;
+use svm::{Cluster, ClusterConfig};
+
+fn main() {
+    let n = 64usize;
+    let steps = 10;
+    let threads = 4;
+
+    let cluster = Cluster::build(ClusterConfig::small(2, 2));
+    let rt = CablesRt::new(Arc::clone(&cluster), CablesConfig::paper());
+    let rt2 = Arc::clone(&rt);
+
+    let end = rt
+        .run(move |pth| {
+            let omp = Omp::new(Arc::clone(&rt2), threads);
+            let grid = pth.malloc((n * n * 8) as u64);
+            let next = pth.malloc((n * n * 8) as u64);
+            let heat = pth.malloc(8);
+            let at = move |g: memsim::GAddr, i: usize, j: usize| g + ((i * n + j) * 8) as u64;
+
+            // Master initializes: a hot square in the middle.
+            for i in 0..n {
+                for j in 0..n {
+                    let hot = (n / 4..3 * n / 4).contains(&i) && (n / 4..3 * n / 4).contains(&j);
+                    pth.write::<f64>(at(grid, i, j), if hot { 100.0 } else { 0.0 });
+                }
+            }
+
+            let mut src = grid;
+            let mut dst = next;
+            for step in 0..steps {
+                let (s, d) = (src, dst);
+                omp.parallel(pth, move |c| {
+                    // #pragma omp for
+                    c.for_static(n - 2, |r| {
+                        let i = r + 1;
+                        for j in 1..n - 1 {
+                            let v = 0.25
+                                * (c.pth().read::<f64>(at(s, i - 1, j))
+                                    + c.pth().read::<f64>(at(s, i + 1, j))
+                                    + c.pth().read::<f64>(at(s, i, j - 1))
+                                    + c.pth().read::<f64>(at(s, i, j + 1)));
+                            c.pth().write::<f64>(at(d, i, j), v);
+                        }
+                        c.pth().compute(4 * (n as u64) * 20);
+                    });
+                    c.barrier();
+                    // #pragma omp single: sample total heat.
+                    c.single(|| {
+                        let mut total = 0.0;
+                        for i in 1..n - 1 {
+                            total += c.pth().read::<f64>(at(d, i, n / 2));
+                        }
+                        c.pth().write::<f64>(heat, total);
+                    });
+                });
+                let centre_heat = pth.read::<f64>(heat);
+                if step % 3 == 0 {
+                    println!("step {step}: centre-column heat {centre_heat:.2}");
+                }
+                std::mem::swap(&mut src, &mut dst);
+            }
+
+            // Reduction: total heat in the final grid.
+            let total = pth.malloc(8);
+            pth.write::<f64>(total, 0.0);
+            let s = src;
+            omp.parallel(pth, move |c| {
+                let mut local = 0.0;
+                c.for_static(n, |i| {
+                    for j in 0..n {
+                        local += c.pth().read::<f64>(at(s, i, j));
+                    }
+                });
+                c.reduce_sum_f64(total, local);
+            });
+            let t = pth.read::<f64>(total);
+            println!("total heat after {steps} steps: {t:.1}");
+            assert!(t > 0.0);
+            omp.shutdown(pth);
+            0
+        })
+        .expect("simulation");
+    println!("virtual time: {end}");
+}

@@ -1,0 +1,60 @@
+//! SPLASH-2 FFT on both systems: the paper's Fig. 5(a) in miniature.
+//!
+//! Runs the same M4 program on the base (GeNIMA) system and on CableS at
+//! several processor counts and prints execution times, protocol traffic
+//! and page placement quality.
+//!
+//! Run with: `cargo run --release --example splash_fft`
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use apps::splash::fft::{fft, FftParams};
+use apps::{M4Mode, M4System};
+use svm::{Cluster, ClusterConfig};
+
+fn main() {
+    let m = 10; // 2^10 complex points
+    println!("SPLASH-2 FFT, n = 2^{m} complex points (scaled down from the paper's 2^22)");
+    println!(
+        "{:<8} {:>6} {:>14} {:>10} {:>10} {:>12}",
+        "system", "procs", "exec time", "fetches", "diffs", "misplaced %"
+    );
+    for procs in [1usize, 4, 8] {
+        for mode in [M4Mode::Base, M4Mode::Cables] {
+            let nodes = procs.div_ceil(2).max(1);
+            let cluster = Cluster::build(ClusterConfig::small(nodes, 2));
+            let sys = match mode {
+                M4Mode::Base => M4System::base(cluster),
+                M4Mode::Cables => M4System::cables(cluster),
+            };
+            let sys2 = Arc::clone(&sys);
+            let params = FftParams {
+                m,
+                nprocs: procs,
+                verify: true,
+            };
+            let err = Arc::new(StdMutex::new(0.0f64));
+            let err2 = Arc::clone(&err);
+            let end = sys
+                .run(move |ctx| {
+                    let r = fft(ctx, &params);
+                    *err2.lock().unwrap() = r.max_error.unwrap_or(f64::NAN);
+                })
+                .expect("run");
+            assert!(*err.lock().unwrap() < 1e-9, "FFT verification failed");
+            let stats = sys2.svm().total_stats();
+            let placement = sys2.svm().placement_report();
+            println!(
+                "{:<8} {:>6} {:>14} {:>10} {:>10} {:>11.1}%",
+                format!("{mode:?}"),
+                procs,
+                format!("{end}"),
+                stats.remote_fetches,
+                stats.diffs_sent,
+                placement.misplaced_pct()
+            );
+        }
+    }
+    println!("\n(verification: ifft(fft(x)) == x to 1e-9 on every run)");
+}

@@ -1,0 +1,31 @@
+//! # cables-suite — CableS (HPCA 2002) reproduction, umbrella crate
+//!
+//! Re-exports the whole stack so downstream users need a single
+//! dependency:
+//!
+//! | Layer | Crate | What it models |
+//! |-------|-------|----------------|
+//! | engine | [`sim`] | deterministic discrete-event cluster simulation |
+//! | network | [`san`] | Myrinet-class SAN cost model (paper Table 3) |
+//! | memory | [`memsim`] | node frames, page tables, NT 64 KB mapping granularity |
+//! | comms | [`vmmc`] | VMMC: registration limits, remote ops, notifications |
+//! | protocol | [`svm`] | GeNIMA-style home-based release consistency |
+//! | **contribution** | [`cables`] | the CableS pthreads runtime |
+//! | OpenMP | [`omp`] | OdinMP-style runtime over CableS |
+//! | workloads | [`apps`] | SPLASH-2 kernels, PN/PC/PIPE, OpenMP programs |
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results. Runnable examples:
+//! `cargo run --example quickstart` (and `splash_fft`, `dynamic_server`,
+//! `openmp_stencil`).
+
+#![warn(missing_docs)]
+
+pub use apps;
+pub use cables;
+pub use memsim;
+pub use omp;
+pub use san;
+pub use sim;
+pub use svm;
+pub use vmmc;

@@ -1,0 +1,435 @@
+//! Property-based tests over the whole stack: allocator safety, release
+//! consistency for randomized data-race-free programs, and determinism.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use proptest::prelude::*;
+
+use cables_suite::cables::{CablesConfig, CablesRt};
+use cables_suite::svm::{Cluster, ClusterConfig};
+
+/// Allocator model: random malloc/free sequences yield non-overlapping
+/// live blocks, and freed space is reusable.
+fn allocator_check(ops: Vec<(bool, u16)>) {
+    let cluster = Cluster::build(ClusterConfig::small(1, 1));
+    let rt = CablesRt::new(cluster, CablesConfig::paper());
+    let rt2 = Arc::clone(&rt);
+    rt.run(move |pth| {
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (free_op, sz) in &ops {
+            if *free_op && !live.is_empty() {
+                let (addr, _) = live.swap_remove(live.len() / 2);
+                pth.free(memsim::GAddr::new(addr));
+            } else {
+                let bytes = (*sz as u64 % 3000) + 1;
+                let a = pth.malloc(bytes);
+                // No overlap with any live block.
+                for (base, len) in &live {
+                    let disjoint = a.raw() + bytes <= *base || base + len <= a.raw();
+                    assert!(
+                        disjoint,
+                        "overlap: new [{:#x},+{}) vs live [{:#x},+{})",
+                        a.raw(),
+                        bytes,
+                        base,
+                        len
+                    );
+                }
+                live.push((a.raw(), bytes));
+            }
+        }
+        let _ = rt2.free_bytes();
+        0
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allocator_never_overlaps(ops in prop::collection::vec((any::<bool>(), any::<u16>()), 1..40)) {
+        allocator_check(ops);
+    }
+}
+
+/// Release consistency for randomized DRF programs: `nthreads` workers
+/// each write a distinct set of slots under a shared lock schedule, then
+/// everyone barriers and every thread must observe every write.
+fn drf_check(nthreads: usize, slots_per_thread: usize, seed: u64) {
+    let cluster = Cluster::build(ClusterConfig::small(2, 2));
+    let rt = CablesRt::new(cluster, CablesConfig::paper());
+    rt.run(move |pth| {
+        let total = nthreads * slots_per_thread;
+        let data = pth.malloc((total * 8) as u64);
+        let b = pth.rt().barrier_new();
+        let n = nthreads + 1;
+        let mut kids = Vec::new();
+        for t in 0..nthreads {
+            kids.push(pth.create(move |p| {
+                let mut rng = sim::DetRng::new(seed ^ t as u64);
+                // Write own slots in random order, with random compute.
+                let mut order: Vec<usize> = (0..slots_per_thread).collect();
+                rng.shuffle(&mut order);
+                for s in order {
+                    p.compute(rng.next_below(20_000));
+                    let idx = (t * slots_per_thread + s) as u64;
+                    p.write::<u64>(data + idx * 8, idx * 7 + 1);
+                }
+                p.barrier(b, n);
+                // After the barrier: all writes of all threads visible.
+                let mut rng2 = sim::DetRng::new(seed ^ (t as u64) << 8);
+                for _ in 0..total.min(32) {
+                    let idx = rng2.next_below(total as u64);
+                    let got = p.read::<u64>(data + idx * 8);
+                    assert_eq!(got, idx * 7 + 1, "thread {t} saw stale slot {idx}");
+                }
+                0
+            }));
+        }
+        pth.barrier(b, n);
+        for idx in 0..total as u64 {
+            assert_eq!(pth.read::<u64>(data + idx * 8), idx * 7 + 1);
+        }
+        for k in kids {
+            pth.join(k);
+        }
+        0
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn drf_programs_see_all_writes(
+        nthreads in 1usize..5,
+        slots in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        drf_check(nthreads, slots, seed);
+    }
+}
+
+/// Lock-based increments from random thread counts always sum correctly
+/// (mutual exclusion + RC around lock/unlock).
+fn counter_check(nthreads: usize, increments: usize) {
+    let cluster = Cluster::build(ClusterConfig::small(2, 2));
+    let rt = CablesRt::new(cluster, CablesConfig::paper());
+    rt.run(move |pth| {
+        let m = pth.rt().mutex_new();
+        let c = pth.malloc(8);
+        pth.write::<u64>(c, 0);
+        let mut kids = Vec::new();
+        for _ in 0..nthreads {
+            kids.push(pth.create(move |p| {
+                for _ in 0..increments {
+                    p.mutex_lock(m);
+                    let v = p.read::<u64>(c);
+                    p.write::<u64>(c, v + 1);
+                    p.mutex_unlock(m);
+                }
+                0
+            }));
+        }
+        for k in kids {
+            pth.join(k);
+        }
+        pth.mutex_lock(m);
+        assert_eq!(pth.read::<u64>(c), (nthreads * increments) as u64);
+        pth.mutex_unlock(m);
+        0
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn lock_protected_counter_is_exact(
+        nthreads in 1usize..6,
+        increments in 1usize..12,
+    ) {
+        counter_check(nthreads, increments);
+    }
+}
+
+/// Determinism: the same program yields the same virtual end time and the
+/// same protocol statistics on every run.
+#[test]
+fn runs_are_bit_deterministic() {
+    fn one_run() -> (u64, HashMap<&'static str, u64>) {
+        let cluster = Cluster::build(ClusterConfig::small(2, 2));
+        let rt = CablesRt::new(cluster, CablesConfig::paper());
+        let rt2 = Arc::clone(&rt);
+        let end = rt
+            .run(|pth| {
+                let m = pth.rt().mutex_new();
+                let b = pth.rt().barrier_new();
+                let data = pth.malloc(4096 * 4);
+                let mut kids = Vec::new();
+                for t in 0..3u64 {
+                    kids.push(pth.create(move |p| {
+                        for i in 0..50u64 {
+                            p.write::<u64>(data + ((t * 50 + i) % 512) * 8, i);
+                            p.compute(3_000);
+                        }
+                        p.mutex_lock(m);
+                        p.compute(1_000);
+                        p.mutex_unlock(m);
+                        p.barrier(b, 4);
+                        0
+                    }));
+                }
+                pth.barrier(b, 4);
+                for k in kids {
+                    pth.join(k);
+                }
+                0
+            })
+            .unwrap();
+        let s = rt2.svm().total_stats();
+        let mut map = HashMap::new();
+        map.insert("faults", s.read_faults + s.write_faults);
+        map.insert("fetches", s.remote_fetches);
+        map.insert("diffs", s.diffs_sent);
+        (end.as_nanos(), map)
+    }
+    let a = one_run();
+    let b = one_run();
+    assert_eq!(a, b);
+}
+
+/// The simulated cluster is genuinely shared-memory: a value written on
+/// one node is readable on every other node after synchronization, for
+/// every pair of nodes.
+#[test]
+fn all_pairs_visibility() {
+    let cluster = Cluster::build(ClusterConfig::small(4, 1));
+    let cfg = CablesConfig {
+        max_threads_per_node: 1,
+        ..CablesConfig::paper()
+    };
+    let rt = CablesRt::new(cluster, cfg);
+    rt.run(|pth| {
+        let b = pth.rt().barrier_new();
+        let data = pth.malloc(8 * 4);
+        let n = 4;
+        let mut kids = Vec::new();
+        for t in 1..n as u64 {
+            kids.push(pth.create(move |p| {
+                p.write::<u64>(data + 8 * t, 1000 + t);
+                p.barrier(b, n);
+                let mut sum = 0;
+                for j in 0..n as u64 {
+                    sum += p.read::<u64>(data + 8 * j);
+                }
+                assert_eq!(sum, 1000 + 1001 + 1002 + 1003);
+                0
+            }));
+        }
+        pth.write::<u64>(data, 1000);
+        pth.barrier(b, n);
+        for k in kids {
+            pth.join(k);
+        }
+        0
+    })
+    .unwrap();
+}
+
+/// Multi-writer merging: random disjoint word-sets per thread on a single
+/// page; after a barrier every thread sees every word.
+fn disjoint_writers_check(nthreads: usize, seed: u64) {
+    let cluster = Cluster::build(ClusterConfig::small(2, 2));
+    let rt = CablesRt::new(cluster, CablesConfig::paper());
+    rt.run(move |pth| {
+        let page = pth.malloc(4096);
+        let b = pth.rt().barrier_new();
+        let n = nthreads + 1;
+        // Assign each of 512 words to a random writer.
+        let mut owner = [0usize; 512];
+        let mut rng = sim::DetRng::new(seed);
+        for o in owner.iter_mut() {
+            *o = rng.next_below(nthreads as u64) as usize;
+        }
+        let owner = std::sync::Arc::new(owner);
+        let mut kids = Vec::new();
+        for t in 0..nthreads {
+            let owner2 = std::sync::Arc::clone(&owner);
+            kids.push(pth.create(move |p| {
+                for (w, o) in owner2.iter().enumerate() {
+                    if *o == t {
+                        p.write::<u64>(page + (w as u64) * 8, 10_000 + w as u64);
+                    }
+                }
+                p.barrier(b, n);
+                // Every word visible to every writer.
+                let mut rng = sim::DetRng::new(seed ^ t as u64);
+                for _ in 0..64 {
+                    let w = rng.next_below(512);
+                    assert_eq!(p.read::<u64>(page + w * 8), 10_000 + w);
+                }
+                0
+            }));
+        }
+        pth.barrier(b, n);
+        for w in 0..512u64 {
+            assert_eq!(pth.read::<u64>(page + w * 8), 10_000 + w);
+        }
+        for k in kids {
+            pth.join(k);
+        }
+        0
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn disjoint_writers_always_merge(
+        nthreads in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        disjoint_writers_check(nthreads, seed);
+    }
+}
+
+/// Readers-writer consistency: writers mutate a record under wrlock,
+/// readers under rdlock always see internally consistent snapshots
+/// (both halves equal).
+fn rwlock_snapshot_check(writers: usize, readers: usize, rounds: usize) {
+    let cluster = Cluster::build(ClusterConfig::small(2, 2));
+    let rt = CablesRt::new(cluster, CablesConfig::paper());
+    rt.run(move |pth| {
+        let rw = pth.rt().rwlock_new();
+        let rec = pth.malloc(16);
+        pth.rwlock_wrlock(rw);
+        pth.write::<u64>(rec, 0);
+        pth.write::<u64>(rec + 8, 0);
+        pth.rwlock_unlock(rw);
+        let mut kids = Vec::new();
+        for _ in 0..writers {
+            kids.push(pth.create(move |p| {
+                for _ in 0..rounds {
+                    p.rwlock_wrlock(rw);
+                    let v = p.read::<u64>(rec);
+                    p.write::<u64>(rec, v + 1);
+                    p.compute(5_000);
+                    p.write::<u64>(rec + 8, v + 1);
+                    p.rwlock_unlock(rw);
+                }
+                0
+            }));
+        }
+        for _ in 0..readers {
+            kids.push(pth.create(move |p| {
+                for _ in 0..rounds {
+                    p.rwlock_rdlock(rw);
+                    let a = p.read::<u64>(rec);
+                    let b = p.read::<u64>(rec + 8);
+                    assert_eq!(a, b, "torn snapshot under rdlock");
+                    p.rwlock_unlock(rw);
+                    p.compute(20_000);
+                }
+                0
+            }));
+        }
+        for k in kids {
+            pth.join(k);
+        }
+        pth.rwlock_rdlock(rw);
+        assert_eq!(
+            pth.read::<u64>(rec),
+            (writers * rounds) as u64,
+            "all increments applied"
+        );
+        pth.rwlock_unlock(rw);
+        0
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn rwlock_snapshots_are_consistent(
+        writers in 1usize..4,
+        readers in 1usize..4,
+        rounds in 1usize..6,
+    ) {
+        rwlock_snapshot_check(writers, readers, rounds);
+    }
+}
+
+/// Timed waits terminate: random mixes of timed waiters and (sometimes
+/// absent) signallers never deadlock, and results are classified
+/// correctly.
+fn timedwait_check(waiters: usize, signal_count: usize) {
+    let cluster = Cluster::build(ClusterConfig::small(2, 2));
+    let rt = CablesRt::new(cluster, CablesConfig::paper());
+    rt.run(move |pth| {
+        let m = pth.rt().mutex_new();
+        let cv = pth.rt().cond_new();
+        let granted = pth.malloc(8);
+        pth.write::<u64>(granted, 0);
+        let mut kids = Vec::new();
+        for _ in 0..waiters {
+            kids.push(pth.create(move |p| {
+                p.mutex_lock(m);
+                let mut got = false;
+                // Consume a grant or give up after the deadline.
+                loop {
+                    let g = p.read::<u64>(granted);
+                    if g > 0 {
+                        p.write::<u64>(granted, g - 1);
+                        got = true;
+                        break;
+                    }
+                    match p.cond_timedwait(cv, m, 3_000_000) {
+                        Ok(true) => continue,
+                        Ok(false) => break,
+                        Err(_) => break,
+                    }
+                }
+                p.mutex_unlock(m);
+                u64::from(got)
+            }));
+        }
+        pth.compute(500_000);
+        for _ in 0..signal_count {
+            pth.mutex_lock(m);
+            let g = pth.read::<u64>(granted);
+            pth.write::<u64>(granted, g + 1);
+            pth.cond_signal(cv);
+            pth.mutex_unlock(m);
+            pth.compute(100_000);
+        }
+        let got: u64 = kids.into_iter().map(|k| pth.join(k)).sum();
+        // Nobody can consume more grants than were issued (or than there
+        // are waiters); termination itself is the main property.
+        let cap = signal_count.min(waiters) as u64;
+        assert!(got <= cap, "got {got} > cap {cap}");
+        0
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn timed_waits_always_terminate(
+        waiters in 1usize..5,
+        signal_count in 0usize..6,
+    ) {
+        timedwait_check(waiters, signal_count);
+    }
+}
