@@ -252,6 +252,25 @@ impl M4Ctx<'_> {
         self.sys.svm().write(self.sim, addr, v)
     }
 
+    /// Reads `out.len()` consecutive scalars starting at `addr` — the
+    /// bulk equivalent of a `read` loop (identical simulated time and
+    /// protocol behaviour, one translation per page run).
+    pub fn read_slice<T: Scalar>(&self, addr: GAddr, out: &mut [T]) {
+        self.sys.svm().read_slice(self.sim, addr, out)
+    }
+
+    /// Writes `data` as consecutive scalars starting at `addr` — the bulk
+    /// equivalent of a `write` loop.
+    pub fn write_slice<T: Scalar>(&self, addr: GAddr, data: &[T]) {
+        self.sys.svm().write_slice(self.sim, addr, data)
+    }
+
+    /// Writes `count` copies of `v` starting at `addr` — the bulk
+    /// equivalent of an initialization `write` loop.
+    pub fn fill<T: Scalar>(&self, addr: GAddr, v: T, count: usize) {
+        self.sys.svm().fill(self.sim, addr, v, count)
+    }
+
     /// Charges `ns` nanoseconds of local computation.
     pub fn compute(&self, ns: u64) {
         self.sim.advance(ns);

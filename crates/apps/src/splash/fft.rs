@@ -94,20 +94,15 @@ impl Layout {
 }
 
 fn read_row(ctx: &M4Ctx, a: Arr<f64>, l: &Layout, r: u64) -> Vec<(f64, f64)> {
-    (0..l.sqrt_n)
-        .map(|c| {
-            let i = l.idx(r, c);
-            (a.get(ctx, i), a.get(ctx, i + 1))
-        })
-        .collect()
+    // A row is contiguous in memory: one bulk read for the whole row.
+    let mut flat = vec![0.0f64; 2 * l.sqrt_n as usize];
+    a.get_slice(ctx, l.idx(r, 0), &mut flat);
+    flat.chunks_exact(2).map(|p| (p[0], p[1])).collect()
 }
 
 fn write_row(ctx: &M4Ctx, a: Arr<f64>, l: &Layout, r: u64, buf: &[(f64, f64)]) {
-    for (c, (re, im)) in buf.iter().enumerate() {
-        let i = l.idx(r, c as u64);
-        a.set(ctx, i, *re);
-        a.set(ctx, i + 1, *im);
-    }
+    let flat: Vec<f64> = buf.iter().flat_map(|&(re, im)| [re, im]).collect();
+    a.set_slice(ctx, l.idx(r, 0), &flat);
 }
 
 /// One worker's share of a full six-step transform of `src` into `src`
@@ -233,16 +228,13 @@ pub fn fft(ctx: &M4Ctx, p: &FftParams) -> FftResult {
     ctx.note_parallel(window.0, window.1);
 
     // Checksum of the spectrum (or of the reconstruction if verifying).
-    let mut checksum = 0.0;
-    for i in 0..(2 * n) {
-        checksum += data.get(ctx, i).abs();
-    }
+    let mut all = vec![0.0f64; 2 * n as usize];
+    data.get_slice(ctx, 0, &mut all);
+    let checksum = all.iter().map(|v| v.abs()).sum();
     let max_error = p.verify.then(|| {
         let mut err = 0.0f64;
-        for i in 0..n {
-            let want = (det_f64(1, 2 * i), det_f64(1, 2 * i + 1));
-            let got = (data.get(ctx, 2 * i), data.get(ctx, 2 * i + 1));
-            err = err.max((want.0 - got.0).abs()).max((want.1 - got.1).abs());
+        for (i, got) in all.iter().enumerate() {
+            err = err.max((det_f64(1, i as u64) - got).abs());
         }
         err
     });
@@ -264,11 +256,9 @@ fn fft_worker(
     let l = Layout { sqrt_n };
     // Owner-initializes its rows (single-writer, first-touch placement).
     for r in lo..hi {
-        for c in 0..sqrt_n {
-            let i = l.idx(r, c);
-            data.set(ctx, i, det_f64(1, i));
-            data.set(ctx, i + 1, det_f64(1, i + 1));
-        }
+        let base = l.idx(r, 0);
+        let row: Vec<f64> = (0..2 * sqrt_n).map(|j| det_f64(1, base + j)).collect();
+        data.set_slice(ctx, base, &row);
     }
     ctx.barrier(1_000, p.nprocs);
     let t0 = ctx.sim.now();

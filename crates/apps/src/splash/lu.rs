@@ -73,15 +73,14 @@ impl Grid {
 }
 
 fn read_block(ctx: &M4Ctx, a: Arr<f64>, g: &Grid, bi: usize, bj: usize) -> Vec<f64> {
-    let off = g.block_off(bi, bj);
-    (0..(g.b * g.b) as u64).map(|i| a.get(ctx, off + i)).collect()
+    // Blocks are stored contiguously: one bulk read per block.
+    let mut out = vec![0.0f64; g.b * g.b];
+    a.get_slice(ctx, g.block_off(bi, bj), &mut out);
+    out
 }
 
 fn write_block(ctx: &M4Ctx, a: Arr<f64>, g: &Grid, bi: usize, bj: usize, data: &[f64]) {
-    let off = g.block_off(bi, bj);
-    for (i, v) in data.iter().enumerate() {
-        a.set(ctx, off + i as u64, *v);
-    }
+    a.set_slice(ctx, g.block_off(bi, bj), data);
 }
 
 /// Factor the diagonal block in place: A = L·U with unit-diagonal L.
@@ -153,14 +152,13 @@ fn lu_worker(ctx: &M4Ctx, p: &LuParams, a: Arr<f64>, id: usize) -> (sim::SimTime
             if g.owner(bi, bj) != id {
                 continue;
             }
-            let off = g.block_off(bi, bj);
+            let mut blk = vec![0.0f64; b * b];
             for i in 0..b {
                 for j in 0..b {
-                    let (gi, gj) = (bi * b + i, bj * b + j);
-                    let v = init_elem(p.n, gi, gj);
-                    a.set(ctx, off + (i * b + j) as u64, v);
+                    blk[i * b + j] = init_elem(p.n, bi * b + i, bj * b + j);
                 }
             }
+            write_block(ctx, a, &g, bi, bj, &blk);
         }
     }
     ctx.barrier(2_000, p.nprocs);

@@ -68,17 +68,25 @@ fn idx(n: usize, i: usize, j: usize) -> u64 {
     (i * (n + 2) + j) as u64
 }
 
+fn read_grid_row(ctx: &M4Ctx, grid: Arr<f64>, n: usize, i: usize) -> Vec<f64> {
+    // A grid row (n + 2 elements with its boundary columns) is contiguous.
+    let mut row = vec![0.0f64; n + 2];
+    grid.get_slice(ctx, idx(n, i, 0), &mut row);
+    row
+}
+
 fn residual(ctx: &M4Ctx, grid: Arr<f64>, n: usize) -> f64 {
     let mut r = 0.0;
+    let mut above = read_grid_row(ctx, grid, n, 0);
+    let mut cur = read_grid_row(ctx, grid, n, 1);
     for i in 1..=n {
+        let below = read_grid_row(ctx, grid, n, i + 1);
         for j in 1..=n {
-            let c = grid.get(ctx, idx(n, i, j));
-            let nb = grid.get(ctx, idx(n, i - 1, j))
-                + grid.get(ctx, idx(n, i + 1, j))
-                + grid.get(ctx, idx(n, i, j - 1))
-                + grid.get(ctx, idx(n, i, j + 1));
-            r += (nb / 4.0 - c).abs();
+            let nb = above[j] + below[j] + cur[j - 1] + cur[j + 1];
+            r += (nb / 4.0 - cur[j]).abs();
         }
+        above = cur;
+        cur = below;
     }
     r
 }
@@ -94,22 +102,19 @@ fn ocean_worker(
     let (lo, hi) = block_range(n, p.nprocs, id);
     // Owner initialization (rows lo+1 ..= hi of the interior, plus the
     // boundary rows by their neighbours' owners).
+    let init_row = |i: usize| -> Vec<f64> {
+        (0..n + 2).map(|j| det_f64(11, idx(n, i, j))).collect()
+    };
     for i in lo + 1..=hi {
-        for j in 0..n + 2 {
-            grid.set(ctx, idx(n, i, j), det_f64(11, idx(n, i, j)));
-        }
+        grid.set_slice(ctx, idx(n, i, 0), &init_row(i));
     }
     if id == 0 {
-        for j in 0..n + 2 {
-            grid.set(ctx, idx(n, 0, j), det_f64(11, idx(n, 0, j)));
-            grid.set(ctx, idx(n, n + 1, j), det_f64(11, idx(n, n + 1, j)));
-        }
+        grid.set_slice(ctx, idx(n, 0, 0), &init_row(0));
+        grid.set_slice(ctx, idx(n, n + 1, 0), &init_row(n + 1));
     }
     for a in aux {
         for i in lo + 1..=hi {
-            for j in 0..n + 2 {
-                a.set(ctx, idx(n, i, j), 0.0);
-            }
+            a.fill_range(ctx, idx(n, i, 0), (n + 2) as u64, 0.0);
         }
     }
     ctx.barrier(3_000, p.nprocs);
@@ -119,15 +124,18 @@ fn ocean_worker(
     for _sweep in 0..p.iters {
         for colour in 0..2usize {
             for i in lo + 1..=hi {
+                // Bulk-read the stencil rows; cells of the current colour
+                // are written individually (writing the untouched colour
+                // would inflate the release diffs).
+                let above = read_grid_row(ctx, grid, n, i - 1);
+                let cur = read_grid_row(ctx, grid, n, i);
+                let below = read_grid_row(ctx, grid, n, i + 1);
                 for j in 1..=n {
                     if (i + j) % 2 != colour {
                         continue;
                     }
-                    let c = grid.get(ctx, idx(n, i, j));
-                    let nb = grid.get(ctx, idx(n, i - 1, j))
-                        + grid.get(ctx, idx(n, i + 1, j))
-                        + grid.get(ctx, idx(n, i, j - 1))
-                        + grid.get(ctx, idx(n, i, j + 1));
+                    let c = cur[j];
+                    let nb = above[j] + below[j] + cur[j - 1] + cur[j + 1];
                     let v = c + p.omega * (nb / 4.0 - c);
                     grid.set(ctx, idx(n, i, j), v);
                 }
@@ -141,10 +149,14 @@ fn ocean_worker(
         // owner-partitioned by rows.
         for a in aux {
             for i in lo + 1..=hi {
-                for j in 1..=n {
-                    let v = 0.99 * a.get(ctx, idx(n, i, j)) + 0.01 * grid.get(ctx, idx(n, i, j));
-                    a.set(ctx, idx(n, i, j), v);
+                let mut arow = vec![0.0f64; n];
+                a.get_slice(ctx, idx(n, i, 1), &mut arow);
+                let mut grow = vec![0.0f64; n];
+                grid.get_slice(ctx, idx(n, i, 1), &mut grow);
+                for j in 0..n {
+                    arow[j] = 0.99 * arow[j] + 0.01 * grow[j];
                 }
+                a.set_slice(ctx, idx(n, i, 1), &arow);
                 ctx.compute(3 * n as u64 * FLOP_NS);
             }
         }
@@ -199,9 +211,8 @@ pub fn ocean(ctx: &M4Ctx, p: &OceanParams) -> OceanResult {
     let final_residual = residual(ctx, grid, n);
     let mut checksum = 0.0;
     for i in 1..=n {
-        for j in 1..=n {
-            checksum += grid.get(ctx, idx(n, i, j));
-        }
+        let row = read_grid_row(ctx, grid, n, i);
+        checksum += row[1..=n].iter().sum::<f64>();
     }
     OceanResult {
         initial_residual: initial,

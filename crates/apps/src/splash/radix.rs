@@ -64,14 +64,13 @@ fn radix_worker(
     // Owner-initializes its key block, the matching destination block and
     // its histogram/offset rows (SPLASH-2 places all arrays during the
     // init phase so parallel-section placement is settled).
-    for i in lo..hi {
-        sh.src.set(ctx, i as u64, det_u64(42, i as u64) % p.max_key);
-        sh.dst.set(ctx, i as u64, 0);
-    }
-    for v in 0..radix {
-        sh.hist.set(ctx, (id as u64) * radix + v, 0);
-        sh.offsets.set(ctx, (id as u64) * radix + v, 0);
-    }
+    let init: Vec<u64> = (lo..hi)
+        .map(|i| det_u64(42, i as u64) % p.max_key)
+        .collect();
+    sh.src.set_slice(ctx, lo as u64, &init);
+    sh.dst.fill_range(ctx, lo as u64, (hi - lo) as u64, 0);
+    sh.hist.fill_range(ctx, (id as u64) * radix, radix, 0);
+    sh.offsets.fill_range(ctx, (id as u64) * radix, radix, 0);
     ctx.barrier(4_000, p.nprocs);
     let t0 = ctx.sim.now();
 
@@ -81,40 +80,44 @@ fn radix_worker(
     let mut dst = sh.dst;
     for d in 0..digits {
         let shift = d * p.digit_bits;
-        // Local histogram.
+        // Local histogram over a bulk-read key block.
+        let mut keys = vec![0u64; hi - lo];
+        src.get_slice(ctx, lo as u64, &mut keys);
         let mut local = vec![0u64; radix as usize];
-        for i in lo..hi {
-            let k = src.get(ctx, i as u64);
+        for k in &keys {
             local[((k >> shift) & (radix - 1)) as usize] += 1;
         }
         ctx.compute((hi - lo) as u64 * 2 * INT_OP_NS);
-        for (v, c) in local.iter().enumerate() {
-            sh.hist.set(ctx, (id as u64) * radix + v as u64, *c);
-        }
+        sh.hist.set_slice(ctx, (id as u64) * radix, &local);
         ctx.barrier(bar, p.nprocs);
         bar += 1;
 
         // Processor 0 computes the global prefix: offsets[t][v] is where
         // processor t's keys with digit v start.
         if id == 0 {
+            let total = radix as usize * p.nprocs;
+            let mut hist = vec![0u64; total];
+            sh.hist.get_slice(ctx, 0, &mut hist);
+            let mut offs = vec![0u64; total];
             let mut running = 0u64;
-            for v in 0..radix {
-                for t in 0..p.nprocs as u64 {
-                    sh.offsets.set(ctx, t * radix + v, running);
-                    running += sh.hist.get(ctx, t * radix + v);
+            for v in 0..radix as usize {
+                for t in 0..p.nprocs {
+                    offs[t * radix as usize + v] = running;
+                    running += hist[t * radix as usize + v];
                 }
             }
+            sh.offsets.set_slice(ctx, 0, &offs);
             ctx.compute(radix * p.nprocs as u64 * INT_OP_NS);
         }
         ctx.barrier(bar, p.nprocs);
         bar += 1;
 
-        // Permutation: scatter this processor's keys.
-        let mut cursor: Vec<u64> = (0..radix)
-            .map(|v| sh.offsets.get(ctx, (id as u64) * radix + v))
-            .collect();
-        for i in lo..hi {
-            let k = src.get(ctx, i as u64);
+        // Permutation: scatter this processor's keys. The source block is
+        // bulk-read; the scatter writes stay per-key (they land on remote
+        // pages at data-dependent positions).
+        let mut cursor = vec![0u64; radix as usize];
+        sh.offsets.get_slice(ctx, (id as u64) * radix, &mut cursor);
+        for k in keys {
             let v = ((k >> shift) & (radix - 1)) as usize;
             dst.set(ctx, cursor[v], k);
             cursor[v] += 1;
@@ -160,17 +163,10 @@ pub fn radix(ctx: &M4Ctx, p: &RadixParams) -> RadixResult {
 
     let digits = (64 - (p.max_key - 1).leading_zeros()).div_ceil(p.digit_bits);
     let final_arr = if digits % 2 == 0 { sh.src } else { sh.dst };
-    let mut sorted = true;
-    let mut key_sum = 0u64;
-    let mut prev = 0u64;
-    for i in 0..p.keys as u64 {
-        let k = final_arr.get(ctx, i);
-        if k < prev {
-            sorted = false;
-        }
-        prev = k;
-        key_sum = key_sum.wrapping_add(k);
-    }
+    let mut all = vec![0u64; p.keys];
+    final_arr.get_slice(ctx, 0, &mut all);
+    let sorted = all.windows(2).all(|w| w[0] <= w[1]);
+    let key_sum = all.iter().fold(0u64, |a, &b| a.wrapping_add(b));
     RadixResult { sorted, key_sum }
 }
 

@@ -85,6 +85,49 @@ impl<T: Scalar> Arr<T> {
     pub fn set(&self, ctx: &M4Ctx, i: u64, v: T) {
         ctx.write(self.addr(i), v)
     }
+
+    /// Reads elements `start..start + out.len()` in one bulk access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the array.
+    pub fn get_slice(&self, ctx: &M4Ctx, start: u64, out: &mut [T]) {
+        if out.is_empty() {
+            return;
+        }
+        let end = start + out.len() as u64;
+        assert!(end <= self.len, "range {start}..{end} out of bounds (len {})", self.len);
+        ctx.read_slice(self.base + start * T::SIZE as u64, out)
+    }
+
+    /// Writes `data` to elements `start..start + data.len()` in one bulk
+    /// access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the array.
+    pub fn set_slice(&self, ctx: &M4Ctx, start: u64, data: &[T]) {
+        if data.is_empty() {
+            return;
+        }
+        let end = start + data.len() as u64;
+        assert!(end <= self.len, "range {start}..{end} out of bounds (len {})", self.len);
+        ctx.write_slice(self.base + start * T::SIZE as u64, data)
+    }
+
+    /// Fills elements `start..start + count` with `v` in one bulk access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the array.
+    pub fn fill_range(&self, ctx: &M4Ctx, start: u64, count: u64, v: T) {
+        if count == 0 {
+            return;
+        }
+        let end = start + count;
+        assert!(end <= self.len, "range {start}..{end} out of bounds (len {})", self.len);
+        ctx.fill(self.base + start * T::SIZE as u64, v, count as usize)
+    }
 }
 
 /// Splits `0..n` into `nprocs` contiguous blocks and returns block `id`.

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use apps::splash::{lu, ocean, radix, volrend};
 use apps::{M4Ctx, M4Mode, M4System};
 use cables::CablesConfig;
-use cables_bench::{cluster_for, fmt_ns, header, run_app, AppId};
+use cables_bench::{cluster_for, fmt_ns, header, run_app, smoke_mode, AppId};
 use svm::Cluster;
 
 /// Runs an app body under a CableS config and returns
@@ -75,22 +75,31 @@ fn app_body(app: AppId, procs: usize) -> Box<dyn FnOnce(&M4Ctx) + Send> {
 
 fn main() {
     header("Ablations of CableS design choices", "DESIGN.md §3");
+    // `--test` smoke mode: fewer apps, 4 instead of 16 processors, small
+    // OCEAN (CI compile-and-run check, like criterion's --test).
+    let smoke = smoke_mode();
+    let procs = if smoke { 4 } else { 16 };
 
     // --- 1. Mapping granularity: 64 KB vs 4 KB. ---
-    println!("1) home-binding granularity (16 procs, CableS):");
+    println!("1) home-binding granularity ({procs} procs, CableS):");
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>12}",
         "app", "64KB time", "4KB time", "64KB mis%", "4KB mis%"
     );
-    for (name, app) in [
-        ("RADIX", AppId::Radix),
-        ("VOLREND", AppId::Volrend),
-        ("LU", AppId::Lu),
-    ] {
-        let nt = run_app(M4Mode::Cables, app, 16, None);
+    let gran_apps: &[(&str, AppId)] = if smoke {
+        &[("LU", AppId::Lu)]
+    } else {
+        &[
+            ("RADIX", AppId::Radix),
+            ("VOLREND", AppId::Volrend),
+            ("LU", AppId::Lu),
+        ]
+    };
+    for &(name, app) in gran_apps {
+        let nt = run_app(M4Mode::Cables, app, procs, None);
         let mut pg_cfg = CablesConfig::paper();
         pg_cfg.svm.home_granularity_pages = 1;
-        let (pg_ns, pg_mis) = run_cables_with(pg_cfg, true, 16, app_body(app, 16));
+        let (pg_ns, pg_mis) = run_cables_with(pg_cfg, true, procs, app_body(app, procs));
         println!(
             "{:<10} {:>14} {:>14} {:>11.1}% {:>11.1}%",
             name,
@@ -108,15 +117,19 @@ fn main() {
     //        has it; CableS does not (paper §3.4). Counterfactual: give
     //        it to CableS, whose misplaced single-writer pages then stop
     //        paying release fences. ---
-    println!("2) single-writer write-through (CableS counterfactual, OCEAN, 16 procs):");
+    println!("2) single-writer write-through (CableS counterfactual, OCEAN, {procs} procs):");
     for (label, wt) in [
         ("absent (paper CableS)", false),
         ("granted (counterfactual)", true),
     ] {
         let mut cfg = CablesConfig::paper();
         cfg.svm.write_through_single_writer = wt;
-        let p = ocean::OceanParams::bench(258, 3, 16);
-        let (ns, _) = run_cables_with(cfg, false, 16, move |ctx| {
+        let p = if smoke {
+            ocean::OceanParams::bench(30, 2, procs)
+        } else {
+            ocean::OceanParams::bench(258, 3, procs)
+        };
+        let (ns, _) = run_cables_with(cfg, false, procs, move |ctx| {
             ocean::ocean(ctx, &p);
         });
         println!("   {:<26} parallel time {}", label, fmt_ns(ns));
@@ -127,9 +140,9 @@ fn main() {
     println!();
 
     // --- 3. Registration pressure: double mapping vs per-run regions. ---
-    println!("3) NIC registration pressure (OCEAN, 16 procs):");
+    println!("3) NIC registration pressure (OCEAN, {procs} procs):");
     for mode in [M4Mode::Base, M4Mode::Cables] {
-        let out = run_app(mode, AppId::Ocean, 16, None);
+        let out = run_app(mode, AppId::Ocean, procs, None);
         println!(
             "   {:<8} max regions on any NIC: {:>5}   ({})",
             format!("{mode:?}"),
@@ -148,7 +161,8 @@ fn main() {
     //        condition, across cluster sizes (Table 4 shows one point).
     println!("4) barrier construction, native extension vs mutex+cond:");
     println!("   {:<8} {:>14} {:>16} {:>8}", "nodes", "native", "mutex+cond", "ratio");
-    for nodes in [2usize, 4, 8] {
+    let node_sizes: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+    for &nodes in node_sizes {
         let cluster = Cluster::build(svm::ClusterConfig::small(nodes, 1));
         let cfg = CablesConfig {
             max_threads_per_node: 1,

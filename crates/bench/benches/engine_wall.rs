@@ -1,74 +1,228 @@
-//! Criterion wall-clock benchmarks of the simulator itself: how fast the
-//! deterministic engine executes protocol-heavy workloads in real time.
-//! (All other bench targets report *virtual* time; this one keeps an eye
-//! on the cost of running the reproduction.)
+//! Wall-clock benchmark of the simulator itself: how fast the
+//! deterministic engine executes the SPLASH kernels in *real* time, with
+//! the hot-path optimizations (bulk access + software TLB + lock-free
+//! clock cache) on versus off.
+//!
+//! Every workload runs twice — fast path and slow path — and the bench
+//! asserts the simulated results are byte-identical: same final virtual
+//! time, same parallel-section time, same Fig-6 misplacement counts. Only
+//! wall-clock time may differ. Results (including the new `EngineStats`
+//! fast-path counters) are written to `BENCH_hotpath.json`.
+//!
+//! Run with `--test` for the CI smoke mode (tiny sizes, same assertions).
 
+use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 
-use apps::splash::radix;
-use apps::{M4Mode, M4System};
-use criterion::{criterion_group, criterion_main, Criterion};
-use svm::{Cluster, ClusterConfig};
+use apps::splash::{fft, lu, ocean, radix};
+use apps::{M4Ctx, M4Mode, M4System};
+use cables_bench::{cluster_for, header, smoke_mode};
+use svm::Cluster;
 
-fn small_radix(mode: M4Mode) {
-    let cluster = Cluster::build(ClusterConfig::small(2, 2));
-    let sys = match mode {
-        M4Mode::Base => M4System::base(cluster),
-        M4Mode::Cables => M4System::cables(cluster),
+struct Workload {
+    name: &'static str,
+    procs: usize,
+    body: fn(&M4Ctx, bool),
+}
+
+fn fft_body(ctx: &M4Ctx, smoke: bool) {
+    let p = fft::FftParams {
+        m: if smoke { 8 } else { 14 },
+        nprocs: 8,
+        verify: false,
     };
+    fft::fft(ctx, &p);
+}
+
+fn lu_body(ctx: &M4Ctx, smoke: bool) {
+    let p = lu::LuParams {
+        n: if smoke { 32 } else { 128 },
+        block: if smoke { 8 } else { 16 },
+        nprocs: 8,
+        verify: false,
+    };
+    lu::lu(ctx, &p);
+}
+
+fn ocean_body(ctx: &M4Ctx, smoke: bool) {
+    let p = ocean::OceanParams::bench(if smoke { 30 } else { 258 }, 2, 8);
+    ocean::ocean(ctx, &p);
+}
+
+fn radix_body(ctx: &M4Ctx, smoke: bool) {
     let p = radix::RadixParams {
-        keys: 1_024,
+        keys: if smoke { 4_096 } else { 131_072 },
         digit_bits: 8,
         max_key: 1 << 16,
-        nprocs: 4,
+        nprocs: 8,
     };
-    sys.run(move |ctx| {
-        radix::radix(ctx, &p);
-    })
-    .unwrap();
+    radix::radix(ctx, &p);
 }
 
-fn engine_microbench(c: &mut Criterion) {
-    c.bench_function("engine: spawn/join 16 threads", |b| {
-        b.iter(|| {
-            let engine = sim::Engine::new();
-            let n = engine.add_node(4);
-            engine
-                .run(n, |s| {
-                    let kids: Vec<_> = (0..16)
-                        .map(|_| s.spawn_on(s.node(), s.now(), "w", |w| w.advance(1_000)))
-                        .collect();
-                    for k in kids {
-                        s.wait_exit(k);
-                    }
-                })
-                .unwrap();
-        })
-    });
-
-    let mut group = c.benchmark_group("full-stack radix 1K keys");
-    group.sample_size(10);
-    group.bench_function("base", |b| b.iter(|| small_radix(M4Mode::Base)));
-    group.bench_function("cables", |b| b.iter(|| small_radix(M4Mode::Cables)));
-    group.finish();
-
-    c.bench_function("cables: mutex ping (2 nodes)", |b| {
-        b.iter(|| {
-            let cluster = Cluster::build(ClusterConfig::small(2, 1));
-            let rt = cables::CablesRt::new(cluster, cables::CablesConfig::paper());
-            let rt2 = Arc::clone(&rt);
-            rt.run(move |pth| {
-                let m = rt2.mutex_new();
-                for _ in 0..100 {
-                    pth.mutex_lock(m);
-                    pth.mutex_unlock(m);
-                }
-                0
-            })
-            .unwrap();
-        })
-    });
+struct RunResult {
+    total_ns: u64,
+    parallel_ns: Option<u64>,
+    touched_pages: u64,
+    misplaced_pages: u64,
+    stats: sim::EngineStats,
+    wall_ms: f64,
 }
 
-criterion_group!(benches, engine_microbench);
-criterion_main!(benches);
+fn run_once(w: &Workload, mode: M4Mode, fast: bool, smoke: bool) -> RunResult {
+    let cluster = Cluster::build(cluster_for(w.procs));
+    let sys = match mode {
+        M4Mode::Base => M4System::base(Arc::clone(&cluster)),
+        M4Mode::Cables => M4System::cables(Arc::clone(&cluster)),
+    };
+    sys.svm().set_fast_path(fast);
+    let body = w.body;
+    let start = Instant::now();
+    let end = sys.run(move |ctx| body(ctx, smoke)).expect("workload run");
+    let wall = start.elapsed();
+    let placement = sys.svm().placement_report();
+    RunResult {
+        total_ns: end.as_nanos(),
+        parallel_ns: sys.parallel_ns(),
+        touched_pages: placement.touched_pages,
+        misplaced_pages: placement.misplaced_pages,
+        stats: sys.svm().engine_stats(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    header(
+        "engine_wall: simulator wall-clock, hot path on vs off",
+        "no paper artifact; perf of the reproduction itself",
+    );
+    let workloads = [
+        Workload {
+            name: "FFT",
+            procs: 8,
+            body: fft_body,
+        },
+        Workload {
+            name: "LU",
+            procs: 8,
+            body: lu_body,
+        },
+        Workload {
+            name: "OCEAN",
+            procs: 8,
+            body: ocean_body,
+        },
+        Workload {
+            name: "RADIX",
+            procs: 8,
+            body: radix_body,
+        },
+    ];
+
+    println!(
+        "{:<8} {:<7} {:>10} {:>10} {:>8} {:>9} {:>11} {:>11}",
+        "kernel", "mode", "slow ms", "fast ms", "speedup", "tlb hit%", "lockless", "sync fast%"
+    );
+    println!("{}", "-".repeat(80));
+
+    let mut json = String::from("{\n  \"smoke\": ");
+    let _ = write!(json, "{smoke},\n  \"workloads\": [");
+    let mut first = true;
+
+    for mode in [M4Mode::Base, M4Mode::Cables] {
+        for w in &workloads {
+            let slow = run_once(w, mode, false, smoke);
+            let fast = run_once(w, mode, true, smoke);
+
+            // Determinism invariant: the toggles must not change any
+            // simulated result.
+            assert_eq!(
+                slow.total_ns, fast.total_ns,
+                "{} {:?}: final SimTime changed with fast path",
+                w.name, mode
+            );
+            assert_eq!(
+                slow.parallel_ns, fast.parallel_ns,
+                "{} {:?}: parallel window changed with fast path",
+                w.name, mode
+            );
+            assert_eq!(
+                (slow.touched_pages, slow.misplaced_pages),
+                (fast.touched_pages, fast.misplaced_pages),
+                "{} {:?}: misplacement stats changed with fast path",
+                w.name, mode
+            );
+
+            let speedup = slow.wall_ms / fast.wall_ms.max(1e-9);
+            let s = &fast.stats;
+            let tlb_total = s.tlb_hits + s.tlb_misses;
+            let tlb_pct = if tlb_total > 0 {
+                100.0 * s.tlb_hits as f64 / tlb_total as f64
+            } else {
+                0.0
+            };
+            let syncs = s.sync_fast_path + s.sync_slow_path;
+            let sync_pct = if syncs > 0 {
+                100.0 * s.sync_fast_path as f64 / syncs as f64
+            } else {
+                0.0
+            };
+            let mode_name = match mode {
+                M4Mode::Base => "base",
+                M4Mode::Cables => "cables",
+            };
+            println!(
+                "{:<8} {:<7} {:>10.1} {:>10.1} {:>7.1}x {:>8.1}% {:>11} {:>10.1}%",
+                w.name,
+                mode_name,
+                slow.wall_ms,
+                fast.wall_ms,
+                speedup,
+                tlb_pct,
+                s.lockless_advances,
+                sync_pct
+            );
+
+            let _ = write!(
+                json,
+                "{}\n    {{\"kernel\": \"{}\", \"mode\": \"{}\", \"slow_wall_ms\": {:.3}, \
+                 \"fast_wall_ms\": {:.3}, \"speedup\": {:.2}, \"sim_time_ns\": {}, \
+                 \"misplaced_pages\": {}, \"touched_pages\": {}, \"tlb_hits\": {}, \
+                 \"tlb_misses\": {}, \"tlb_hit_pct\": {:.2}, \"lockless_advances\": {}, \
+                 \"sync_fast_path\": {}, \"sync_slow_path\": {}, \"context_switches\": {}}}",
+                if first { "" } else { "," },
+                w.name,
+                mode_name,
+                slow.wall_ms,
+                fast.wall_ms,
+                speedup,
+                fast.total_ns,
+                fast.misplaced_pages,
+                fast.touched_pages,
+                s.tlb_hits,
+                s.tlb_misses,
+                tlb_pct,
+                s.lockless_advances,
+                s.sync_fast_path,
+                s.sync_slow_path,
+                s.context_switches,
+            );
+            first = false;
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+
+    println!();
+    println!("determinism: every kernel produced identical SimTime, parallel");
+    println!("window and misplacement counts with the hot path on and off.");
+    if smoke {
+        // Don't clobber the recorded full-size artifact from a CI smoke run.
+        println!("smoke mode: BENCH_hotpath.json not rewritten");
+    } else {
+        // Land the artifact at the repo root regardless of cargo's bench CWD.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+        std::fs::write(path, &json).expect("write BENCH_hotpath.json");
+        println!("results written to BENCH_hotpath.json");
+    }
+}

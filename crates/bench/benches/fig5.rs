@@ -8,7 +8,7 @@
 //! target.
 
 use apps::M4Mode;
-use cables_bench::{fmt_ns, header, run_app, AppId};
+use cables_bench::{fmt_ns, header, run_app, smoke_mode, AppId};
 
 /// NIC region limit applied to the OCEAN runs, scaled to the scaled
 /// problem size the same way the paper's real NIC limit related to its
@@ -31,18 +31,27 @@ fn main() {
         "Figure 5: SPLASH-2 M4 vs M4-on-pthreads execution times",
         "paper Fig. 5 (§3.4)",
     );
-    let procs_list = [1usize, 4, 8, 16, 32];
+    // `--test` smoke mode: two cheap apps at two processor counts, same
+    // code paths (CI compile-and-run check, like criterion's --test).
+    let smoke = smoke_mode();
+    let procs_list: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 8, 16, 32] };
+    let apps: &[AppId] = if smoke {
+        &[AppId::Lu, AppId::Radix]
+    } else {
+        &AppId::ALL
+    };
 
-    for app in AppId::ALL {
+    for &app in apps {
         println!("--- {} [{}] ---", app.name(), app.scale_note());
-        println!(
-            "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            "system", 1, 4, 8, 16, 32
-        );
+        let mut head = format!("{:<10}", "system");
+        for p in procs_list {
+            head.push_str(&format!(" {p:>12}"));
+        }
+        println!("{head}");
         for mode in [M4Mode::Base, M4Mode::Cables] {
             let mut cells = Vec::new();
             let mut ratios = Vec::new();
-            for procs in procs_list {
+            for &procs in procs_list {
                 let limit = (app == AppId::Ocean).then_some(OCEAN_NIC_LIMIT);
                 let out = run_app(mode, app, procs, limit);
                 match (out.error, out.parallel_ns) {
@@ -60,15 +69,11 @@ fn main() {
                     }
                 }
             }
-            println!(
-                "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
-                format!("{mode:?}"),
-                cells[0],
-                cells[1],
-                cells[2],
-                cells[3],
-                cells[4]
-            );
+            let mut row = format!("{:<10}", format!("{mode:?}"));
+            for c in &cells {
+                row.push_str(&format!(" {c:>12}"));
+            }
+            println!("{row}");
         }
         // CableS/Base ratio at 32 procs (paper: within 25% for FFT, LU,
         // RAYTRACE, WATER; worse for RADIX and VOLREND; OCEAN base fails).

@@ -6,34 +6,36 @@
 //! the original system would have chosen.
 
 use apps::M4Mode;
-use cables_bench::{header, run_app, AppId};
+use cables_bench::{header, run_app, smoke_mode, AppId};
 
 fn main() {
     header(
         "Figure 6: misplaced pages under CableS",
         "paper Fig. 6 (§3.4)",
     );
-    let procs_list = [4usize, 8, 16, 32];
-    println!(
-        "{:<15} {:>8} {:>8} {:>8} {:>8}",
-        "application", 4, 8, 16, 32
-    );
-    println!("{}", "-".repeat(52));
-    for app in AppId::ALL {
-        let mut cells = Vec::new();
-        for procs in procs_list {
+    // `--test` smoke mode: two cheap apps at one processor count (CI
+    // compile-and-run check, like criterion's --test).
+    let smoke = smoke_mode();
+    let procs_list: &[usize] = if smoke { &[4] } else { &[4, 8, 16, 32] };
+    let apps: &[AppId] = if smoke {
+        &[AppId::Lu, AppId::Radix]
+    } else {
+        &AppId::ALL
+    };
+    let mut head = format!("{:<15}", "application");
+    for p in procs_list {
+        head.push_str(&format!(" {p:>8}"));
+    }
+    println!("{head}");
+    println!("{}", "-".repeat(16 + 9 * procs_list.len()));
+    for &app in apps {
+        let mut row = format!("{:<15}", app.name());
+        for &procs in procs_list {
             let out = run_app(M4Mode::Cables, app, procs, None);
             assert!(out.error.is_none(), "{}: {:?}", app.name(), out.error);
-            cells.push(format!("{:.1}%", out.placement.misplaced_pct()));
+            row.push_str(&format!(" {:>8}", format!("{:.1}%", out.placement.misplaced_pct())));
         }
-        println!(
-            "{:<15} {:>8} {:>8} {:>8} {:>8}",
-            app.name(),
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3]
-        );
+        println!("{row}");
     }
     println!();
     println!("paper shape: misplacement grows with processor count (finer");

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
 
 use cables::{CablesConfig, CablesRt};
-use cables_bench::header;
+use cables_bench::{header, smoke_mode};
 use omp::Omp;
 use svm::{Cluster, ClusterConfig};
 
@@ -99,21 +99,30 @@ fn main() {
     );
     println!("{:<10} {:>16} {:>16} {:>16}", "", "ours (paper)", "ours (paper)", "ours (paper)");
     println!("{}", "-".repeat(62));
-    for (i, program) in [Program::Fft, Program::Lu, Program::Ocean].iter().enumerate() {
+    // `--test` smoke mode: one program, one team size (CI check).
+    let smoke = smoke_mode();
+    let programs: &[Program] = if smoke {
+        &[Program::Lu]
+    } else {
+        &[Program::Fft, Program::Lu, Program::Ocean]
+    };
+    let procs_list: &[usize] = if smoke { &[4] } else { &[4, 8, 16] };
+    for program in programs {
+        let prow = paper
+            .iter()
+            .find(|(n, _)| *n == program.name())
+            .expect("paper row");
         let t1 = run_one(*program, 1) as f64;
-        let mut cells = Vec::new();
-        for (j, procs) in [4usize, 8, 16].iter().enumerate() {
+        let mut row = format!("{:<10}", program.name());
+        for (j, procs) in procs_list.iter().enumerate() {
             let tp = run_one(*program, *procs) as f64;
             let speedup = t1 / tp;
-            cells.push(format!("{speedup:>5.2} ({:>5.2})", paper[i].1[j]));
+            row.push_str(&format!(
+                " {:>16}",
+                format!("{speedup:>5.2} ({:>5.2})", prow.1[j])
+            ));
         }
-        println!(
-            "{:<10} {:>16} {:>16} {:>16}",
-            program.name(),
-            cells[0],
-            cells[1],
-            cells[2]
-        );
+        println!("{row}");
     }
     println!();
     println!("shape targets: modest speedups throughout; LU scales best, OCEAN worst");

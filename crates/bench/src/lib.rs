@@ -11,7 +11,7 @@
 //! | `fig5`   | SPLASH-2 M4 vs M4-on-pthreads execution times |
 //! | `fig6`   | misplaced-page percentages |
 //! | `ablations` | design-choice ablations (granularity, write-through, barriers) |
-//! | `engine_wall` | Criterion wall-time of the simulator itself |
+//! | `engine_wall` | wall-time of the simulator itself, hot path on vs off |
 //!
 //! Problem sizes are scaled down from the paper (documented in
 //! `EXPERIMENTS.md`); shapes, ratios and crossovers are the reproduction
@@ -197,6 +197,19 @@ pub fn run_app(
     procs: usize,
     nic_regions_limit: Option<u64>,
 ) -> RunOutcome {
+    run_app_with(mode, app, procs, nic_regions_limit, true).0
+}
+
+/// Like [`run_app`] but with explicit control over the hot-path
+/// optimizations; also returns the merged engine statistics and the
+/// wall-clock duration of the run (for the `engine_wall` bench).
+pub fn run_app_with(
+    mode: M4Mode,
+    app: AppId,
+    procs: usize,
+    nic_regions_limit: Option<u64>,
+    fast_path: bool,
+) -> (RunOutcome, sim::EngineStats, std::time::Duration) {
     let mut cc = cluster_for(procs);
     if let Some(limit) = nic_regions_limit {
         cc.vmmc.max_regions_per_nic = limit;
@@ -206,8 +219,12 @@ pub fn run_app(
         M4Mode::Base => M4System::base(Arc::clone(&cluster)),
         M4Mode::Cables => M4System::cables(Arc::clone(&cluster)),
     };
+    sys.svm().set_fast_path(fast_path);
     let body = dispatch(app, procs);
+    let wall_start = std::time::Instant::now();
     let result = sys.run(move |ctx| body(ctx));
+    let wall = wall_start.elapsed();
+    let engine_stats = sys.svm().engine_stats();
     let stats = sys.svm().total_stats();
     let placement = sys.svm().placement_report();
     let max_nic_regions = cluster
@@ -216,7 +233,7 @@ pub fn run_app(
         .map(|n| cluster.vmmc.nic_stats(*n).regions)
         .max()
         .unwrap_or(0);
-    match result {
+    let outcome = match result {
         Ok(end) => RunOutcome {
             total_ns: Some(end.as_nanos()),
             parallel_ns: sys.parallel_ns(),
@@ -233,7 +250,15 @@ pub fn run_app(
             max_nic_regions,
             error: Some(e.to_string()),
         },
-    }
+    };
+    (outcome, engine_stats, wall)
+}
+
+/// True when the binary was invoked with `--test` (the smoke mode the CI
+/// uses so bench targets run in seconds; mirrors criterion's
+/// `cargo bench -- --test`).
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 /// Formats nanoseconds as an adaptive human-readable time.

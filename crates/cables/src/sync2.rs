@@ -536,7 +536,6 @@ mod tests {
 mod once_tests {
     use crate::config::CablesConfig;
     use crate::rt::CablesRt;
-    use std::sync::Arc;
     use svm::{Cluster, ClusterConfig};
 
     #[test]

@@ -39,6 +39,6 @@ mod scalar;
 
 pub use addr::{pages_covering, GAddr, PageNum, PAGE_SIZE};
 pub use node::{
-    ClusterMem, Fault, FaultKind, FrameId, MemError, MemStats, OsVmConfig, Prot,
+    ClusterMem, Fault, FaultKind, FrameId, MemError, MemStats, OsVmConfig, Prot, TlbStats,
 };
 pub use scalar::Scalar;

@@ -1,7 +1,20 @@
 //! Per-node physical memory and page tables.
+//!
+//! Concurrency model: the simulation engine unparks exactly one simulated
+//! thread at a time, so these structures see no real contention — the locks
+//! exist to satisfy `Sync`, and every lock here is per-node (or per-frame),
+//! never global. The hot path is the software TLB in each node's [`Shard`]:
+//! a direct-mapped cache of `page → (frame, prot, frame data)` so a hit
+//! skips both the page-table HashMap walk and the page-table lock.
+//! Invalidation is precise — a mapping or protection change clears exactly
+//! the affected page's slot (and `free_frame` clears entries caching the
+//! freed frame on every node); the shard's generation counter only guards
+//! the walk-then-install window in [`ClusterMem::lookup`].
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -171,8 +184,35 @@ struct Pte {
     prot: Prot,
 }
 
+/// A physical frame's backing store. Page tables, TLB entries and in-flight
+/// DMA all share the same `Arc`, so frame data has one identity no matter
+/// how many mappings point at it.
+struct FrameSlot {
+    data: Mutex<Box<[u8]>>,
+}
+
+impl FrameSlot {
+    fn zeroed() -> Arc<Self> {
+        Arc::new(FrameSlot {
+            data: Mutex::new(vec![0u8; PAGE_SIZE as usize].into_boxed_slice()),
+        })
+    }
+}
+
+/// Number of direct-mapped entries in each node's software TLB.
+const TLB_ENTRIES: usize = 256;
+
+/// One cached translation. Valid while it occupies its slot — mapping,
+/// protection and frame-free operations clear the affected slots directly.
+struct TlbEntry {
+    page: u64,
+    frame_id: FrameId,
+    prot: Prot,
+    slot: Arc<FrameSlot>,
+}
+
 struct NodeMem {
-    frames: Vec<Option<Box<[u8]>>>,
+    frames: Vec<Option<Arc<FrameSlot>>>,
     free_frames: Vec<u32>,
     pinned: Vec<bool>,
     page_table: HashMap<u64, Pte>,
@@ -193,6 +233,64 @@ impl NodeMem {
             faults: 0,
         }
     }
+}
+
+/// One node's memory state: page table + frames under a per-node lock, the
+/// software TLB, and the generation counter guarding TLB installs.
+struct Shard {
+    mem: Mutex<NodeMem>,
+    tlb: Mutex<Vec<Option<TlbEntry>>>,
+    /// Bumped by every invalidation *before* the slot is cleared. A lookup
+    /// samples it before walking the page table and only installs the
+    /// walked translation if it is unchanged, so a mutation racing the
+    /// walk-then-install window can never leave a stale entry behind.
+    epoch: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Arc<Self> {
+        Arc::new(Shard {
+            mem: Mutex::new(NodeMem::new()),
+            tlb: Mutex::new((0..TLB_ENTRIES).map(|_| None).collect()),
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Drops any cached translation for `page`. Bumps the generation
+    /// first: a concurrent lookup that already walked the old page table
+    /// then fails its install check instead of re-caching stale state.
+    fn invalidate_page(&self, page: u64) {
+        self.bump_epoch();
+        let mut tlb = self.tlb.lock();
+        let e = &mut tlb[page as usize % TLB_ENTRIES];
+        if e.as_ref().is_some_and(|e| e.page == page) {
+            *e = None;
+        }
+    }
+
+    /// Drops every cached translation that points at `frame`.
+    fn invalidate_frame(&self, frame: FrameId) {
+        self.bump_epoch();
+        let mut tlb = self.tlb.lock();
+        for e in tlb.iter_mut() {
+            if e.as_ref().is_some_and(|e| e.frame_id == frame) {
+                *e = None;
+            }
+        }
+    }
+}
+
+/// Software-TLB hit/miss counters, cluster-wide.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Translations served from a node's TLB.
+    pub hits: u64,
+    /// Translations that had to walk the page table (or found no mapping).
+    pub misses: u64,
 }
 
 /// Per-node memory usage counters.
@@ -216,13 +314,21 @@ pub struct MemStats {
 /// hardware would have trapped.
 pub struct ClusterMem {
     cfg: OsVmConfig,
-    nodes: Mutex<Vec<NodeMem>>,
+    /// Per-node shards. The `RwLock` only guards the registry vector
+    /// (grown during setup); all per-node state is inside each shard.
+    shards: RwLock<Vec<Arc<Shard>>>,
+    tlb_hits: AtomicU64,
+    tlb_misses: AtomicU64,
+    /// When true, translations bypass the software TLB entirely (full
+    /// page-table walk on every access, no counter updates) — the
+    /// pre-optimization behaviour, kept as a measurement baseline.
+    slow_mode: AtomicBool,
 }
 
 impl fmt::Debug for ClusterMem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ClusterMem")
-            .field("nodes", &self.nodes.lock().len())
+            .field("nodes", &self.shards.read().unwrap().len())
             .field("cfg", &self.cfg)
             .finish()
     }
@@ -233,8 +339,18 @@ impl ClusterMem {
     pub fn new(cfg: OsVmConfig) -> Self {
         ClusterMem {
             cfg,
-            nodes: Mutex::new(Vec::new()),
+            shards: RwLock::new(Vec::new()),
+            tlb_hits: AtomicU64::new(0),
+            tlb_misses: AtomicU64::new(0),
+            slow_mode: AtomicBool::new(false),
         }
+    }
+
+    /// Enables or disables TLB bypass. With `slow` true, every access
+    /// walks the page table; results are identical, only wall-clock speed
+    /// and the [`TlbStats`] counters differ.
+    pub fn set_slow_mode(&self, slow: bool) {
+        self.slow_mode.store(slow, Ordering::Relaxed);
     }
 
     /// The OS virtual-memory model.
@@ -244,23 +360,107 @@ impl ClusterMem {
 
     /// Ensures per-node state exists for nodes `0..=node`.
     pub fn ensure_node(&self, node: NodeId) {
-        let mut ns = self.nodes.lock();
-        while ns.len() <= node.0 as usize {
-            ns.push(NodeMem::new());
+        let mut shards = self.shards.write().unwrap();
+        while shards.len() <= node.0 as usize {
+            shards.push(Shard::new());
         }
+    }
+
+    fn shard(&self, node: NodeId) -> Option<Arc<Shard>> {
+        self.shards.read().unwrap().get(node.0 as usize).cloned()
+    }
+
+    fn shard_must(&self, node: NodeId) -> Arc<Shard> {
+        self.shard(node)
+            .unwrap_or_else(|| panic!("no such node {node}"))
+    }
+
+    /// Software-TLB counters accumulated since construction.
+    pub fn tlb_stats(&self) -> TlbStats {
+        TlbStats {
+            hits: self.tlb_hits.load(Ordering::Relaxed),
+            misses: self.tlb_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Translates `page` on `node`, trying the node's TLB first. Installs
+    /// the translation in the TLB on a successful walk.
+    fn lookup(&self, node: NodeId, page: PageNum) -> Option<(FrameId, Prot, Arc<FrameSlot>)> {
+        let shard = self.shard(node)?;
+        let fast = !self.slow_mode.load(Ordering::Relaxed);
+        // Sample the generation *before* the walk: if an invalidation
+        // races in between, the install check below fails and the walked
+        // (possibly stale) translation is simply not cached.
+        let epoch = shard.epoch.load(Ordering::Acquire);
+        let idx = page.index() as usize % TLB_ENTRIES;
+        if fast {
+            let tlb = shard.tlb.lock();
+            if let Some(e) = &tlb[idx] {
+                if e.page == page.index() {
+                    self.tlb_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((e.frame_id, e.prot, Arc::clone(&e.slot)));
+                }
+            }
+        }
+        if fast {
+            self.tlb_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let (pte, local_slot) = {
+            let m = shard.mem.lock();
+            let pte = *m.page_table.get(&page.index())?;
+            let local = if pte.frame.node == node {
+                Some(Arc::clone(
+                    m.frames[pte.frame.index as usize]
+                        .as_ref()
+                        .expect("mapped page points at freed frame"),
+                ))
+            } else {
+                None
+            };
+            (pte, local)
+        };
+        let slot = match local_slot {
+            Some(s) => s,
+            // Cross-node mapping: the frame lives on another shard. The
+            // local page-table lock is already released, so this cannot
+            // form a lock cycle.
+            None => {
+                let owner = self.shard_must(pte.frame.node);
+                let om = owner.mem.lock();
+                Arc::clone(
+                    om.frames[pte.frame.index as usize]
+                        .as_ref()
+                        .expect("mapped page points at freed frame"),
+                )
+            }
+        };
+        if fast {
+            let mut tlb = shard.tlb.lock();
+            if shard.epoch.load(Ordering::Acquire) == epoch {
+                tlb[idx] = Some(TlbEntry {
+                    page: page.index(),
+                    frame_id: pte.frame,
+                    prot: pte.prot,
+                    slot: Arc::clone(&slot),
+                });
+            }
+        }
+        Some((pte.frame, pte.prot, slot))
     }
 
     /// Usage counters for `node`.
     pub fn stats(&self, node: NodeId) -> MemStats {
-        let ns = self.nodes.lock();
-        match ns.get(node.0 as usize) {
+        match self.shard(node) {
             None => MemStats::default(),
-            Some(n) => MemStats {
-                used_bytes: n.used_bytes,
-                pinned_bytes: n.pinned_bytes,
-                faults: n.faults,
-                mapped_pages: n.page_table.len() as u64,
-            },
+            Some(s) => {
+                let n = s.mem.lock();
+                MemStats {
+                    used_bytes: n.used_bytes,
+                    pinned_bytes: n.pinned_bytes,
+                    faults: n.faults,
+                    mapped_pages: n.page_table.len() as u64,
+                }
+            }
         }
     }
 
@@ -270,20 +470,17 @@ impl ClusterMem {
     ///
     /// [`MemError::OutOfMemory`] when the node's physical memory is full.
     pub fn alloc_frame(&self, node: NodeId) -> Result<FrameId, MemError> {
-        let mut ns = self.nodes.lock();
-        let n = ns
-            .get_mut(node.0 as usize)
-            .ok_or(MemError::NoSuchNode(node))?;
+        let shard = self.shard(node).ok_or(MemError::NoSuchNode(node))?;
+        let mut n = shard.mem.lock();
         if n.used_bytes + PAGE_SIZE > self.cfg.node_mem_bytes {
             return Err(MemError::OutOfMemory { node });
         }
         n.used_bytes += PAGE_SIZE;
         let index = if let Some(i) = n.free_frames.pop() {
-            n.frames[i as usize] = Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            n.frames[i as usize] = Some(FrameSlot::zeroed());
             i
         } else {
-            n.frames
-                .push(Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice()));
+            n.frames.push(Some(FrameSlot::zeroed()));
             n.pinned.push(false);
             (n.frames.len() - 1) as u32
         };
@@ -293,28 +490,36 @@ impl ClusterMem {
 
     /// Releases a frame back to the node's pool.
     ///
+    /// Clears TLB entries caching this frame on every node: a frame freed
+    /// on one node may be cached by mappings on any other.
+    ///
     /// # Panics
     ///
     /// Panics if the frame is not allocated (double free).
     pub fn free_frame(&self, frame: FrameId) {
-        let mut ns = self.nodes.lock();
-        let n = &mut ns[frame.node.0 as usize];
-        let slot = &mut n.frames[frame.index as usize];
-        assert!(slot.is_some(), "double free of {frame}");
-        *slot = None;
-        if n.pinned[frame.index as usize] {
-            n.pinned[frame.index as usize] = false;
-            n.pinned_bytes -= PAGE_SIZE;
+        let shard = self.shard_must(frame.node);
+        {
+            let mut n = shard.mem.lock();
+            let slot = &mut n.frames[frame.index as usize];
+            assert!(slot.is_some(), "double free of {frame}");
+            *slot = None;
+            if n.pinned[frame.index as usize] {
+                n.pinned[frame.index as usize] = false;
+                n.pinned_bytes -= PAGE_SIZE;
+            }
+            n.used_bytes -= PAGE_SIZE;
+            n.free_frames.push(frame.index);
         }
-        n.used_bytes -= PAGE_SIZE;
-        n.free_frames.push(frame.index);
+        for s in self.shards.read().unwrap().iter() {
+            s.invalidate_frame(frame);
+        }
     }
 
     /// Pins a frame (it will never be swapped; required before the NIC may
     /// target it with remote operations).
     pub fn pin_frame(&self, frame: FrameId) {
-        let mut ns = self.nodes.lock();
-        let n = &mut ns[frame.node.0 as usize];
+        let shard = self.shard_must(frame.node);
+        let mut n = shard.mem.lock();
         if !n.pinned[frame.index as usize] {
             n.pinned[frame.index as usize] = true;
             n.pinned_bytes += PAGE_SIZE;
@@ -323,17 +528,20 @@ impl ClusterMem {
 
     /// Whether a frame is pinned.
     pub fn is_pinned(&self, frame: FrameId) -> bool {
-        let ns = self.nodes.lock();
-        ns[frame.node.0 as usize].pinned[frame.index as usize]
+        let shard = self.shard_must(frame.node);
+        let n = shard.mem.lock();
+        n.pinned[frame.index as usize]
     }
 
     /// Maps `page` on `node` to `frame` with protection `prot`, at page
     /// granularity. This models the *protocol* mapping (and protection
     /// changes), which are page-granular on every OS.
     pub fn map_page(&self, node: NodeId, page: PageNum, frame: FrameId, prot: Prot) {
-        let mut ns = self.nodes.lock();
-        let n = &mut ns[node.0 as usize];
+        let shard = self.shard_must(node);
+        let mut n = shard.mem.lock();
         n.page_table.insert(page.index(), Pte { frame, prot });
+        drop(n);
+        shard.invalidate_page(page.index());
     }
 
     /// Maps a whole OS chunk (e.g. 64 KB) of the application address space
@@ -359,19 +567,24 @@ impl ClusterMem {
                 chunk_pages: cp,
             });
         }
-        let mut ns = self.nodes.lock();
-        let n = &mut ns[node.0 as usize];
+        let shard = self.shard_must(node);
+        let mut n = shard.mem.lock();
         for (i, &frame) in frames.iter().enumerate() {
             n.page_table
                 .insert(base.index() + i as u64, Pte { frame, prot });
+        }
+        drop(n);
+        for i in 0..frames.len() as u64 {
+            shard.invalidate_page(base.index() + i);
         }
         Ok(())
     }
 
     /// Removes a mapping.
     pub fn unmap_page(&self, node: NodeId, page: PageNum) {
-        let mut ns = self.nodes.lock();
-        ns[node.0 as usize].page_table.remove(&page.index());
+        let shard = self.shard_must(node);
+        shard.mem.lock().page_table.remove(&page.index());
+        shard.invalidate_page(page.index());
     }
 
     /// Changes the protection of a mapped page (page-granular, like
@@ -381,29 +594,27 @@ impl ClusterMem {
     ///
     /// [`MemError::Unmapped`] if the page has no mapping on `node`.
     pub fn set_prot(&self, node: NodeId, page: PageNum, prot: Prot) -> Result<(), MemError> {
-        let mut ns = self.nodes.lock();
-        let n = &mut ns[node.0 as usize];
+        let shard = self.shard_must(node);
+        let mut n = shard.mem.lock();
         match n.page_table.get_mut(&page.index()) {
             Some(pte) => {
                 pte.prot = prot;
+                drop(n);
+                shard.invalidate_page(page.index());
                 Ok(())
             }
             None => Err(MemError::Unmapped(node, page)),
         }
     }
 
-    /// Returns `(frame, prot)` for a mapped page.
+    /// Returns `(frame, prot)` for a mapped page (TLB-accelerated).
     pub fn translate(&self, node: NodeId, page: PageNum) -> Option<(FrameId, Prot)> {
-        let ns = self.nodes.lock();
-        ns.get(node.0 as usize)?
-            .page_table
-            .get(&page.index())
-            .map(|pte| (pte.frame, pte.prot))
+        self.lookup(node, page).map(|(frame, prot, _)| (frame, prot))
     }
 
     fn record_fault(&self, node: NodeId) {
-        let mut ns = self.nodes.lock();
-        ns[node.0 as usize].faults += 1;
+        let shard = self.shard_must(node);
+        shard.mem.lock().faults += 1;
     }
 
     /// Reads a scalar at `addr` through `node`'s page table.
@@ -422,17 +633,13 @@ impl ClusterMem {
             "scalar read at {addr} straddles a page"
         );
         let page = addr.page();
-        let ns = self.nodes.lock();
-        let n = &ns[node.0 as usize];
-        match n.page_table.get(&page.index()) {
-            Some(pte) if pte.prot != Prot::None => {
-                let frame = &ns[pte.frame.node.0 as usize].frames[pte.frame.index as usize];
-                let data = frame.as_ref().expect("mapped page points at freed frame");
+        match self.lookup(node, page) {
+            Some((_, prot, slot)) if prot != Prot::None => {
+                let data = slot.data.lock();
                 let off = addr.page_offset() as usize;
                 Ok(T::load(&data[off..off + T::SIZE]))
             }
             _ => {
-                drop(ns);
                 self.record_fault(node);
                 Err(Fault {
                     node,
@@ -458,41 +665,181 @@ impl ClusterMem {
             "scalar write at {addr} straddles a page"
         );
         let page = addr.page();
-        let mut ns = self.nodes.lock();
-        let pte = match ns[node.0 as usize].page_table.get(&page.index()) {
-            Some(pte) if pte.prot == Prot::ReadWrite => *pte,
+        match self.lookup(node, page) {
+            Some((_, Prot::ReadWrite, slot)) => {
+                let mut data = slot.data.lock();
+                let off = addr.page_offset() as usize;
+                v.store(&mut data[off..off + T::SIZE]);
+                Ok(())
+            }
             _ => {
-                ns[node.0 as usize].faults += 1;
-                return Err(Fault {
+                self.record_fault(node);
+                Err(Fault {
                     node,
                     page,
                     kind: FaultKind::Write,
-                });
+                })
             }
-        };
-        let frame = ns[pte.frame.node.0 as usize].frames[pte.frame.index as usize]
-            .as_mut()
-            .expect("mapped page points at freed frame");
+        }
+    }
+
+    /// Reads the intersection of `[addr, addr + out.len())` with `addr`'s
+    /// page: one translation (TLB-accelerated) and one `memcpy`. Returns
+    /// the number of bytes copied, which is `out.len()` clamped to the end
+    /// of the page.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] (copying nothing) if the page is unmapped or
+    /// `Prot::None`.
+    pub fn read_page_run(&self, node: NodeId, addr: GAddr, out: &mut [u8]) -> Result<usize, Fault> {
+        let page = addr.page();
         let off = addr.page_offset() as usize;
-        v.store(&mut frame[off..off + T::SIZE]);
+        let n = out.len().min(PAGE_SIZE as usize - off);
+        match self.lookup(node, page) {
+            Some((_, prot, slot)) if prot != Prot::None => {
+                let data = slot.data.lock();
+                out[..n].copy_from_slice(&data[off..off + n]);
+                Ok(n)
+            }
+            _ => {
+                self.record_fault(node);
+                Err(Fault {
+                    node,
+                    page,
+                    kind: FaultKind::Read,
+                })
+            }
+        }
+    }
+
+    /// Write-side counterpart of [`ClusterMem::read_page_run`]: one
+    /// translation, one `memcpy`, bytes written clamped to `addr`'s page.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] (writing nothing) if the page is not writable.
+    pub fn write_page_run(&self, node: NodeId, addr: GAddr, data: &[u8]) -> Result<usize, Fault> {
+        let page = addr.page();
+        let off = addr.page_offset() as usize;
+        let n = data.len().min(PAGE_SIZE as usize - off);
+        match self.lookup(node, page) {
+            Some((_, Prot::ReadWrite, slot)) => {
+                let mut buf = slot.data.lock();
+                buf[off..off + n].copy_from_slice(&data[..n]);
+                Ok(n)
+            }
+            _ => {
+                self.record_fault(node);
+                Err(Fault {
+                    node,
+                    page,
+                    kind: FaultKind::Write,
+                })
+            }
+        }
+    }
+
+    /// Fill-side counterpart of [`ClusterMem::write_page_run`]: sets up to
+    /// `len` bytes starting at `addr` (clamped to `addr`'s page) to `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] (writing nothing) if the page is not writable.
+    pub fn fill_page_run(
+        &self,
+        node: NodeId,
+        addr: GAddr,
+        byte: u8,
+        len: usize,
+    ) -> Result<usize, Fault> {
+        let page = addr.page();
+        let off = addr.page_offset() as usize;
+        let n = len.min(PAGE_SIZE as usize - off);
+        match self.lookup(node, page) {
+            Some((_, Prot::ReadWrite, slot)) => {
+                let mut buf = slot.data.lock();
+                buf[off..off + n].fill(byte);
+                Ok(n)
+            }
+            _ => {
+                self.record_fault(node);
+                Err(Fault {
+                    node,
+                    page,
+                    kind: FaultKind::Write,
+                })
+            }
+        }
+    }
+
+    /// Reads `out.len()` bytes starting at `addr`, one page run at a time.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first faulting page; bytes before the fault have
+    /// already been copied into `out`.
+    pub fn read_slice(&self, node: NodeId, addr: GAddr, out: &mut [u8]) -> Result<(), Fault> {
+        let mut done = 0;
+        while done < out.len() {
+            let n = self.read_page_run(node, addr + done as u64, &mut out[done..])?;
+            done += n;
+        }
         Ok(())
+    }
+
+    /// Writes `data` starting at `addr`, one page run at a time.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first faulting page; bytes before the fault have
+    /// already been written.
+    pub fn write_slice(&self, node: NodeId, addr: GAddr, data: &[u8]) -> Result<(), Fault> {
+        let mut done = 0;
+        while done < data.len() {
+            let n = self.write_page_run(node, addr + done as u64, &data[done..])?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Sets `len` bytes starting at `addr` to `byte`, one page run at a
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first faulting page; bytes before the fault have
+    /// already been filled.
+    pub fn fill(&self, node: NodeId, addr: GAddr, byte: u8, len: u64) -> Result<(), Fault> {
+        let mut done = 0u64;
+        while done < len {
+            let n = self.fill_page_run(node, addr + done, byte, (len - done) as usize)?;
+            done += n as u64;
+        }
+        Ok(())
+    }
+
+    fn frame_slot(&self, frame: FrameId, what: &str) -> Arc<FrameSlot> {
+        let shard = self.shard_must(frame.node);
+        let n = shard.mem.lock();
+        Arc::clone(
+            n.frames[frame.index as usize]
+                .as_ref()
+                .unwrap_or_else(|| panic!("{what} of freed frame {frame}")),
+        )
     }
 
     /// Copies bytes out of a physical frame (NIC DMA read path).
     pub fn frame_read(&self, frame: FrameId, offset: usize, out: &mut [u8]) {
-        let ns = self.nodes.lock();
-        let data = ns[frame.node.0 as usize].frames[frame.index as usize]
-            .as_ref()
-            .expect("frame_read of freed frame");
+        let slot = self.frame_slot(frame, "frame_read");
+        let data = slot.data.lock();
         out.copy_from_slice(&data[offset..offset + out.len()]);
     }
 
     /// Copies bytes into a physical frame (NIC DMA write path).
     pub fn frame_write(&self, frame: FrameId, offset: usize, data: &[u8]) {
-        let mut ns = self.nodes.lock();
-        let buf = ns[frame.node.0 as usize].frames[frame.index as usize]
-            .as_mut()
-            .expect("frame_write of freed frame");
+        let slot = self.frame_slot(frame, "frame_write");
+        let mut buf = slot.data.lock();
         buf[offset..offset + data.len()].copy_from_slice(data);
     }
 
@@ -675,5 +1022,118 @@ mod tests {
         let f = m.alloc_frame(NodeId(0)).unwrap();
         m.free_frame(f);
         m.free_frame(f);
+    }
+
+    #[test]
+    fn tlb_hits_on_repeat_access() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        let page = PageNum::new(7);
+        m.map_page(NodeId(0), page, f, Prot::ReadWrite);
+        m.write_scalar(NodeId(0), page.base(), 1u64).unwrap();
+        let before = m.tlb_stats();
+        for _ in 0..100 {
+            m.read_scalar::<u64>(NodeId(0), page.base()).unwrap();
+        }
+        let after = m.tlb_stats();
+        assert_eq!(after.hits - before.hits, 100);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn tlb_invalidated_by_set_prot() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        let page = PageNum::new(3);
+        m.map_page(NodeId(0), page, f, Prot::ReadWrite);
+        m.write_scalar(NodeId(0), page.base(), 9u32).unwrap();
+        // Downgrade: the cached RW translation must not satisfy a write.
+        m.set_prot(NodeId(0), page, Prot::Read).unwrap();
+        assert!(m.write_scalar(NodeId(0), page.base(), 1u32).is_err());
+        assert_eq!(m.read_scalar::<u32>(NodeId(0), page.base()).unwrap(), 9);
+    }
+
+    #[test]
+    fn tlb_invalidated_by_remap() {
+        let m = mem();
+        let f1 = m.alloc_frame(NodeId(0)).unwrap();
+        let f2 = m.alloc_frame(NodeId(0)).unwrap();
+        let page = PageNum::new(4);
+        m.map_page(NodeId(0), page, f1, Prot::ReadWrite);
+        m.write_scalar(NodeId(0), page.base(), 0xAAu8).unwrap();
+        // Remap the same virtual page to a different frame.
+        m.map_page(NodeId(0), page, f2, Prot::ReadWrite);
+        assert_eq!(m.read_scalar::<u8>(NodeId(0), page.base()).unwrap(), 0);
+    }
+
+    #[test]
+    fn tlb_invalidated_by_unmap_and_free() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        let page = PageNum::new(5);
+        m.map_page(NodeId(0), page, f, Prot::ReadWrite);
+        m.read_scalar::<u8>(NodeId(0), page.base()).unwrap();
+        m.unmap_page(NodeId(0), page);
+        assert!(m.read_scalar::<u8>(NodeId(0), page.base()).is_err());
+        m.free_frame(f);
+        assert!(m.read_scalar::<u8>(NodeId(0), page.base()).is_err());
+    }
+
+    #[test]
+    fn slice_round_trip_across_pages() {
+        let m = mem();
+        for p in 0..3 {
+            let f = m.alloc_frame(NodeId(0)).unwrap();
+            m.map_page(NodeId(0), PageNum::new(p), f, Prot::ReadWrite);
+        }
+        // A write that straddles all three pages.
+        let base = GAddr::new(100);
+        let data: Vec<u8> = (0..2 * PAGE_SIZE as usize + 500).map(|i| i as u8).collect();
+        m.write_slice(NodeId(0), base, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read_slice(NodeId(0), base, &mut back).unwrap();
+        assert_eq!(back, data);
+        // Byte-identical with the scalar path.
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(m.read_scalar::<u8>(NodeId(0), base + i as u64).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn slice_fault_reports_faulting_page() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        m.map_page(NodeId(0), PageNum::new(0), f, Prot::ReadWrite);
+        // Page 1 unmapped: the slice faults there, not at the start.
+        let mut buf = vec![0u8; 2 * PAGE_SIZE as usize];
+        let err = m
+            .read_slice(NodeId(0), GAddr::new(0), &mut buf)
+            .expect_err("page 1 unmapped");
+        assert_eq!(err.page, PageNum::new(1));
+    }
+
+    #[test]
+    fn fill_matches_scalar_writes() {
+        let m = mem();
+        for p in 0..2 {
+            let f = m.alloc_frame(NodeId(0)).unwrap();
+            m.map_page(NodeId(0), PageNum::new(p), f, Prot::ReadWrite);
+        }
+        let base = GAddr::new(PAGE_SIZE - 17);
+        m.fill(NodeId(0), base, 0x5A, 40).unwrap();
+        for i in 0..40u64 {
+            assert_eq!(m.read_scalar::<u8>(NodeId(0), base + i).unwrap(), 0x5A);
+        }
+        assert_eq!(m.read_scalar::<u8>(NodeId(0), base + 40).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_page_run_clamps_to_page_end() {
+        let m = mem();
+        let f = m.alloc_frame(NodeId(0)).unwrap();
+        m.map_page(NodeId(0), PageNum::new(0), f, Prot::ReadWrite);
+        let addr = GAddr::new(PAGE_SIZE - 8);
+        let n = m.write_page_run(NodeId(0), addr, &[1u8; 64]).unwrap();
+        assert_eq!(n, 8);
     }
 }

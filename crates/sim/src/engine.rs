@@ -18,14 +18,16 @@
 //! resumes with a clock earlier than the waker's clock at the wake, so
 //! operations execute in nondecreasing timestamp order.
 
+use std::cell::Cell;
 use std::collections::BinaryHeap;
 use std::cmp::Reverse;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::time::SimTime;
 
@@ -140,6 +142,18 @@ pub struct EngineStats {
     pub context_switches: u64,
     /// Number of simulated threads ever spawned.
     pub threads_spawned: u64,
+    /// Clock/cpu charges served from the per-thread cache without taking
+    /// the kernel lock ([`Sim::advance`], [`Sim::advance_idle`], ...).
+    pub lockless_advances: u64,
+    /// Sync points that kept the baton (no re-park needed).
+    pub sync_fast_path: u64,
+    /// Sync points that had to yield to an earlier thread.
+    pub sync_slow_path: u64,
+    /// Software-TLB hits, merged in by the memory layer (the engine itself
+    /// always reports 0 here; see `ClusterMem::tlb_stats`).
+    pub tlb_hits: u64,
+    /// Software-TLB misses, merged in by the memory layer.
+    pub tlb_misses: u64,
 }
 
 struct Kernel {
@@ -230,10 +244,7 @@ impl Kernel {
                     self.fire_sleeper();
                     continue;
                 }
-                (Some(_), _) => {
-                    let Some(&Reverse((_, tid_raw))) = self.ready.peek() else {
-                        unreachable!("peek_ready validated an entry");
-                    };
+                (Some((_, tid_raw)), _) => {
                     let tid = Tid(tid_raw);
                     self.ready.pop();
                     self.rec_mut(tid).state = ThreadState::Running;
@@ -277,6 +288,10 @@ struct EngineInner {
     kernel: Mutex<Kernel>,
     done: Condvar,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// When false, the per-thread clock cache is never armed and every
+    /// charge takes the kernel lock (the pre-optimization behaviour, kept
+    /// as a measurement baseline).
+    lockless: AtomicBool,
 }
 
 /// A deterministic discrete-event engine for a simulated cluster.
@@ -337,8 +352,21 @@ impl Engine {
                 }),
                 done: Condvar::new(),
                 handles: Mutex::new(Vec::new()),
+                lockless: AtomicBool::new(true),
             }),
         }
+    }
+
+    /// Enables or disables the lock-free clock-cache fast path. Disabling
+    /// it forces every time charge through the kernel mutex; simulated
+    /// results are identical either way, only wall-clock speed changes.
+    pub fn set_lockless(&self, on: bool) {
+        self.inner.lockless.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the lock-free fast path is enabled (the default).
+    pub fn lockless(&self) -> bool {
+        self.inner.lockless.load(Ordering::Relaxed)
     }
 
     /// Adds a node with `cpus` processors and returns its id.
@@ -460,11 +488,11 @@ impl Engine {
                         return;
                     }
                 }
-                let sim = Sim {
-                    engine: engine.clone(),
-                    tid,
-                };
+                let sim = Sim::new(engine.clone(), tid);
                 let result = catch_unwind(AssertUnwindSafe(|| f(&sim)));
+                // The kernel copy of the clock may be stale; make it
+                // authoritative before `thread_exit` reads it.
+                sim.flush_for_exit();
                 let panic_msg = result.err().and_then(|p| {
                     if p.downcast_ref::<PoisonUnwind>().is_some() {
                         // Cascade from an already-recorded failure.
@@ -521,13 +549,41 @@ impl Engine {
 /// without triggering the panic hook.
 struct PoisonUnwind;
 
+/// Snapshot of the scheduling state the hot path needs: this thread's
+/// virtual clock plus its processor's `free_at`. While a thread runs with a
+/// populated cache, the kernel's copies are stale and the cache is
+/// authoritative; `flush_into` reconciles them before anyone else can look.
+#[derive(Debug, Clone, Copy)]
+struct ClockCache {
+    clock: SimTime,
+    free_at: SimTime,
+    node: NodeId,
+    cpu: usize,
+}
+
 /// Per-thread handle to the simulation, passed to every simulated thread.
 ///
 /// All methods must be called from the simulated thread that owns the
 /// handle.
+///
+/// # Lock-free fast path
+///
+/// Exactly one simulated thread is unparked at any instant, so while this
+/// thread holds the baton no other thread can read or write its clock or
+/// its processor's `free_at`. `Sim` exploits that: `advance`, `advance_idle`,
+/// `clock_at_least`, `occupy_cpu_until` and `now` operate on a `Cell`-cached
+/// copy and never take the kernel mutex once the cache is warm. Every
+/// scheduling point (`sync_point`, `block`, `block_deadline`, `wake`,
+/// `wait_exit`, thread exit) flushes the cache back into the kernel first,
+/// so any state another thread can observe is always up to date. The `Cell`s
+/// make `Sim` `!Sync`, which is exactly the contract: one owner thread.
 pub struct Sim {
     engine: Engine,
     tid: Tid,
+    cache: Cell<Option<ClockCache>>,
+    n_lockless: Cell<u64>,
+    n_sync_fast: Cell<u64>,
+    n_sync_slow: Cell<u64>,
 }
 
 impl fmt::Debug for Sim {
@@ -537,6 +593,17 @@ impl fmt::Debug for Sim {
 }
 
 impl Sim {
+    fn new(engine: Engine, tid: Tid) -> Self {
+        Sim {
+            engine,
+            tid,
+            cache: Cell::new(None),
+            n_lockless: Cell::new(0),
+            n_sync_fast: Cell::new(0),
+            n_sync_slow: Cell::new(0),
+        }
+    }
+
     /// This thread's id.
     pub fn tid(&self) -> Tid {
         self.tid
@@ -544,6 +611,9 @@ impl Sim {
 
     /// The node this thread runs on.
     pub fn node(&self) -> NodeId {
+        if let Some(c) = self.cache.get() {
+            return c.node;
+        }
         self.engine.inner.kernel.lock().rec(self.tid).node
     }
 
@@ -554,6 +624,9 @@ impl Sim {
 
     /// Current virtual time of this thread.
     pub fn now(&self) -> SimTime {
+        if let Some(c) = self.cache.get() {
+            return c.clock;
+        }
         self.engine.inner.kernel.lock().rec(self.tid).clock
     }
 
@@ -564,20 +637,79 @@ impl Sim {
         k.fresh
     }
 
+    /// Writes the cached clock/cpu state (if any) back into the kernel and
+    /// merges the fast-path counters. Must run under the kernel lock before
+    /// any other thread could observe this thread's scheduling state.
+    fn flush_into(&self, k: &mut Kernel) {
+        if let Some(c) = self.cache.take() {
+            k.rec_mut(self.tid).clock = c.clock;
+            k.nodes[c.node.0 as usize].cpus[c.cpu].free_at = c.free_at;
+        }
+        k.stats.lockless_advances += self.n_lockless.take();
+        k.stats.sync_fast_path += self.n_sync_fast.take();
+        k.stats.sync_slow_path += self.n_sync_slow.take();
+    }
+
+    /// Loads the cache from kernel state (under the lock `k`).
+    fn warm_cache(&self, k: &Kernel) {
+        if !self.engine.inner.lockless.load(Ordering::Relaxed) {
+            return;
+        }
+        let r = k.rec(self.tid);
+        let (node, cpu, clock) = (r.node, r.cpu, r.clock);
+        let free_at = k.nodes[node.0 as usize].cpus[cpu].free_at;
+        self.cache.set(Some(ClockCache {
+            clock,
+            free_at,
+            node,
+            cpu,
+        }));
+    }
+
+    /// Called by the spawn shim after the thread body returns, so
+    /// `thread_exit` sees the final clock.
+    fn flush_for_exit(&self) {
+        let mut k = self.engine.inner.kernel.lock();
+        self.flush_into(&mut k);
+    }
+
+    /// Cache-only advance; returns false when the cache is cold.
+    fn cached_advance(&self, ns: u64) -> bool {
+        let Some(mut c) = self.cache.get() else {
+            return false;
+        };
+        let start = c.clock.max(c.free_at);
+        let end = start + ns;
+        c.clock = end;
+        c.free_at = end;
+        self.cache.set(Some(c));
+        self.n_lockless.set(self.n_lockless.get() + 1);
+        true
+    }
+
     /// Charges `ns` nanoseconds of processor-occupying compute time.
     ///
     /// Threads sharing a processor serialize here: the segment starts no
     /// earlier than the processor's previous segment ended.
     pub fn advance(&self, ns: u64) {
+        if self.cached_advance(ns) {
+            return;
+        }
         let mut k = self.engine.inner.kernel.lock();
+        self.flush_into(&mut k);
+        self.warm_cache(&k);
+        if self.cache.get().is_some() {
+            drop(k);
+            self.cached_advance(ns);
+            return;
+        }
+        // Lockless mode disabled: charge directly in the kernel.
         let (node, cpu) = {
             let r = k.rec(self.tid);
             (r.node, r.cpu)
         };
         let free_at = k.nodes[node.0 as usize].cpus[cpu].free_at;
-        let clock = k.rec(self.tid).clock;
-        let start = clock.max(free_at);
-        let end = start + ns;
+        let end = k.rec(self.tid).clock.max(free_at) + ns;
         k.rec_mut(self.tid).clock = end;
         k.nodes[node.0 as usize].cpus[cpu].free_at = end;
     }
@@ -585,51 +717,97 @@ impl Sim {
     /// Charges `ns` nanoseconds of latency that does *not* occupy the
     /// processor (e.g., waiting on an OS event).
     pub fn advance_idle(&self, ns: u64) {
-        let mut k = self.engine.inner.kernel.lock();
-        let clock = k.rec(self.tid).clock;
-        k.rec_mut(self.tid).clock = clock + ns;
+        if self.cache.get().is_none() {
+            let mut k = self.engine.inner.kernel.lock();
+            self.flush_into(&mut k);
+            self.warm_cache(&k);
+            if self.cache.get().is_none() {
+                let c = k.rec(self.tid).clock + ns;
+                k.rec_mut(self.tid).clock = c;
+                return;
+            }
+        }
+        let mut c = self.cache.get().expect("cache warmed");
+        c.clock = c.clock + ns;
+        self.cache.set(Some(c));
+        self.n_lockless.set(self.n_lockless.get() + 1);
     }
 
     /// Raises this thread's clock to at least `t`.
     pub fn clock_at_least(&self, t: SimTime) {
-        let mut k = self.engine.inner.kernel.lock();
-        let clock = k.rec(self.tid).clock;
-        k.rec_mut(self.tid).clock = clock.max(t);
+        if self.cache.get().is_none() {
+            let mut k = self.engine.inner.kernel.lock();
+            self.flush_into(&mut k);
+            self.warm_cache(&k);
+            if self.cache.get().is_none() {
+                let c = k.rec(self.tid).clock.max(t);
+                k.rec_mut(self.tid).clock = c;
+                return;
+            }
+        }
+        let mut c = self.cache.get().expect("cache warmed");
+        c.clock = c.clock.max(t);
+        self.cache.set(Some(c));
+        self.n_lockless.set(self.n_lockless.get() + 1);
     }
 
     /// Timestamp-ordering point: yields until this thread has the smallest
     /// `(clock, tid)` among runnable threads. Call before every operation
     /// on shared simulation state.
     pub fn sync_point(&self) {
-        let cell;
-        {
-            let mut k = self.engine.inner.kernel.lock();
-            debug_assert_eq!(k.running, Some(self.tid), "sync_point while not running");
-            let my = (k.rec(self.tid).clock.as_nanos(), self.tid.0);
-            // Fast path: still the global minimum among ready threads and
-            // pending timed sleepers.
-            let ready_first = k.peek_ready().map(|top| top < my).unwrap_or(false);
-            let sleeper_first = k
-                .peek_sleeper()
-                .map(|deadline| deadline < my.0)
-                .unwrap_or(false);
-            let must_yield = ready_first || sleeper_first;
-            if !must_yield {
-                return;
-            }
-            cell = Arc::clone(&k.rec(self.tid).cell);
-            k.running = None;
-            k.push_ready(self.tid);
-            k.schedule_next();
+        let mut k = self.engine.inner.kernel.lock();
+        self.flush_into(&mut k);
+        self.sync_point_with(k);
+    }
+
+    /// Sync-point body; expects the cache already flushed under `k`.
+    fn sync_point_with(&self, mut k: MutexGuard<'_, Kernel>) {
+        debug_assert_eq!(k.running, Some(self.tid), "sync_point while not running");
+        let my = (k.rec(self.tid).clock.as_nanos(), self.tid.0);
+        // Fast path: still the global minimum among ready threads and
+        // pending timed sleepers.
+        let ready_first = k.peek_ready().map(|top| top < my).unwrap_or(false);
+        let sleeper_first = k
+            .peek_sleeper()
+            .map(|deadline| deadline < my.0)
+            .unwrap_or(false);
+        if !(ready_first || sleeper_first) {
+            self.n_sync_fast.set(self.n_sync_fast.get() + 1);
+            // Keep the baton: re-arm the lock-free cache so the next
+            // charge doesn't pay for a kernel lock either.
+            self.warm_cache(&k);
+            return;
         }
+        self.n_sync_slow.set(self.n_sync_slow.get() + 1);
+        let cell = Arc::clone(&k.rec(self.tid).cell);
+        k.running = None;
+        k.push_ready(self.tid);
+        k.schedule_next();
+        drop(k);
         cell.wait();
         self.check_poison();
     }
 
     /// Convenience: charge `cost` of compute then order at a sync point.
+    ///
+    /// When the clock cache is warm the charge is lock-free and only the
+    /// ordering check takes the kernel lock; when it is cold, both happen
+    /// under a single critical section.
     pub fn op_point(&self, cost: u64) {
-        if cost > 0 {
-            self.advance(cost);
+        if cost > 0 && !self.cached_advance(cost) {
+            let mut k = self.engine.inner.kernel.lock();
+            self.flush_into(&mut k);
+            let (node, cpu) = {
+                let r = k.rec(self.tid);
+                (r.node, r.cpu)
+            };
+            let free_at = k.nodes[node.0 as usize].cpus[cpu].free_at;
+            let clock = k.rec(self.tid).clock;
+            let end = clock.max(free_at) + cost;
+            k.rec_mut(self.tid).clock = end;
+            k.nodes[node.0 as usize].cpus[cpu].free_at = end;
+            self.sync_point_with(k);
+            return;
         }
         self.sync_point();
     }
@@ -645,6 +823,7 @@ impl Sim {
         let cell;
         {
             let mut k = self.engine.inner.kernel.lock();
+            self.flush_into(&mut k);
             debug_assert_eq!(k.running, Some(self.tid), "block while not running");
             if let Some(at) = k.rec_mut(self.tid).pending_wake.take() {
                 let c = k.rec(self.tid).clock.max(at);
@@ -669,6 +848,7 @@ impl Sim {
         let cell;
         {
             let mut k = self.engine.inner.kernel.lock();
+            self.flush_into(&mut k);
             debug_assert_eq!(k.running, Some(self.tid), "block while not running");
             if let Some(at) = k.rec_mut(self.tid).pending_wake.take() {
                 let c = k.rec(self.tid).clock.max(at);
@@ -703,6 +883,7 @@ impl Sim {
     /// Panics if the target has already exited.
     pub fn wake(&self, target: Tid, at: SimTime) {
         let mut k = self.engine.inner.kernel.lock();
+        self.flush_into(&mut k);
         let mine = k.rec(self.tid).clock;
         let at = at.max(mine);
         match k.rec(target).state {
@@ -726,13 +907,24 @@ impl Sim {
     /// to time `t` (e.g. after a competitive-spinning wait, so co-located
     /// threads cannot have used the processor meanwhile).
     pub fn occupy_cpu_until(&self, t: SimTime) {
-        let mut k = self.engine.inner.kernel.lock();
-        let (node, cpu) = {
-            let r = k.rec(self.tid);
-            (r.node, r.cpu)
-        };
-        let cur = k.nodes[node.0 as usize].cpus[cpu].free_at;
-        k.nodes[node.0 as usize].cpus[cpu].free_at = cur.max(t);
+        if self.cache.get().is_none() {
+            let mut k = self.engine.inner.kernel.lock();
+            self.flush_into(&mut k);
+            self.warm_cache(&k);
+            if self.cache.get().is_none() {
+                let (node, cpu) = {
+                    let r = k.rec(self.tid);
+                    (r.node, r.cpu)
+                };
+                let f = k.nodes[node.0 as usize].cpus[cpu].free_at.max(t);
+                k.nodes[node.0 as usize].cpus[cpu].free_at = f;
+                return;
+            }
+        }
+        let mut c = self.cache.get().expect("cache warmed");
+        c.free_at = c.free_at.max(t);
+        self.cache.set(Some(c));
+        self.n_lockless.set(self.n_lockless.get() + 1);
     }
 
     /// Spawns a new simulated thread on `node`, starting at virtual time
@@ -752,6 +944,7 @@ impl Sim {
         let cell;
         {
             let mut k = self.engine.inner.kernel.lock();
+            self.flush_into(&mut k);
             match k.rec(target).state {
                 ThreadState::Exited => {
                     let t = k.rec(target).clock;

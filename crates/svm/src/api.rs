@@ -5,6 +5,7 @@
 //! same instance with [`crate::config::ProtoMode::Cables`]).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use memsim::{GAddr, PAGE_SIZE};
@@ -38,6 +39,9 @@ pub struct SvmSystem {
     pub(crate) cfg: SvmConfig,
     pub(crate) state: Mutex<ProtoState>,
     pub(crate) master: NodeId,
+    /// When false, the bulk slice API degrades to per-scalar loops and the
+    /// memory layer's software TLB is bypassed (measurement baseline).
+    pub(crate) fast_path: AtomicBool,
 }
 
 impl fmt::Debug for SvmSystem {
@@ -59,7 +63,33 @@ impl SvmSystem {
             cfg,
             state: Mutex::new(ProtoState::new(nodes)),
             master,
+            fast_path: AtomicBool::new(true),
         })
+    }
+
+    /// Enables or disables the hot-path optimizations end to end: bulk
+    /// page-run access, the memory layer's software TLB, and the engine's
+    /// lock-free clock cache. Simulated results are identical either way;
+    /// only wall-clock speed changes. On by default.
+    pub fn set_fast_path(&self, on: bool) {
+        self.fast_path.store(on, Ordering::Relaxed);
+        self.cluster.mem.set_slow_mode(!on);
+        self.cluster.engine.set_lockless(on);
+    }
+
+    /// Whether the hot-path optimizations are enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path.load(Ordering::Relaxed)
+    }
+
+    /// Engine statistics with the memory layer's software-TLB counters
+    /// merged in (the engine itself reports zeros for those fields).
+    pub fn engine_stats(&self) -> sim::EngineStats {
+        let mut s = self.cluster.engine.stats();
+        let t = self.cluster.mem.tlb_stats();
+        s.tlb_hits = t.hits;
+        s.tlb_misses = t.misses;
+        s
     }
 
     /// The cluster this system runs on.

@@ -1123,6 +1123,158 @@ impl SvmSystem {
             }
         }
     }
+
+    fn assert_bulk_align<T: Scalar>(addr: GAddr) {
+        assert_eq!(
+            addr.raw() % T::SIZE as u64,
+            0,
+            "bulk access must be aligned to the element size ({} bytes)",
+            T::SIZE
+        );
+    }
+
+    /// Reads `out.len()` consecutive scalars starting at `addr`.
+    ///
+    /// Semantically identical to a loop of [`SvmSystem::read`] — same
+    /// faults, same virtual time, same protocol traffic — but one
+    /// translation and one copy per contiguous page run instead of per
+    /// element. Equivalence holds because consecutive [`Sim::advance`]
+    /// charges sum, and once the first element of a run succeeds the rest
+    /// of the run cannot fault (there is no scheduling point in between,
+    /// so no other thread can change the page's protection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not aligned to `T`'s size.
+    pub fn read_slice<T: Scalar>(&self, sim: &Sim, addr: GAddr, out: &mut [T]) {
+        Self::assert_bulk_align::<T>(addr);
+        if !self.fast_path.load(std::sync::atomic::Ordering::Relaxed) {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.read(sim, addr + (i * T::SIZE) as u64);
+            }
+            return;
+        }
+        let a = self.cfg.costs.access_check_ns;
+        let node = sim.node();
+        let total = out.len() * T::SIZE;
+        let mut buf = [0u8; PAGE_SIZE as usize];
+        let mut off = 0usize;
+        while off < total {
+            let run_addr = addr + off as u64;
+            let n = (total - off).min((PAGE_SIZE - run_addr.page_offset()) as usize);
+            let k = (n / T::SIZE) as u64;
+            // One access check up front so a fault is charged exactly as
+            // the scalar path charges it; the remaining k-1 checks follow
+            // the successful copy.
+            sim.advance(a);
+            loop {
+                match self.cluster.mem.read_page_run(node, run_addr, &mut buf[..n]) {
+                    Ok(_) => break,
+                    Err(f) => self.handle_fault(sim, f.page, f.kind),
+                }
+            }
+            sim.advance((k - 1) * a);
+            for i in 0..k as usize {
+                out[off / T::SIZE + i] = T::load(&buf[i * T::SIZE..(i + 1) * T::SIZE]);
+            }
+            off += n;
+        }
+    }
+
+    /// Writes `data` as consecutive scalars starting at `addr`.
+    ///
+    /// Semantically identical to a loop of [`SvmSystem::write`]; the dirty
+    /// bitmap is marked once per page run (the same word bits a per-scalar
+    /// loop would set), so release diffs are unchanged. See
+    /// [`SvmSystem::read_slice`] for the equivalence argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not aligned to `T`'s size.
+    pub fn write_slice<T: Scalar>(&self, sim: &Sim, addr: GAddr, data: &[T]) {
+        Self::assert_bulk_align::<T>(addr);
+        if !self.fast_path.load(std::sync::atomic::Ordering::Relaxed) {
+            for (i, v) in data.iter().enumerate() {
+                self.write(sim, addr + (i * T::SIZE) as u64, *v);
+            }
+            return;
+        }
+        let a = self.cfg.costs.access_check_ns;
+        let node = sim.node();
+        let total = data.len() * T::SIZE;
+        let mut buf = [0u8; PAGE_SIZE as usize];
+        let mut off = 0usize;
+        while off < total {
+            let run_addr = addr + off as u64;
+            let n = (total - off).min((PAGE_SIZE - run_addr.page_offset()) as usize);
+            let k = (n / T::SIZE) as u64;
+            for i in 0..k as usize {
+                data[off / T::SIZE + i].store(&mut buf[i * T::SIZE..(i + 1) * T::SIZE]);
+            }
+            sim.advance(a);
+            loop {
+                match self.cluster.mem.write_page_run(node, run_addr, &buf[..n]) {
+                    Ok(_) => break,
+                    Err(f) => self.handle_fault(sim, f.page, f.kind),
+                }
+            }
+            self.mark_dirty(node, run_addr, n as u64);
+            sim.advance((k - 1) * a);
+            off += n;
+        }
+    }
+
+    /// Writes `count` copies of `v` starting at `addr` — the bulk
+    /// equivalent of a `for i in 0..count { write(addr + i*size, v) }`
+    /// initialization loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not aligned to `T`'s size.
+    pub fn fill<T: Scalar>(&self, sim: &Sim, addr: GAddr, v: T, count: usize) {
+        Self::assert_bulk_align::<T>(addr);
+        if !self.fast_path.load(std::sync::atomic::Ordering::Relaxed) {
+            for i in 0..count {
+                self.write(sim, addr + (i * T::SIZE) as u64, v);
+            }
+            return;
+        }
+        let mut pat = [0u8; 8];
+        v.store(&mut pat[..T::SIZE]);
+        // A uniform byte pattern (zeros, 0xFF…) can use the memset path;
+        // anything else goes through a pre-tiled page buffer.
+        let uniform = pat[..T::SIZE].iter().all(|&b| b == pat[0]);
+        let mut buf = [0u8; PAGE_SIZE as usize];
+        if !uniform {
+            for chunk in buf.chunks_exact_mut(T::SIZE) {
+                chunk.copy_from_slice(&pat[..T::SIZE]);
+            }
+        }
+        let a = self.cfg.costs.access_check_ns;
+        let node = sim.node();
+        let total = count * T::SIZE;
+        let mut off = 0usize;
+        while off < total {
+            let run_addr = addr + off as u64;
+            let n = (total - off).min((PAGE_SIZE - run_addr.page_offset()) as usize);
+            let k = (n / T::SIZE) as u64;
+            sim.advance(a);
+            loop {
+                let res = if uniform {
+                    self.cluster.mem.fill_page_run(node, run_addr, pat[0], n)
+                } else {
+                    self.cluster.mem.write_page_run(node, run_addr, &buf[..n])
+                };
+                match res {
+                    Ok(_) => break,
+                    Err(f) => self.handle_fault(sim, f.page, f.kind),
+                }
+            }
+            self.mark_dirty(node, run_addr, n as u64);
+            sim.advance((k - 1) * a);
+            off += n;
+        }
+    }
 }
 
 #[cfg(test)]

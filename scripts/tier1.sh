@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must keep green (see ROADMAP.md).
+#
+#   release build + the full test suite of every workspace crate.
+#
+# Pass --smoke to additionally compile-and-run every bench target in its
+# `--test` smoke mode (tiny sizes, same code paths and determinism
+# assertions) — what the CI workflow runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+
+echo "==> cargo build --release"
+cargo build $CARGO_FLAGS --release
+
+echo "==> cargo test --workspace"
+cargo test $CARGO_FLAGS --workspace -q
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall; do
+        echo "==> cargo bench --bench $bench -- --test"
+        cargo bench $CARGO_FLAGS -p cables-bench --bench "$bench" -- --test
+    done
+fi
+
+echo "tier1: OK"

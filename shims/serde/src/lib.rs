@@ -1,0 +1,12 @@
+//! Minimal offline stand-in for `serde`. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking markers on plain
+//! config structs — nothing actually serializes yet — so the traits here are
+//! empty markers and the derives (from the sibling `serde_derive` shim) emit
+//! empty impls. Swapping in real serde later is a manifest-only change.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

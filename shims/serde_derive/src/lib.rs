@@ -1,0 +1,38 @@
+//! Derive macros backing the offline `serde` shim. They parse just enough of
+//! the item to find the type name (first identifier after `struct`/`enum`;
+//! the workspace derives only on non-generic types) and emit empty marker
+//! impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut after_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if after_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                after_keyword = true;
+            }
+        }
+    }
+    panic!("serde shim derive: could not find a struct/enum name");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
