@@ -52,6 +52,6 @@ mod sync;
 mod sync2;
 
 pub use config::{CablesConfig, CablesCosts};
-pub use rt::{CablesRt, Cancelled, CtId, OpKind, OpTimes, Pth, RtStats};
+pub use rt::{CablesRt, Cancelled, ContentionStats, CtId, OpKind, OpTimes, Pth, RtStats};
 pub use sync::{Barrier, Cond, Mutex, MutexCondBarrier};
 pub use sync2::{Once, RwLock, TsdKey};

@@ -28,40 +28,56 @@ impl CablesRt {
     /// Panics if `bytes == 0`.
     pub fn global_malloc(&self, sim: &Sim, bytes: u64) -> GAddr {
         assert!(bytes > 0, "global_malloc of zero bytes");
+        let t0 = sim.now();
         // Global allocator state lives in the ACB.
         self.admin_request(sim);
         sim.advance(self.cfg.costs.malloc_ns);
         let align = if bytes >= PAGE_SIZE { PAGE_SIZE } else { 8 };
-        {
-            let mut st = self.state.lock();
-            st.stats.mallocs += 1;
-            // First fit from the free list.
-            let mut found = None;
-            for (&start, &size) in st.free_list.iter() {
-                let aligned = GAddr::new(start).align_up(align).raw();
-                let pad = aligned - start;
-                if size >= pad + bytes {
-                    found = Some((start, size, aligned, pad));
-                    break;
+        let addr = 'alloc: {
+            {
+                let mut st = self.state.lock();
+                st.stats.mallocs += 1;
+                // First fit from the free list.
+                let mut found = None;
+                for (&start, &size) in st.free_list.iter() {
+                    let aligned = GAddr::new(start).align_up(align).raw();
+                    let pad = aligned - start;
+                    if size >= pad + bytes {
+                        found = Some((start, size, aligned, pad));
+                        break;
+                    }
+                }
+                if let Some((start, size, aligned, pad)) = found {
+                    st.free_list.remove(&start);
+                    if pad > 0 {
+                        st.free_list.insert(start, pad);
+                    }
+                    let tail = size - pad - bytes;
+                    if tail > 0 {
+                        st.free_list.insert(aligned + bytes, tail);
+                    }
+                    st.allocated.insert(aligned, bytes);
+                    break 'alloc GAddr::new(aligned);
                 }
             }
-            if let Some((start, size, aligned, pad)) = found {
-                st.free_list.remove(&start);
-                if pad > 0 {
-                    st.free_list.insert(start, pad);
-                }
-                let tail = size - pad - bytes;
-                if tail > 0 {
-                    st.free_list.insert(aligned + bytes, tail);
-                }
-                st.allocated.insert(aligned, bytes);
-                return GAddr::new(aligned);
-            }
+            // Fresh space from the shared heap.
+            let addr = self.svm().g_malloc(sim, bytes);
+            self.state.lock().allocated.insert(addr.raw(), bytes);
+            addr
+        };
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Rt,
+                sim.node(),
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::GlobalAlloc {
+                    base: addr.raw(),
+                    bytes,
+                },
+            );
         }
-        // Fresh space from the shared heap.
-        let addr = self.svm().g_malloc(sim, bytes);
-        let mut st = self.state.lock();
-        st.allocated.insert(addr.raw(), bytes);
         addr
     }
 

@@ -155,6 +155,39 @@ impl OpTimes {
 
 pub(crate) type JobFn = Box<dyn FnOnce(&Pth) -> u64 + Send>;
 
+/// Contention counters for the pthreads synchronization layer (paper
+/// §2.3): wait counts, maximum simultaneous waiters and total simulated
+/// wait time per primitive class. Always collected — pure bookkeeping
+/// that charges no virtual time, so simulated results are identical
+/// whether or not anyone reads them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionStats {
+    /// `mutex_lock` acquisitions.
+    pub mutex_waits: u64,
+    /// Total simulated time spent inside `mutex_lock` (ns).
+    pub mutex_wait_ns: u64,
+    /// Most threads simultaneously inside `mutex_lock`.
+    pub mutex_max_waiters: u64,
+    /// Condition waits completed (timed or not).
+    pub cond_waits: u64,
+    /// Total simulated time spent in `cond_wait`/`cond_timedwait` (ns).
+    pub cond_wait_ns: u64,
+    /// Most threads simultaneously parked on one condition variable.
+    pub cond_max_waiters: u64,
+    /// `pthread_barrier` crossings completed.
+    pub barrier_waits: u64,
+    /// Total simulated time spent inside `pthread_barrier` (ns).
+    pub barrier_wait_ns: u64,
+    /// Most threads simultaneously inside a barrier.
+    pub barrier_max_waiters: u64,
+    /// Reader/writer lock acquisitions (read and write).
+    pub rw_waits: u64,
+    /// Total simulated time spent acquiring reader/writer locks (ns).
+    pub rw_wait_ns: u64,
+    /// Most threads queued behind one reader/writer lock.
+    pub rw_max_waiters: u64,
+}
+
 /// Counters of runtime events (thread/node management, synchronization).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RtStats {
@@ -205,6 +238,11 @@ pub(crate) struct RtState {
     pub allocated: HashMap<u64, u64>,
     pub stats: RtStats,
     pub op_times: OpTimes,
+    pub contention: ContentionStats,
+    /// Threads currently inside `mutex_lock` (drives `mutex_max_waiters`).
+    pub mutex_inflight: u64,
+    /// Threads currently inside `pthread_barrier`.
+    pub barrier_inflight: u64,
 }
 
 /// The CableS runtime (one per application).
@@ -269,6 +307,9 @@ impl CablesRt {
                 allocated: HashMap::new(),
                 stats: RtStats::default(),
                 op_times: OpTimes::default(),
+                contention: ContentionStats::default(),
+                mutex_inflight: 0,
+                barrier_inflight: 0,
             }),
             master,
         })
@@ -297,6 +338,22 @@ impl CablesRt {
     /// Accumulated per-operation execution times.
     pub fn op_times(&self) -> OpTimes {
         self.state.lock().op_times
+    }
+
+    /// Synchronization contention counters (always collected).
+    pub fn contention(&self) -> ContentionStats {
+        self.state.lock().contention
+    }
+
+    /// The cluster's observability sink, only when fully enabled.
+    #[inline]
+    pub(crate) fn obs_if_on(&self) -> Option<&obs::ObsSink> {
+        let o = &self.svm.cluster().obs;
+        if o.on() {
+            Some(o)
+        } else {
+            None
+        }
     }
 
     pub(crate) fn record_op(&self, kind: OpKind, ns: u64) {
@@ -454,6 +511,7 @@ impl CablesRt {
     /// establishes import/export links with every attached node, then the
     /// master broadcasts its existence (paper §2.2, case ii).
     pub fn attach_node(&self, sim: &Sim, node: NodeId) {
+        let t0 = sim.now();
         let c = &self.cfg.costs;
         if sim.node() != self.master {
             // The master performs the attach; ask it first.
@@ -483,6 +541,17 @@ impl CablesRt {
         st.attached.push(node);
         st.threads_on.entry(node.0).or_insert(0);
         st.stats.nodes_attached += 1;
+        drop(st);
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Rt,
+                sim.node(),
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::NodeAttach { node: node.0 },
+            );
+        }
     }
 
     /// `pthread_create()`: starts `f` on a node chosen by the placement
@@ -493,6 +562,7 @@ impl CablesRt {
     {
         // pthread_create is a release point: the new thread observes the
         // creator's writes.
+        let t0 = sim.now();
         self.svm().release(sim);
         let target = self.place_thread(sim);
         if self.cfg.thread_pool {
@@ -503,7 +573,9 @@ impl CablesRt {
                     .and_then(|v| v.pop())
             };
             if let Some(tid) = idle {
-                return self.dispatch_pooled(sim, target, tid, Box::new(f));
+                let ct = self.dispatch_pooled(sim, target, tid, Box::new(f));
+                self.obs_create(sim, t0, ct, target);
+                return ct;
             }
         }
         let local = target == sim.node();
@@ -589,7 +661,26 @@ impl CablesRt {
             },
         );
         st.by_tid.insert(sim_tid.0, ct);
+        drop(st);
+        self.obs_create(sim, t0, CtId(ct), target);
         CtId(ct)
+    }
+
+    /// Records a `ThreadCreate` span on the bus (no-op when disabled).
+    fn obs_create(&self, sim: &Sim, t0: SimTime, ct: CtId, target: NodeId) {
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Rt,
+                sim.node(),
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::ThreadCreate {
+                    ct: ct.0,
+                    on: target.0,
+                },
+            );
+        }
     }
 
     /// Hands `f` to an idle pooled thread on `target` (much cheaper than
@@ -658,6 +749,15 @@ impl CablesRt {
         }
         if detach {
             sim.advance(self.cfg.costs.detach_ns);
+            if let Some(o) = self.obs_if_on() {
+                o.instant(
+                    obs::Layer::Rt,
+                    node,
+                    sim.tid().0,
+                    sim.now(),
+                    obs::Event::NodeDetach { node: node.0 },
+                );
+            }
         }
     }
 
@@ -667,6 +767,7 @@ impl CablesRt {
     ///
     /// Panics if `ct` was never created.
     pub fn join(&self, sim: &Sim, ct: CtId) -> u64 {
+        let t0 = sim.now();
         sim.op_point(self.cfg.costs.join_ns);
         // Reading the thread's ACB entry.
         if sim.node() != self.master {
@@ -686,6 +787,16 @@ impl CablesRt {
                         // Acquire so the joiner observes the thread's
                         // writes.
                         self.svm.acquire(sim);
+                        if let Some(o) = self.obs_if_on() {
+                            o.span(
+                                obs::Layer::Rt,
+                                sim.node(),
+                                sim.tid().0,
+                                t0,
+                                sim.now().saturating_since(t0),
+                                obs::Event::ThreadJoin { ct: ct.0 },
+                            );
+                        }
                         return v;
                     }
                     Phase::Running => {

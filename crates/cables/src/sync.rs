@@ -42,11 +42,18 @@ impl CablesRt {
     /// acquire. Re-acquiring a mutex last held on the same node is a local
     /// operation (paper Table 4).
     pub fn mutex_lock(&self, sim: &sim::Sim, m: Mutex) {
+        let t0 = sim.now();
         let c = &self.cfg.costs;
         sim.op_point(c.mutex_local_extra_ns);
         if matches!(self.svm().lock_owner_node(m.0), Some(owner) if owner != sim.node()) {
             // Remote ACB handler work on top of the system lock.
             sim.advance(c.mutex_remote_extra_ns);
+        }
+        {
+            let mut st = self.state.lock();
+            st.mutex_inflight += 1;
+            st.contention.mutex_max_waiters =
+                st.contention.mutex_max_waiters.max(st.mutex_inflight);
         }
         let wait_start = sim.now();
         self.svm().lock(sim, m.0);
@@ -56,6 +63,22 @@ impl CablesRt {
             .now()
             .min(wait_start + c.spin_before_block_ns);
         sim.occupy_cpu_until(spun);
+        {
+            let mut st = self.state.lock();
+            st.mutex_inflight -= 1;
+            st.contention.mutex_waits += 1;
+            st.contention.mutex_wait_ns += sim.now() - t0;
+        }
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Rt,
+                sim.node(),
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::PthMutexWait { id: m.0 },
+            );
+        }
     }
 
     /// Unlocks `m` (RC release: dirty pages flush to their homes first).
@@ -78,6 +101,7 @@ impl CablesRt {
         cond: Cond,
         mutex: Mutex,
     ) -> Result<(), Cancelled> {
+        let t0 = sim.now();
         let c = &self.cfg.costs;
         sim.op_point(c.cond_wait_local_ns);
         // Register the waiter in the ACB (direct remote write).
@@ -91,11 +115,12 @@ impl CablesRt {
         {
             let mut st = self.state.lock();
             st.stats.cond_waits += 1;
-            st.conds
-                .entry(cond.0)
-                .or_default()
-                .waiters
-                .push_back((sim.tid(), sim.node()));
+            let depth = {
+                let cs = st.conds.entry(cond.0).or_default();
+                cs.waiters.push_back((sim.tid(), sim.node()));
+                cs.waiters.len() as u64
+            };
+            st.contention.cond_max_waiters = st.contention.cond_max_waiters.max(depth);
         }
         self.mutex_unlock(sim, mutex);
         sim.block();
@@ -104,6 +129,21 @@ impl CablesRt {
         }
         sim.advance(c.cond_wakeup_ns);
         self.mutex_lock(sim, mutex);
+        {
+            let mut st = self.state.lock();
+            st.contention.cond_waits += 1;
+            st.contention.cond_wait_ns += sim.now() - t0;
+        }
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Rt,
+                sim.node(),
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::PthCondWait { id: cond.0 },
+            );
+        }
         Ok(())
     }
 
@@ -181,8 +221,31 @@ impl CablesRt {
     /// The `pthread_barrier(number_of_threads)` extension: global
     /// synchronization using the native SVM barrier mechanism.
     pub fn pthread_barrier(&self, sim: &sim::Sim, b: Barrier, n: usize) {
+        let t0 = sim.now();
         sim.op_point(self.cfg.costs.mutex_local_extra_ns);
+        {
+            let mut st = self.state.lock();
+            st.barrier_inflight += 1;
+            st.contention.barrier_max_waiters =
+                st.contention.barrier_max_waiters.max(st.barrier_inflight);
+        }
         self.svm().barrier(sim, b.0, n);
+        {
+            let mut st = self.state.lock();
+            st.barrier_inflight -= 1;
+            st.contention.barrier_waits += 1;
+            st.contention.barrier_wait_ns += sim.now() - t0;
+        }
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Rt,
+                sim.node(),
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::PthBarrierWait { id: b.0 },
+            );
+        }
     }
 }
 

@@ -79,6 +79,7 @@ impl CablesRt {
         mutex: Mutex,
         timeout_ns: u64,
     ) -> Result<bool, Cancelled> {
+        let t0 = sim.now();
         let c = &self.cfg.costs;
         sim.op_point(c.cond_wait_local_ns);
         if sim.node() != self.master() {
@@ -91,11 +92,12 @@ impl CablesRt {
         {
             let mut st = self.state.lock();
             st.stats.cond_waits += 1;
-            st.conds
-                .entry(cond.0)
-                .or_default()
-                .waiters
-                .push_back((sim.tid(), sim.node()));
+            let depth = {
+                let cs = st.conds.entry(cond.0).or_default();
+                cs.waiters.push_back((sim.tid(), sim.node()));
+                cs.waiters.len() as u64
+            };
+            st.contention.cond_max_waiters = st.contention.cond_max_waiters.max(depth);
         }
         let deadline = sim.now() + timeout_ns;
         self.mutex_unlock(sim, mutex);
@@ -113,49 +115,100 @@ impl CablesRt {
         }
         sim.advance(c.cond_wakeup_ns);
         self.mutex_lock(sim, mutex);
+        {
+            let mut st = self.state.lock();
+            st.contention.cond_waits += 1;
+            st.contention.cond_wait_ns += sim.now() - t0;
+        }
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Rt,
+                sim.node(),
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::PthCondWait { id: cond.0 },
+            );
+        }
         Ok(woken)
     }
 
     /// Acquires `rw` for reading (`pthread_rwlock_rdlock`). Multiple
     /// readers may hold the lock; readers queue behind a writer.
     pub fn rwlock_rdlock(&self, sim: &sim::Sim, rw: RwLock) {
+        let t0 = sim.now();
         self.admin_request(sim);
         let granted = {
             let mut st = self.state.lock();
-            let r = st.rwlocks.entry(rw.0).or_insert_with(RwState::default);
-            if r.writer.is_none() && r.waiters.iter().all(|(_, _, w)| !*w) {
-                r.readers += 1;
-                true
-            } else {
-                r.waiters.push_back((sim.tid(), sim.node(), false));
-                false
+            let queued = {
+                let r = st.rwlocks.entry(rw.0).or_insert_with(RwState::default);
+                if r.writer.is_none() && r.waiters.iter().all(|(_, _, w)| !*w) {
+                    r.readers += 1;
+                    None
+                } else {
+                    r.waiters.push_back((sim.tid(), sim.node(), false));
+                    Some(r.waiters.len() as u64)
+                }
+            };
+            if let Some(depth) = queued {
+                st.contention.rw_max_waiters = st.contention.rw_max_waiters.max(depth);
             }
+            queued.is_none()
         };
         if !granted {
             sim.block();
         }
         // RC acquire: observe the last writer's updates.
         self.svm().acquire(sim);
+        self.rw_acquired(sim, rw, t0, false);
     }
 
     /// Acquires `rw` for writing (`pthread_rwlock_wrlock`).
     pub fn rwlock_wrlock(&self, sim: &sim::Sim, rw: RwLock) {
+        let t0 = sim.now();
         self.admin_request(sim);
         let granted = {
             let mut st = self.state.lock();
-            let r = st.rwlocks.entry(rw.0).or_insert_with(RwState::default);
-            if r.writer.is_none() && r.readers == 0 && r.waiters.is_empty() {
-                r.writer = Some(sim.tid());
-                true
-            } else {
-                r.waiters.push_back((sim.tid(), sim.node(), true));
-                false
+            let queued = {
+                let r = st.rwlocks.entry(rw.0).or_insert_with(RwState::default);
+                if r.writer.is_none() && r.readers == 0 && r.waiters.is_empty() {
+                    r.writer = Some(sim.tid());
+                    None
+                } else {
+                    r.waiters.push_back((sim.tid(), sim.node(), true));
+                    Some(r.waiters.len() as u64)
+                }
+            };
+            if let Some(depth) = queued {
+                st.contention.rw_max_waiters = st.contention.rw_max_waiters.max(depth);
             }
+            queued.is_none()
         };
         if !granted {
             sim.block();
         }
         self.svm().acquire(sim);
+        self.rw_acquired(sim, rw, t0, true);
+    }
+
+    /// Contention bookkeeping + bus span for a completed rwlock
+    /// acquisition.
+    fn rw_acquired(&self, sim: &sim::Sim, rw: RwLock, t0: SimTime, write: bool) {
+        {
+            let mut st = self.state.lock();
+            st.contention.rw_waits += 1;
+            st.contention.rw_wait_ns += sim.now() - t0;
+        }
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Rt,
+                sim.node(),
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::PthRwWait { id: rw.0, write },
+            );
+        }
     }
 
     /// Releases `rw` (`pthread_rwlock_unlock`): either the write hold or

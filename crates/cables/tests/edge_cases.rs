@@ -177,6 +177,7 @@ fn barrier_heavy_reuse_with_changing_membership() {
     // The same barrier id is reused across episodes with different
     // participant sets (sequential phases of different widths).
     let rt = rt(2, 2);
+    let rt2 = Arc::clone(&rt);
     rt.run(|pth| {
         let b = pth.rt().barrier_new();
         // Phase 1: 3 participants.
@@ -201,6 +202,13 @@ fn barrier_heavy_reuse_with_changing_membership() {
         0
     })
     .unwrap();
+    // Contention counters run unconditionally: five crossings total, with
+    // at least two threads simultaneously inside a barrier, and real
+    // simulated time spent waiting.
+    let c = rt2.contention();
+    assert_eq!(c.barrier_waits, 5, "3 + 2 barrier crossings");
+    assert!(c.barrier_max_waiters >= 2, "{c:?}");
+    assert!(c.barrier_wait_ns > 0, "{c:?}");
 }
 
 #[test]

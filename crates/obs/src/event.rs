@@ -1,0 +1,479 @@
+//! The typed event taxonomy of the observability bus.
+//!
+//! Every record is stamped with [`SimTime`] (never a wall clock), the
+//! [`NodeId`] it happened on, and a *track* — the Chrome-trace lane it is
+//! drawn on. Thread-level events use the simulated thread id as their
+//! track; NIC-level events (the `san`/`vmmc` layers run below the thread
+//! abstraction) use [`NIC_TRACK`].
+
+use std::fmt;
+
+use sim::{NodeId, SimTime};
+
+/// Track id used for events that belong to a node's NIC rather than to a
+/// simulated thread (SAN sends/fetches, VMMC remote operations).
+pub const NIC_TRACK: u64 = 1_000_000;
+
+/// The runtime layer an event is attributed to.
+///
+/// Span durations are summed per `(node, layer)`; note that spans *include*
+/// the time of nested lower-layer work they trigger (a protocol fault span
+/// includes the VMMC fetch it performs, which includes the SAN time), so
+/// layer sums are inclusive views, not a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// System-area network: message send/recv and wire occupancy.
+    San,
+    /// Virtual memory-mapped communication: remote write/fetch/notify,
+    /// region registration.
+    Vmmc,
+    /// SVM protocol: faults, fetches, diffs, invalidations, migrations.
+    Proto,
+    /// System-level synchronization (SVM locks and native barriers).
+    Sync,
+    /// The CableS pthreads runtime: thread lifecycle, pthread-level
+    /// waiting, GLOBAL allocation, node attach/detach.
+    Rt,
+    /// Engine scheduling points (spawn/exit/block/wake).
+    Sched,
+}
+
+impl Layer {
+    /// Number of layers (array dimension for per-layer registries).
+    pub const COUNT: usize = 6;
+
+    /// All layers, in display order.
+    pub const ALL: [Layer; Layer::COUNT] = [
+        Layer::San,
+        Layer::Vmmc,
+        Layer::Proto,
+        Layer::Sync,
+        Layer::Rt,
+        Layer::Sched,
+    ];
+
+    /// Dense index for per-layer arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            Layer::San => 0,
+            Layer::Vmmc => 1,
+            Layer::Proto => 2,
+            Layer::Sync => 3,
+            Layer::Rt => 4,
+            Layer::Sched => 5,
+        }
+    }
+
+    /// Lower-case display name (used in JSON and reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Layer::San => "san",
+            Layer::Vmmc => "vmmc",
+            Layer::Proto => "proto",
+            Layer::Sync => "sync",
+            Layer::Rt => "rt",
+            Layer::Sched => "sched",
+        }
+    }
+}
+
+/// Engine scheduling-point kinds forwarded from `sim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// A simulated thread was spawned.
+    Spawn,
+    /// A simulated thread exited.
+    Exit,
+    /// A thread parked itself.
+    Block,
+    /// A thread was woken by another thread.
+    Wake,
+}
+
+impl SchedKind {
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SchedKind::Spawn => "spawn",
+            SchedKind::Exit => "exit",
+            SchedKind::Block => "block",
+            SchedKind::Wake => "wake",
+        }
+    }
+}
+
+/// A typed observability event.
+///
+/// The first six variants mirror the legacy `svm::TraceEvent` instants
+/// one-for-one (the old bounded ring buffer is now routed through this
+/// bus); the rest are spans and instants emitted by the other layers.
+/// Addresses and pages are carried as raw `u64` so this crate depends on
+/// nothing above `sim`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    // ---- SVM protocol instants (the legacy trace.rs taxonomy) ----
+    /// A read or write fault on `page`.
+    Fault {
+        /// Faulting page index.
+        page: u64,
+        /// True for a write fault.
+        write: bool,
+    },
+    /// First-touch placement of the chunk starting at page `base`.
+    Place {
+        /// First page index of the placed chunk.
+        base: u64,
+    },
+    /// A page fetch from its home node.
+    Fetch {
+        /// Fetched page index.
+        page: u64,
+        /// Home node the page was fetched from.
+        home: u32,
+    },
+    /// A diff of `bytes` bytes sent home at release.
+    Diff {
+        /// Diffed page index.
+        page: u64,
+        /// Bytes shipped.
+        bytes: u64,
+    },
+    /// An acquire-time invalidation of `page`.
+    Invalidate {
+        /// Invalidated page index.
+        page: u64,
+    },
+    /// Home migration of the chunk starting at page `base`.
+    Migrate {
+        /// First page index of the migrated chunk.
+        base: u64,
+    },
+
+    // ---- SAN spans ----
+    /// A message send (`dur` = send start to remote arrival).
+    SanSend {
+        /// Destination node.
+        to: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A remote fetch round trip.
+    SanFetch {
+        /// Node fetched from.
+        to: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A notification (interrupt-path message).
+    SanNotify {
+        /// Destination node.
+        to: u32,
+    },
+
+    // ---- VMMC spans / instants ----
+    /// A remote write into an imported region.
+    VmmcWrite {
+        /// Target region id.
+        region: u64,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// A remote fetch from an exported region.
+    VmmcFetch {
+        /// Source region id.
+        region: u64,
+        /// Bytes fetched.
+        bytes: u64,
+    },
+    /// A VMMC notification.
+    VmmcNotify {
+        /// Destination node.
+        to: u32,
+    },
+    /// Region registration (export) with the NIC.
+    VmmcRegister {
+        /// New region id.
+        region: u64,
+        /// Registered bytes.
+        bytes: u64,
+    },
+    /// Importing a remote region.
+    VmmcImport {
+        /// Imported region id.
+        region: u64,
+    },
+
+    // ---- SVM protocol spans ----
+    /// Full fault-handling window (includes nested fetch/placement work).
+    FaultSpan {
+        /// Faulting page index.
+        page: u64,
+        /// True for a write fault.
+        write: bool,
+    },
+    /// A release operation (diff creation + write notices + fence).
+    ReleaseSpan {
+        /// Number of pages diffed.
+        diffs: u64,
+    },
+    /// An acquire operation (write-notice scan + invalidations).
+    AcquireSpan {
+        /// Number of pages invalidated.
+        invals: u64,
+    },
+
+    // ---- System synchronization spans ----
+    /// Acquiring an SVM system lock (request + wait + grant).
+    LockWait {
+        /// Lock id.
+        id: u64,
+    },
+    /// One thread's wait at a native SVM barrier.
+    BarrierWait {
+        /// Barrier id.
+        id: u64,
+    },
+
+    // ---- CableS runtime spans / instants ----
+    /// A pthread mutex acquisition at the CableS layer.
+    PthMutexWait {
+        /// Mutex id.
+        id: u64,
+    },
+    /// A pthread condition wait (block to wakeup).
+    PthCondWait {
+        /// Condition-variable id.
+        id: u64,
+    },
+    /// A pthread barrier wait at the CableS layer.
+    PthBarrierWait {
+        /// Barrier id.
+        id: u64,
+    },
+    /// A pthread rwlock acquisition.
+    PthRwWait {
+        /// Rwlock id.
+        id: u64,
+        /// True when acquiring for writing.
+        write: bool,
+    },
+    /// `pthread_create` (span covers placement + dispatch bookkeeping).
+    ThreadCreate {
+        /// New CableS thread id.
+        ct: u64,
+        /// Node the thread was placed on.
+        on: u32,
+    },
+    /// `pthread_join` (span covers the wait for the target's exit).
+    ThreadJoin {
+        /// Joined CableS thread id.
+        ct: u64,
+    },
+    /// `global_malloc` of `bytes` at address `base`.
+    GlobalAlloc {
+        /// Allocated base address (raw `GAddr`).
+        base: u64,
+        /// Allocation size.
+        bytes: u64,
+    },
+    /// A node attach (span covers the multi-second handshake).
+    NodeAttach {
+        /// Attached node.
+        node: u32,
+    },
+    /// A node detach.
+    NodeDetach {
+        /// Detached node.
+        node: u32,
+    },
+
+    // ---- Engine scheduling instants ----
+    /// A scheduling point forwarded from the engine.
+    Sched {
+        /// Which scheduling point.
+        kind: SchedKind,
+    },
+}
+
+impl Event {
+    /// True for the six legacy protocol instants that the deprecated
+    /// `svm::trace` ring buffer recorded; `take_trace` drains exactly
+    /// these.
+    pub const fn is_proto_instant(&self) -> bool {
+        matches!(
+            self,
+            Event::Fault { .. }
+                | Event::Place { .. }
+                | Event::Fetch { .. }
+                | Event::Diff { .. }
+                | Event::Invalidate { .. }
+                | Event::Migrate { .. }
+        )
+    }
+
+    /// Stable dotted kind name (`layer.kind`), used for aggregate keys,
+    /// Chrome-trace event names and the paper-table reporter.
+    pub const fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Fault { .. } => "proto.fault",
+            Event::Place { .. } => "proto.place",
+            Event::Fetch { .. } => "proto.fetch",
+            Event::Diff { .. } => "proto.diff",
+            Event::Invalidate { .. } => "proto.inval",
+            Event::Migrate { .. } => "proto.migrate",
+            Event::SanSend { .. } => "san.send",
+            Event::SanFetch { .. } => "san.fetch",
+            Event::SanNotify { .. } => "san.notify",
+            Event::VmmcWrite { .. } => "vmmc.write",
+            Event::VmmcFetch { .. } => "vmmc.fetch",
+            Event::VmmcNotify { .. } => "vmmc.notify",
+            Event::VmmcRegister { .. } => "vmmc.register",
+            Event::VmmcImport { .. } => "vmmc.import",
+            Event::FaultSpan { .. } => "proto.fault_handling",
+            Event::ReleaseSpan { .. } => "proto.release",
+            Event::AcquireSpan { .. } => "proto.acquire",
+            Event::LockWait { .. } => "sync.lock",
+            Event::BarrierWait { .. } => "sync.barrier",
+            Event::PthMutexWait { .. } => "rt.mutex_wait",
+            Event::PthCondWait { .. } => "rt.cond_wait",
+            Event::PthBarrierWait { .. } => "rt.barrier_wait",
+            Event::PthRwWait { .. } => "rt.rwlock_wait",
+            Event::ThreadCreate { .. } => "rt.thread_create",
+            Event::ThreadJoin { .. } => "rt.thread_join",
+            Event::GlobalAlloc { .. } => "rt.global_alloc",
+            Event::NodeAttach { .. } => "rt.node_attach",
+            Event::NodeDetach { .. } => "rt.node_detach",
+            Event::Sched { kind: SchedKind::Spawn } => "sched.spawn",
+            Event::Sched { kind: SchedKind::Exit } => "sched.exit",
+            Event::Sched { kind: SchedKind::Block } => "sched.block",
+            Event::Sched { kind: SchedKind::Wake } => "sched.wake",
+        }
+    }
+
+    /// Writes the Chrome-trace `args` object body (without braces) for
+    /// this event. Deterministic: fixed field order, integers only.
+    pub fn write_args(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Event::Fault { page, write } | Event::FaultSpan { page, write } => {
+                let _ = write!(out, "\"page\":{page},\"write\":{write}");
+            }
+            Event::Place { base } | Event::Migrate { base } => {
+                let _ = write!(out, "\"base\":{base}");
+            }
+            Event::Fetch { page, home } => {
+                let _ = write!(out, "\"page\":{page},\"home\":{home}");
+            }
+            Event::Diff { page, bytes } => {
+                let _ = write!(out, "\"page\":{page},\"bytes\":{bytes}");
+            }
+            Event::Invalidate { page } => {
+                let _ = write!(out, "\"page\":{page}");
+            }
+            Event::SanSend { to, bytes } | Event::SanFetch { to, bytes } => {
+                let _ = write!(out, "\"to\":{to},\"bytes\":{bytes}");
+            }
+            Event::SanNotify { to } | Event::VmmcNotify { to } => {
+                let _ = write!(out, "\"to\":{to}");
+            }
+            Event::VmmcWrite { region, bytes }
+            | Event::VmmcFetch { region, bytes }
+            | Event::VmmcRegister { region, bytes } => {
+                let _ = write!(out, "\"region\":{region},\"bytes\":{bytes}");
+            }
+            Event::VmmcImport { region } => {
+                let _ = write!(out, "\"region\":{region}");
+            }
+            Event::ReleaseSpan { diffs } => {
+                let _ = write!(out, "\"diffs\":{diffs}");
+            }
+            Event::AcquireSpan { invals } => {
+                let _ = write!(out, "\"invals\":{invals}");
+            }
+            Event::LockWait { id }
+            | Event::BarrierWait { id }
+            | Event::PthMutexWait { id }
+            | Event::PthCondWait { id }
+            | Event::PthBarrierWait { id } => {
+                let _ = write!(out, "\"id\":{id}");
+            }
+            Event::PthRwWait { id, write } => {
+                let _ = write!(out, "\"id\":{id},\"write\":{write}");
+            }
+            Event::ThreadCreate { ct, on } => {
+                let _ = write!(out, "\"ct\":{ct},\"on\":{on}");
+            }
+            Event::ThreadJoin { ct } => {
+                let _ = write!(out, "\"ct\":{ct}");
+            }
+            Event::GlobalAlloc { base, bytes } => {
+                let _ = write!(out, "\"base\":{base},\"bytes\":{bytes}");
+            }
+            Event::NodeAttach { node } | Event::NodeDetach { node } => {
+                let _ = write!(out, "\"node\":{node}");
+            }
+            Event::Sched { kind } => {
+                let _ = write!(out, "\"kind\":\"{}\"", kind.name());
+            }
+        }
+    }
+}
+
+/// One recorded event: an instant (`dur_ns == 0`) or a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Start time (for spans) or occurrence time (for instants).
+    pub at: SimTime,
+    /// Span duration in simulated nanoseconds; `0` marks an instant.
+    pub dur_ns: u64,
+    /// Node the event is attributed to.
+    pub node: NodeId,
+    /// Chrome-trace lane: a simulated thread id, or [`NIC_TRACK`].
+    pub track: u64,
+    /// Layer the event is attributed to.
+    pub layer: Layer,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.at,
+            self.node,
+            self.event.kind_name(),
+            self.dur_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_indices_are_dense_and_stable() {
+        for (i, l) in Layer::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+    }
+
+    #[test]
+    fn proto_instants_are_exactly_the_legacy_six() {
+        assert!(Event::Fault { page: 0, write: false }.is_proto_instant());
+        assert!(Event::Migrate { base: 0 }.is_proto_instant());
+        assert!(!Event::FaultSpan { page: 0, write: false }.is_proto_instant());
+        assert!(!Event::SanSend { to: 0, bytes: 4 }.is_proto_instant());
+    }
+
+    #[test]
+    fn kind_names_carry_their_layer() {
+        assert_eq!(Event::SanSend { to: 1, bytes: 4 }.kind_name(), "san.send");
+        assert_eq!(
+            Event::Sched { kind: SchedKind::Wake }.kind_name(),
+            "sched.wake"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! A tiny recursive-descent JSON validator.
+//!
+//! The workspace is offline (`serde` is a marker shim, there is no
+//! `serde_json`), but the exporters emit JSON artifacts that CI must prove
+//! well-formed. This validator accepts exactly RFC-8259 JSON; it does not
+//! build a value tree, it only checks syntax.
+
+/// Validates that `s` is one well-formed JSON value (with nothing but
+/// whitespace after it).
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{} at byte {}", what, self.i))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return self.err("bad \\u escape"),
+                                }
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                0x00..=0x1F => return self.err("raw control character in string"),
+                _ => self.i += 1,
+            }
+        }
+        self.err("unterminated string")
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return self.err("expected a digit"),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                return self.err("expected a fraction digit");
+            }
+            while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                return self.err("expected an exponent digit");
+            }
+            while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            "\"a\\n\\u00e9\"",
+            "{\"a\": [1, 2, {\"b\": false}], \"c\": null}",
+            "  [1]\n",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{a: 1}",
+            "01",
+            "1.",
+            "\"\x01\"",
+            "nul",
+            "[1] x",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+}

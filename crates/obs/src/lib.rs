@@ -1,0 +1,365 @@
+//! # cables-obs — deterministic cross-layer observability
+//!
+//! A typed event bus plus metric registries threaded through every layer
+//! of the CableS reproduction (`san`, `vmmc`, `svm`, `cables`, and the
+//! `sim` engine's scheduling points). Three rules keep it faithful to the
+//! simulation:
+//!
+//! 1. **Deterministic.** Every timestamp is a [`SimTime`]; recording
+//!    happens from simulated threads, which the engine serializes, so the
+//!    buffer order — and every exported byte — is a pure function of the
+//!    program. No wall clocks, no sampling.
+//! 2. **Zero simulated cost.** Recording never charges virtual time.
+//!    With the sink disabled the only work on any path is one relaxed
+//!    atomic load; simulated results are bit-identical either way
+//!    (enforced by `tests/obs_equiv.rs`).
+//! 3. **Bounded.** The event buffer is capped; on overflow the new record
+//!    is dropped and counted in [`MetricsSnapshot::dropped_events`]
+//!    (metrics still aggregate dropped events — only the event *record*
+//!    is lost).
+//!
+//! Exporters: [`chrome::export`] writes a `chrome://tracing`/Perfetto
+//! JSON file (nodes → processes, threads → tracks);
+//! [`report::full_report`] renders paper-style tables from a snapshot;
+//! [`MetricsSnapshot::to_json`] serializes the registries.
+//!
+//! # Examples
+//!
+//! ```
+//! use cables_obs::{chrome, Event, Layer, ObsSink};
+//! use sim::{NodeId, SimTime};
+//!
+//! let sink = ObsSink::new();
+//! sink.set_enabled(true);
+//! if sink.on() {
+//!     sink.span(
+//!         Layer::San,
+//!         NodeId(0),
+//!         cables_obs::NIC_TRACK,
+//!         SimTime::ZERO,
+//!         7_800,
+//!         Event::SanSend { to: 1, bytes: 4 },
+//!     );
+//! }
+//! let snap = sink.snapshot();
+//! assert_eq!(snap.nodes[0].layer_ns[Layer::San.index()], 7_800);
+//! let json = chrome::export(&sink.events());
+//! cables_obs::json::validate(&json).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+mod event;
+pub mod json;
+mod metrics;
+pub mod report;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sim::{NodeId, SimTime};
+
+pub use event::{Event, EventRecord, Layer, SchedKind, NIC_TRACK};
+pub use metrics::{Histogram, KindAgg, MetricsSnapshot, NodeMetrics, PageMetrics, HIST_BUCKETS};
+
+use metrics::Registry;
+
+/// Default event-buffer capacity (records beyond this are dropped and
+/// counted, never silently discarded).
+pub const DEFAULT_CAP: usize = 1 << 20;
+
+struct SinkInner {
+    events: Vec<EventRecord>,
+    registry: Registry,
+}
+
+/// The shared observability sink: one per cluster, reachable from every
+/// layer.
+///
+/// Two independent toggles:
+///
+/// - [`ObsSink::set_enabled`] — the full observability layer (all events
+///   + metrics). Off by default.
+/// - [`ObsSink::set_proto_trace`] — the legacy `svm::set_tracing` channel:
+///   records only the six protocol instants, no metrics. Kept so the
+///   deprecated ring-buffer API stays source-compatible.
+///
+/// Hot paths call [`ObsSink::on`]/[`ObsSink::proto_on`] (one relaxed
+/// atomic load) before building an event.
+pub struct ObsSink {
+    enabled: AtomicBool,
+    proto_trace: AtomicBool,
+    cap: usize,
+    dropped: AtomicU64,
+    inner: Mutex<SinkInner>,
+}
+
+impl std::fmt::Debug for ObsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsSink")
+            .field("enabled", &self.on())
+            .field("proto_trace", &self.proto_trace.load(Ordering::Relaxed))
+            .field("events", &self.inner.lock().events.len())
+            .finish()
+    }
+}
+
+impl Default for ObsSink {
+    fn default() -> Self {
+        ObsSink::new()
+    }
+}
+
+impl ObsSink {
+    /// Creates a disabled sink with the default buffer capacity.
+    pub fn new() -> Self {
+        ObsSink::with_capacity(DEFAULT_CAP)
+    }
+
+    /// Creates a disabled sink with an explicit buffer capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ObsSink {
+            enabled: AtomicBool::new(false),
+            proto_trace: AtomicBool::new(false),
+            cap,
+            dropped: AtomicU64::new(0),
+            inner: Mutex::new(SinkInner {
+                events: Vec::new(),
+                registry: Registry::new(),
+            }),
+        }
+    }
+
+    /// Whether full observability is on (hot-path check).
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether protocol instants should be recorded — true when full
+    /// observability *or* the legacy tracing channel is on.
+    #[inline]
+    pub fn proto_on(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) || self.proto_trace.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables full observability. Disabling keeps already
+    /// recorded data (call [`ObsSink::clear`] to discard it).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Toggles the legacy protocol-trace channel. Turning it off clears
+    /// the recorded protocol instants (the historical `set_tracing(false)`
+    /// contract).
+    pub fn set_proto_trace(&self, on: bool) {
+        self.proto_trace.store(on, Ordering::Relaxed);
+        if !on {
+            self.inner
+                .lock()
+                .events
+                .retain(|r| !r.event.is_proto_instant());
+        }
+    }
+
+    /// Records a span of `dur_ns` simulated nanoseconds starting at `at`.
+    pub fn span(
+        &self,
+        layer: Layer,
+        node: NodeId,
+        track: u64,
+        at: SimTime,
+        dur_ns: u64,
+        event: Event,
+    ) {
+        let full = self.enabled.load(Ordering::Relaxed);
+        let legacy = event.is_proto_instant() && self.proto_trace.load(Ordering::Relaxed);
+        if !full && !legacy {
+            return;
+        }
+        let mut g = self.inner.lock();
+        if full {
+            g.registry.aggregate(layer, node.0, dur_ns, &event);
+        }
+        if g.events.len() >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        g.events.push(EventRecord {
+            at,
+            dur_ns,
+            node,
+            track,
+            layer,
+            event,
+        });
+    }
+
+    /// Records an instantaneous event at `at`.
+    pub fn instant(&self, layer: Layer, node: NodeId, track: u64, at: SimTime, event: Event) {
+        self.span(layer, node, track, at, 0, event);
+    }
+
+    /// Raises the named gauge to at least `v` (no-op when disabled).
+    pub fn gauge_max(&self, name: &str, v: u64) {
+        if !self.on() {
+            return;
+        }
+        self.inner.lock().registry.gauge_max(name, v);
+    }
+
+    /// Sets the named gauge (no-op when disabled).
+    pub fn gauge_set(&self, name: &str, v: u64) {
+        if !self.on() {
+            return;
+        }
+        self.inner.lock().registry.gauge_set(name, v);
+    }
+
+    /// Number of records dropped on buffer overflow so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A clone of the recorded events, in recording order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Drains the recorded events.
+    pub fn take_events(&self) -> Vec<EventRecord> {
+        std::mem::take(&mut self.inner.lock().events)
+    }
+
+    /// Drains only the six legacy protocol instants (in recording order),
+    /// leaving everything else buffered — the backing store of the
+    /// deprecated `svm` `take_trace` API.
+    pub fn take_proto_events(&self) -> Vec<EventRecord> {
+        let mut g = self.inner.lock();
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(g.events.len());
+        for r in g.events.drain(..) {
+            if r.event.is_proto_instant() {
+                taken.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        g.events = kept;
+        taken
+    }
+
+    /// A deterministic snapshot of every metric registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .lock()
+            .registry
+            .snapshot(self.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Discards all recorded events and metrics and resets the dropped
+    /// counter (the toggles are left as they are).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.events.clear();
+        g.registry.clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(sink: &ObsSink, at: u64, event: Event) {
+        sink.instant(Layer::Proto, NodeId(0), 1, SimTime::from_nanos(at), event);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = ObsSink::new();
+        rec(&sink, 10, Event::Fault { page: 1, write: false });
+        sink.span(
+            Layer::San,
+            NodeId(0),
+            NIC_TRACK,
+            SimTime::ZERO,
+            100,
+            Event::SanSend { to: 1, bytes: 4 },
+        );
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.snapshot().nodes.len(), 0);
+    }
+
+    #[test]
+    fn proto_trace_channel_records_only_proto_instants() {
+        let sink = ObsSink::new();
+        sink.set_proto_trace(true);
+        rec(&sink, 10, Event::Fault { page: 1, write: true });
+        sink.span(
+            Layer::San,
+            NodeId(0),
+            NIC_TRACK,
+            SimTime::ZERO,
+            100,
+            Event::SanSend { to: 1, bytes: 4 },
+        );
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].event.is_proto_instant());
+        // The legacy channel does not feed the registries.
+        assert_eq!(sink.snapshot().nodes.len(), 0);
+        // Turning tracing off clears the proto instants.
+        sink.set_proto_trace(false);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn take_proto_events_leaves_other_events() {
+        let sink = ObsSink::new();
+        sink.set_enabled(true);
+        rec(&sink, 10, Event::Fault { page: 1, write: true });
+        sink.span(
+            Layer::San,
+            NodeId(0),
+            NIC_TRACK,
+            SimTime::from_nanos(20),
+            100,
+            Event::SanSend { to: 1, bytes: 4 },
+        );
+        rec(&sink, 30, Event::Diff { page: 1, bytes: 64 });
+        let proto = sink.take_proto_events();
+        assert_eq!(proto.len(), 2);
+        let rest = sink.events();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].event.kind_name(), "san.send");
+    }
+
+    #[test]
+    fn overflow_drops_new_records_and_counts_them() {
+        let sink = ObsSink::with_capacity(2);
+        sink.set_enabled(true);
+        for i in 0..5 {
+            rec(&sink, i, Event::Invalidate { page: i });
+        }
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.dropped_events(), 3);
+        let snap = sink.snapshot();
+        assert_eq!(snap.dropped_events, 3);
+        // Metrics still saw all five events.
+        assert_eq!(snap.nodes[0].layer_events[Layer::Proto.index()], 5);
+    }
+
+    #[test]
+    fn gauges_require_enabled() {
+        let sink = ObsSink::new();
+        sink.gauge_max("x", 9);
+        assert_eq!(sink.snapshot().gauge("x"), None);
+        sink.set_enabled(true);
+        sink.gauge_max("x", 9);
+        sink.gauge_max("x", 3);
+        assert_eq!(sink.snapshot().gauge("x"), Some(9));
+    }
+}

@@ -1,0 +1,133 @@
+//! The "paper-table reporter": renders Table-3-style latency rows and
+//! Fig-5/6-style per-node time decompositions from a [`MetricsSnapshot`].
+
+use std::fmt::Write;
+
+use crate::event::Layer;
+use crate::metrics::MetricsSnapshot;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the latency-breakdown table (one row per event kind: count,
+/// avg/min/max simulated latency — the shape of the paper's Table 3).
+pub fn latency_table(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "event", "count", "avg", "min", "max"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(66));
+    for k in &s.kinds {
+        let avg = if k.count > 0 { k.total_ns / k.count } else { 0 };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>10} {:>10} {:>10}",
+            k.name,
+            k.count,
+            fmt_ns(avg),
+            fmt_ns(k.min_ns),
+            fmt_ns(k.max_ns)
+        );
+    }
+    if s.dropped_events > 0 {
+        let _ = writeln!(out, "(event buffer dropped {} records)", s.dropped_events);
+    }
+    out
+}
+
+/// Renders the per-node per-layer time decomposition (the shape of the
+/// paper's Fig. 5/6 phase breakdowns). Layer times are inclusive of
+/// nested lower-layer work.
+pub fn layer_breakdown(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<8}", "node");
+    for l in Layer::ALL {
+        let _ = write!(out, " {:>12}", l.name());
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(8 + 13 * Layer::COUNT));
+    for n in &s.nodes {
+        let _ = write!(out, "n{:<7}", n.node);
+        for l in Layer::ALL {
+            let _ = write!(out, " {:>12}", fmt_ns(n.layer_ns[l.index()]));
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{:<8}", "total");
+    for l in Layer::ALL {
+        let _ = write!(out, " {:>12}", fmt_ns(s.layer_total_ns(l)));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the busiest pages ("why did this page bounce?"), most active
+/// first, at most `top` rows.
+pub fn hot_pages(s: &MetricsSnapshot, top: usize) -> String {
+    let mut pages = s.pages.clone();
+    pages.sort_by_key(|p| {
+        (
+            std::cmp::Reverse(p.faults + p.fetches + p.diffs + p.invals + p.migrates),
+            p.page,
+        )
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "page", "faults", "fetches", "diffs", "invals", "migrates"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(56));
+    for p in pages.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "p{:<9} {:>8} {:>8} {:>8} {:>8} {:>9}",
+            p.page, p.faults, p.fetches, p.diffs, p.invals, p.migrates
+        );
+    }
+    out
+}
+
+/// The full report: latency table + layer breakdown + hot pages.
+pub fn full_report(title: &str, s: &MetricsSnapshot) -> String {
+    format!(
+        "=== {title}: latency breakdown (Table-3 style) ===\n{}\n=== {title}: per-node layer decomposition (Fig-5/6 style) ===\n{}\n=== {title}: hottest pages ===\n{}",
+        latency_table(s),
+        layer_breakdown(s),
+        hot_pages(s, 10)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut r = Registry::new();
+        r.aggregate(Layer::San, 0, 7_800, &Event::SanSend { to: 1, bytes: 4 });
+        r.aggregate(Layer::Proto, 1, 0, &Event::Fault { page: 3, write: false });
+        r.aggregate(Layer::Sync, 1, 40_000, &Event::LockWait { id: 1 });
+        let s = r.snapshot(2);
+        let rep = full_report("TEST", &s);
+        assert!(rep.contains("san.send"));
+        assert!(rep.contains("proto.fault"));
+        assert!(rep.contains("sync.lock"));
+        assert!(rep.contains("dropped 2"));
+        assert!(rep.contains("p3"));
+        assert!(rep.contains("layer decomposition"));
+    }
+}

@@ -26,10 +26,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use obs::{Event, Layer, ObsSink, NIC_TRACK};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sim::{NodeId, SimTime};
-use std::fmt;
 
 /// Timing parameters of the SAN. Defaults reproduce the paper's Table 3.
 ///
@@ -130,6 +133,7 @@ pub struct TrafficStats {
 pub struct San {
     cfg: SanConfig,
     state: Mutex<Vec<NicEntry>>,
+    obs: OnceLock<Arc<ObsSink>>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -153,12 +157,28 @@ impl San {
         San {
             cfg,
             state: Mutex::new(Vec::new()),
+            obs: OnceLock::new(),
         }
     }
 
     /// The timing configuration.
     pub fn config(&self) -> &SanConfig {
         &self.cfg
+    }
+
+    /// Attaches the cluster's observability sink (done once by
+    /// `Cluster::build`; later calls are ignored).
+    pub fn set_obs(&self, sink: Arc<ObsSink>) {
+        let _ = self.obs.set(sink);
+    }
+
+    /// The sink, if attached and enabled (hot-path check).
+    #[inline]
+    fn obs_on(&self) -> Option<&ObsSink> {
+        match self.obs.get() {
+            Some(o) if o.on() => Some(o),
+            _ => None,
+        }
     }
 
     /// Ensures NIC state exists for nodes `0..=node`.
@@ -204,6 +224,17 @@ impl San {
         s[from.0 as usize].traffic.bytes_out += bytes;
         s[to.0 as usize].traffic.messages_in += 1;
         s[to.0 as usize].traffic.bytes_in += bytes;
+        drop(s);
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::San,
+                from,
+                NIC_TRACK,
+                now,
+                arrival.saturating_since(now),
+                Event::SanSend { to: to.0, bytes },
+            );
+        }
         SendTiming {
             local_done: tx_start + occ,
             arrival,
@@ -238,6 +269,17 @@ impl San {
         s[to.0 as usize].traffic.bytes_out += bytes;
         s[from.0 as usize].traffic.messages_in += 1;
         s[from.0 as usize].traffic.bytes_in += bytes;
+        drop(s);
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::San,
+                from,
+                NIC_TRACK,
+                now,
+                done.saturating_since(now),
+                Event::SanFetch { to: to.0, bytes },
+            );
+        }
         done
     }
 
@@ -258,6 +300,17 @@ impl San {
         s[from.0 as usize].traffic.bytes_out += self.cfg.word_bytes;
         s[to.0 as usize].traffic.messages_in += 1;
         s[to.0 as usize].traffic.bytes_in += self.cfg.word_bytes;
+        drop(s);
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::San,
+                from,
+                NIC_TRACK,
+                now,
+                arrival.saturating_since(now),
+                Event::SanNotify { to: to.0 },
+            );
+        }
         SendTiming {
             local_done: tx_start + occ,
             arrival,

@@ -71,6 +71,40 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Kinds of scheduling points reported to the observability hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEventKind {
+    /// A simulated thread was spawned.
+    Spawn,
+    /// A simulated thread exited.
+    Exit,
+    /// A thread parked itself ([`Sim::block`]/[`Sim::block_deadline`]).
+    Block,
+    /// A thread was woken by another thread ([`Sim::wake`]).
+    Wake,
+}
+
+/// A scheduling point, reported to the hook installed with
+/// [`Engine::set_sched_hook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedEvent {
+    /// Virtual time of the scheduling point.
+    pub at: SimTime,
+    /// Node of the affected thread.
+    pub node: NodeId,
+    /// The affected thread (for `Wake`, the *woken* thread).
+    pub tid: Tid,
+    /// Which scheduling point.
+    pub kind: SchedEventKind,
+}
+
+/// Observer callback for engine scheduling points.
+///
+/// Called synchronously at deterministic points with the kernel lock
+/// held; implementations must not call back into the engine and must not
+/// block on anything a simulated thread could hold.
+pub type SchedHook = Arc<dyn Fn(&SchedEvent) + Send + Sync>;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ThreadState {
     Ready,
@@ -168,6 +202,22 @@ struct Kernel {
     final_time: SimTime,
     stats: EngineStats,
     fresh: u64,
+    /// Observability hook for scheduling points (None = zero overhead
+    /// beyond this Option check).
+    sched_hook: Option<SchedHook>,
+}
+
+impl Kernel {
+    fn emit_sched(&self, at: SimTime, node: NodeId, tid: Tid, kind: SchedEventKind) {
+        if let Some(h) = &self.sched_hook {
+            h(&SchedEvent {
+                at,
+                node,
+                tid,
+                kind,
+            });
+        }
+    }
 }
 
 impl Kernel {
@@ -349,6 +399,7 @@ impl Engine {
                     final_time: SimTime::ZERO,
                     stats: EngineStats::default(),
                     fresh: 0,
+                    sched_hook: None,
                 }),
                 done: Condvar::new(),
                 handles: Mutex::new(Vec::new()),
@@ -367,6 +418,13 @@ impl Engine {
     /// Whether the lock-free fast path is enabled (the default).
     pub fn lockless(&self) -> bool {
         self.inner.lockless.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or removes) the scheduling-point observer. The hook is
+    /// invoked at thread spawn/exit/block/wake with deterministic
+    /// [`SimTime`] stamps; it never affects scheduling or virtual time.
+    pub fn set_sched_hook(&self, hook: Option<SchedHook>) {
+        self.inner.kernel.lock().sched_hook = hook;
     }
 
     /// Adds a node with `cpus` processors and returns its id.
@@ -474,6 +532,7 @@ impl Engine {
             k.live += 1;
             k.stats.threads_spawned += 1;
             k.push_ready(tid);
+            k.emit_sched(start, node, tid, SchedEventKind::Spawn);
         }
         let engine = self.clone();
         let handle = std::thread::Builder::new()
@@ -515,6 +574,7 @@ impl Engine {
     fn thread_exit(&self, tid: Tid, panic_msg: Option<String>) {
         let mut k = self.inner.kernel.lock();
         let clock = k.rec(tid).clock;
+        k.emit_sched(clock, k.rec(tid).node, tid, SchedEventKind::Exit);
         k.rec_mut(tid).state = ThreadState::Exited;
         k.final_time = k.final_time.max(clock);
         k.live -= 1;
@@ -830,6 +890,12 @@ impl Sim {
                 k.rec_mut(self.tid).clock = c;
                 return;
             }
+            k.emit_sched(
+                k.rec(self.tid).clock,
+                k.rec(self.tid).node,
+                self.tid,
+                SchedEventKind::Block,
+            );
             cell = Arc::clone(&k.rec(self.tid).cell);
             k.rec_mut(self.tid).state = ThreadState::Blocked;
             k.running = None;
@@ -855,6 +921,12 @@ impl Sim {
                 k.rec_mut(self.tid).clock = c;
                 return true;
             }
+            k.emit_sched(
+                k.rec(self.tid).clock,
+                k.rec(self.tid).node,
+                self.tid,
+                SchedEventKind::Block,
+            );
             cell = Arc::clone(&k.rec(self.tid).cell);
             let gen = {
                 let rec = k.rec_mut(self.tid);
@@ -886,6 +958,7 @@ impl Sim {
         self.flush_into(&mut k);
         let mine = k.rec(self.tid).clock;
         let at = at.max(mine);
+        k.emit_sched(at, k.rec(target).node, target, SchedEventKind::Wake);
         match k.rec(target).state {
             ThreadState::Blocked => {
                 let tc = k.rec(target).clock.max(at);

@@ -42,7 +42,9 @@ mod engine;
 mod rng;
 mod time;
 
-pub use engine::{Engine, EngineStats, NodeId, Sim, SimError, Tid};
+pub use engine::{
+    Engine, EngineStats, NodeId, SchedEvent, SchedEventKind, SchedHook, Sim, SimError, Tid,
+};
 pub use rng::DetRng;
 pub use time::{dur, SimTime};
 

@@ -92,6 +92,30 @@ impl SvmSystem {
         s
     }
 
+    /// Enables or disables the cluster-wide observability layer (event
+    /// bus + metric registries, see the `obs` crate). Like
+    /// [`SvmSystem::set_fast_path`], toggling never changes simulated
+    /// results — recording charges no virtual time. Off by default.
+    pub fn set_obs(&self, on: bool) {
+        self.cluster.obs.set_enabled(on);
+    }
+
+    /// The cluster's observability sink (events, metrics, exporter input).
+    pub fn obs(&self) -> &Arc<obs::ObsSink> {
+        &self.cluster.obs
+    }
+
+    /// The sink, only when full observability is enabled (hot-path check).
+    #[inline]
+    pub(crate) fn obs_if_on(&self) -> Option<&obs::ObsSink> {
+        let o = &self.cluster.obs;
+        if o.on() {
+            Some(o)
+        } else {
+            None
+        }
+    }
+
     /// The cluster this system runs on.
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.cluster

@@ -4,8 +4,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use memsim::{ClusterMem, OsVmConfig};
+use obs::{Event, Layer, ObsSink, SchedKind};
 use san::{San, SanConfig};
-use sim::{Engine, NodeId};
+use sim::{Engine, NodeId, SchedEvent, SchedEventKind};
 use vmmc::{Vmmc, VmmcConfig};
 
 /// Hardware/OS description of the simulated cluster.
@@ -56,6 +57,9 @@ pub struct Cluster {
     pub mem: Arc<ClusterMem>,
     /// The VMMC communication layer.
     pub vmmc: Arc<Vmmc>,
+    /// The cluster-wide observability sink (disabled by default; every
+    /// layer records into this one bus when it is enabled).
+    pub obs: Arc<ObsSink>,
     nodes: Vec<NodeId>,
     cpus_per_node: usize,
 }
@@ -76,6 +80,24 @@ impl Cluster {
         let san = Arc::new(San::new(cfg.san));
         let mem = Arc::new(ClusterMem::new(cfg.os));
         let vmmc = Arc::new(Vmmc::new(cfg.vmmc, Arc::clone(&san), Arc::clone(&mem)));
+        let obs = Arc::new(ObsSink::new());
+        vmmc.set_obs(Arc::clone(&obs));
+        // Forward engine scheduling points onto the bus. The hook runs
+        // with the kernel lock held and only touches the sink, never the
+        // engine; with the sink disabled it is a single relaxed load.
+        let hook_sink = Arc::clone(&obs);
+        engine.set_sched_hook(Some(Arc::new(move |e: &SchedEvent| {
+            if !hook_sink.on() {
+                return;
+            }
+            let kind = match e.kind {
+                SchedEventKind::Spawn => SchedKind::Spawn,
+                SchedEventKind::Exit => SchedKind::Exit,
+                SchedEventKind::Block => SchedKind::Block,
+                SchedEventKind::Wake => SchedKind::Wake,
+            };
+            hook_sink.instant(Layer::Sched, e.node, e.tid.0, e.at, Event::Sched { kind });
+        })));
         let mut nodes = Vec::with_capacity(cfg.nodes);
         for _ in 0..cfg.nodes {
             let id = engine.add_node(cfg.cpus_per_node);
@@ -87,6 +109,7 @@ impl Cluster {
             san,
             mem,
             vmmc,
+            obs,
             nodes,
             cpus_per_node: cfg.cpus_per_node,
         })

@@ -130,8 +130,6 @@ pub(crate) struct ProtoState {
     pub barriers: HashMap<u64, BarrierState>,
     pub next_proc: usize,
     pub created: Vec<Tid>,
-    pub tracing: bool,
-    pub trace: Vec<crate::trace::TraceRecord>,
 }
 
 impl ProtoState {
@@ -149,8 +147,6 @@ impl ProtoState {
             barriers: HashMap::new(),
             next_proc: 1,
             created: Vec::new(),
-            tracing: false,
-            trace: Vec::new(),
         }
     }
 }
@@ -186,6 +182,7 @@ impl SvmSystem {
     /// benchmark harness reports such runs as failed.
     pub(crate) fn handle_fault(&self, sim: &Sim, page: PageNum, kind: FaultKind) {
         let node = sim.node();
+        let t0 = sim.now();
         // OS fault entry + protocol handler, ordered against other ops.
         sim.advance(self.cluster.mem.config().fault_overhead_ns);
         sim.op_point(self.cfg.costs.fault_handler_ns);
@@ -218,7 +215,7 @@ impl SvmSystem {
             }
         }
         self.trace(
-            sim.now(),
+            sim,
             crate::trace::TraceEvent::Fault {
                 node,
                 page,
@@ -236,6 +233,19 @@ impl SvmSystem {
             None => self.place_chunk(sim, page, kind),
             Some(h) if h == node => self.home_upgrade(sim, page, kind),
             Some(h) => self.fetch_page(sim, page, h, kind),
+        }
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Proto,
+                node,
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::FaultSpan {
+                    page: page.index(),
+                    write: kind == FaultKind::Write,
+                },
+            );
         }
     }
 
@@ -432,7 +442,7 @@ impl SvmSystem {
             }
             st.nodes[node.0 as usize].stats.placements += 1;
         }
-        self.trace(sim.now(), crate::trace::TraceEvent::Place { node, base });
+        self.trace(sim, crate::trace::TraceEvent::Place { node, base });
         sim.op_point(self.cfg.costs.placement_bookkeeping_ns);
         if node != self.master {
             // Publish the new entry to the global directory.
@@ -590,7 +600,7 @@ impl SvmSystem {
                 np.stats.fetch_bytes += PAGE_SIZE;
             }
             drop(st);
-            self.trace(sim.now(), crate::trace::TraceEvent::Fetch { node, page, home });
+            self.trace(sim, crate::trace::TraceEvent::Fetch { node, page, home });
             let mut st = self.state.lock();
             let np = &mut st.nodes[node.0 as usize];
             let copy = np.copies.entry(page.index()).or_insert(CopyState {
@@ -650,6 +660,7 @@ impl SvmSystem {
     /// barrier arrival.
     pub fn release(&self, sim: &Sim) {
         let node = sim.node();
+        let t0 = sim.now();
         sim.sync_point();
         let dirty_pages = {
             let mut st = self.state.lock();
@@ -658,6 +669,7 @@ impl SvmSystem {
         if dirty_pages.is_empty() {
             return;
         }
+        let mut diffed = 0u64;
         let mut max_arrival = sim.now();
         if let Some(threshold) = self.cfg.migration_threshold {
             // Migration policy (extension): a chunk repeatedly diffed by a
@@ -748,8 +760,9 @@ impl SvmSystem {
                     st.nodes[node.0 as usize].stats.diffs_sent += 1;
                     st.nodes[node.0 as usize].stats.diff_bytes += dirty_bytes;
                 }
+                diffed += 1;
                 self.trace(
-                    sim.now(),
+                    sim,
                     crate::trace::TraceEvent::Diff {
                         node,
                         page,
@@ -787,6 +800,16 @@ impl SvmSystem {
         }
         // Release fence: diffs must be remotely visible.
         sim.clock_at_least(max_arrival);
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Proto,
+                node,
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::ReleaseSpan { diffs: diffed },
+            );
+        }
     }
 
     /// Acquire: applies all write notices this node has not yet seen,
@@ -794,6 +817,7 @@ impl SvmSystem {
     /// barrier departure.
     pub fn acquire(&self, sim: &Sim) {
         let node = sim.node();
+        let t0 = sim.now();
         let mut invalidate = Vec::new();
         let applied;
         {
@@ -826,10 +850,22 @@ impl SvmSystem {
                 let mut st = self.state.lock();
                 st.nodes[node.0 as usize].copies.remove(page_idx);
             }
-            self.trace(sim.now(), crate::trace::TraceEvent::Invalidate { node, page });
+            self.trace(sim, crate::trace::TraceEvent::Invalidate { node, page });
         }
         if applied > 0 {
             sim.advance(self.cfg.costs.notice_apply_ns * invalidate.len().max(1) as u64);
+            if let Some(o) = self.obs_if_on() {
+                o.span(
+                    obs::Layer::Proto,
+                    node,
+                    sim.tid().0,
+                    t0,
+                    sim.now().saturating_since(t0),
+                    obs::Event::AcquireSpan {
+                        invals: invalidate.len() as u64,
+                    },
+                );
+            }
         }
     }
 
@@ -1019,7 +1055,7 @@ impl SvmSystem {
             }
             stx.nodes[node.0 as usize].stats.migrations += 1;
         }
-        self.trace(sim.now(), crate::trace::TraceEvent::Migrate { node, base });
+        self.trace(sim, crate::trace::TraceEvent::Migrate { node, base });
         sim.op_point(self.cfg.costs.placement_bookkeeping_ns);
         if node != self.master {
             let t = self.cluster.san.send(node, self.master, 64, sim.now());

@@ -35,6 +35,7 @@ impl SvmSystem {
     /// the same node is a purely local operation (paper Table 4, "local
     /// mutex lock" vs "remote mutex lock").
     pub fn lock(&self, sim: &Sim, id: u64) {
+        let t0 = sim.now();
         sim.op_point(self.cfg.costs.lock_local_ns);
         let node = sim.node();
 
@@ -98,6 +99,16 @@ impl SvmSystem {
         }
 
         self.acquire(sim);
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Sync,
+                node,
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::LockWait { id },
+            );
+        }
     }
 
     /// Attempts to acquire system lock `id` without blocking. On success
@@ -204,6 +215,7 @@ impl SvmSystem {
     /// Distinct barrier episodes may reuse the same `id`.
     pub fn barrier(&self, sim: &Sim, id: u64, n: usize) {
         assert!(n > 0, "barrier over zero threads");
+        let t0 = sim.now();
         self.release(sim);
         sim.op_point(self.cfg.costs.lock_local_ns);
         let node = sim.node();
@@ -265,6 +277,16 @@ impl SvmSystem {
         }
 
         self.acquire(sim);
+        if let Some(o) = self.obs_if_on() {
+            o.span(
+                obs::Layer::Sync,
+                node,
+                sim.tid().0,
+                t0,
+                sim.now().saturating_since(t0),
+                obs::Event::BarrierWait { id },
+            );
+        }
     }
 }
 

@@ -1,14 +1,17 @@
-//! Optional protocol event tracing.
+//! Optional protocol event tracing (legacy facade).
 //!
-//! A bounded, deterministic record of protocol activity — the tool one
-//! reaches for when debugging a DSM protocol ("why did this page bounce?").
-//! Disabled by default (zero overhead beyond a branch); enable with
-//! [`SvmSystem::set_tracing`] and drain with [`SvmSystem::take_trace`].
+//! Historically this module kept its own bounded ring buffer. The records
+//! now live on the cluster-wide observability bus ([`obs`]); this file is
+//! the source-compatible facade over it: the six protocol instants are
+//! recorded as [`obs::Event`]s and translated back into [`TraceRecord`]s
+//! on drain. Enable with [`SvmSystem::set_tracing`] and drain with
+//! [`SvmSystem::take_trace`]; overflow is no longer silent — it increments
+//! [`obs::MetricsSnapshot::dropped_events`].
 
 use std::fmt;
 
 use memsim::PageNum;
-use sim::{NodeId, SimTime};
+use sim::{NodeId, Sim, SimTime};
 
 use crate::api::SvmSystem;
 
@@ -65,6 +68,63 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The bus representation (the record's `node` field carries the node).
+    fn to_obs(self) -> obs::Event {
+        match self {
+            TraceEvent::Fault { page, write, .. } => obs::Event::Fault {
+                page: page.index(),
+                write,
+            },
+            TraceEvent::Place { base, .. } => obs::Event::Place { base: base.index() },
+            TraceEvent::Fetch { page, home, .. } => obs::Event::Fetch {
+                page: page.index(),
+                home: home.0,
+            },
+            TraceEvent::Diff { page, bytes, .. } => obs::Event::Diff {
+                page: page.index(),
+                bytes,
+            },
+            TraceEvent::Invalidate { page, .. } => obs::Event::Invalidate { page: page.index() },
+            TraceEvent::Migrate { base, .. } => obs::Event::Migrate { base: base.index() },
+        }
+    }
+
+    /// Reconstructs the legacy shape from a bus record.
+    fn from_obs(node: NodeId, e: &obs::Event) -> TraceEvent {
+        match *e {
+            obs::Event::Fault { page, write } => TraceEvent::Fault {
+                node,
+                page: PageNum::new(page),
+                write,
+            },
+            obs::Event::Place { base } => TraceEvent::Place {
+                node,
+                base: PageNum::new(base),
+            },
+            obs::Event::Fetch { page, home } => TraceEvent::Fetch {
+                node,
+                page: PageNum::new(page),
+                home: NodeId(home),
+            },
+            obs::Event::Diff { page, bytes } => TraceEvent::Diff {
+                node,
+                page: PageNum::new(page),
+                bytes,
+            },
+            obs::Event::Invalidate { page } => TraceEvent::Invalidate {
+                node,
+                page: PageNum::new(page),
+            },
+            obs::Event::Migrate { base } => TraceEvent::Migrate {
+                node,
+                base: PageNum::new(base),
+            },
+            ref other => unreachable!("non-protocol event in trace drain: {:?}", other),
+        }
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -93,34 +153,43 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
-/// Cap on retained records (oldest are dropped beyond this).
+/// Historical retention cap of the old ring buffer. Kept for API
+/// compatibility; the bus's (larger) capacity now governs, and overflow is
+/// counted in `dropped_events` instead of evicting old records.
 pub const TRACE_CAP: usize = 65_536;
 
 impl SvmSystem {
-    /// Enables or disables protocol tracing.
+    /// Enables or disables protocol tracing (the legacy channel of the
+    /// observability bus: protocol instants only, no metrics).
     pub fn set_tracing(&self, on: bool) {
-        let mut st = self.state.lock();
-        st.tracing = on;
-        if !on {
-            st.trace.clear();
-        }
+        self.cluster.obs.set_proto_trace(on);
     }
 
     /// Drains and returns the recorded events (oldest first).
     pub fn take_trace(&self) -> Vec<TraceRecord> {
-        let mut st = self.state.lock();
-        std::mem::take(&mut st.trace)
+        self.cluster
+            .obs
+            .take_proto_events()
+            .into_iter()
+            .map(|r| TraceRecord {
+                at: r.at,
+                event: TraceEvent::from_obs(r.node, &r.event),
+            })
+            .collect()
     }
 
-    pub(crate) fn trace(&self, at: SimTime, event: TraceEvent) {
-        let mut st = self.state.lock();
-        if !st.tracing {
+    pub(crate) fn trace(&self, sim: &Sim, event: TraceEvent) {
+        let o = &self.cluster.obs;
+        if !o.proto_on() {
             return;
         }
-        if st.trace.len() >= TRACE_CAP {
-            st.trace.remove(0);
-        }
-        st.trace.push(TraceRecord { at, event });
+        o.instant(
+            obs::Layer::Proto,
+            sim.node(),
+            sim.tid().0,
+            sim.now(),
+            event.to_obs(),
+        );
     }
 }
 
@@ -142,5 +211,40 @@ mod tests {
             write: true,
         };
         assert_eq!(e.to_string(), "fault n2 p3 W");
+    }
+
+    #[test]
+    fn obs_round_trip_preserves_event() {
+        let events = [
+            TraceEvent::Fault {
+                node: NodeId(2),
+                page: PageNum::new(3),
+                write: true,
+            },
+            TraceEvent::Place {
+                node: NodeId(0),
+                base: PageNum::new(16),
+            },
+            TraceEvent::Diff {
+                node: NodeId(1),
+                page: PageNum::new(9),
+                bytes: 128,
+            },
+            TraceEvent::Migrate {
+                node: NodeId(3),
+                base: PageNum::new(32),
+            },
+        ];
+        for e in events {
+            let node = match e {
+                TraceEvent::Fault { node, .. }
+                | TraceEvent::Place { node, .. }
+                | TraceEvent::Fetch { node, .. }
+                | TraceEvent::Diff { node, .. }
+                | TraceEvent::Invalidate { node, .. }
+                | TraceEvent::Migrate { node, .. } => node,
+            };
+            assert_eq!(TraceEvent::from_obs(node, &e.to_obs()), e);
+        }
     }
 }

@@ -27,8 +27,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use obs::{Event, Layer, ObsSink, NIC_TRACK};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -195,6 +196,7 @@ pub struct Vmmc {
     san: Arc<San>,
     mem: Arc<ClusterMem>,
     state: Mutex<State>,
+    obs: OnceLock<Arc<ObsSink>>,
 }
 
 impl fmt::Debug for Vmmc {
@@ -219,6 +221,23 @@ impl Vmmc {
                 nics: Vec::new(),
                 next_region: 0,
             }),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attaches the cluster's observability sink, forwarding it to the
+    /// underlying [`San`] (done once by `Cluster::build`).
+    pub fn set_obs(&self, sink: Arc<ObsSink>) {
+        self.san.set_obs(Arc::clone(&sink));
+        let _ = self.obs.set(sink);
+    }
+
+    /// The sink, if attached and enabled (hot-path check).
+    #[inline]
+    fn obs_on(&self) -> Option<&ObsSink> {
+        match self.obs.get() {
+            Some(o) if o.on() => Some(o),
+            _ => None,
         }
     }
 
@@ -306,6 +325,7 @@ impl Vmmc {
         s.next_region += 1;
         s.nics[owner.0 as usize].regions += 1;
         s.nics[owner.0 as usize].registered_bytes += bytes;
+        let nic_now = s.nics[owner.0 as usize];
         s.regions.insert(
             id.0,
             Region {
@@ -314,6 +334,11 @@ impl Vmmc {
                 importers: Vec::new(),
             },
         );
+        drop(s);
+        if let Some(o) = self.obs_on() {
+            o.gauge_max("vmmc.max_nic_regions", nic_now.regions);
+            o.gauge_max("vmmc.max_registered_bytes", nic_now.registered_bytes);
+        }
         Ok(id)
     }
 
@@ -358,7 +383,12 @@ impl Vmmc {
             self.mem.pin_frame(*f);
         }
         s.nics[owner.0 as usize].registered_bytes += bytes;
+        let registered = s.nics[owner.0 as usize].registered_bytes;
         s.regions.get_mut(&region.0).unwrap().frames.extend(frames);
+        drop(s);
+        if let Some(o) = self.obs_on() {
+            o.gauge_max("vmmc.max_registered_bytes", registered);
+        }
         Ok(())
     }
 
@@ -487,6 +517,19 @@ impl Vmmc {
                 .frame_write(frame, in_frame, &data[cursor..cursor + take]);
             cursor += take;
         }
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::Vmmc,
+                from,
+                NIC_TRACK,
+                now,
+                timing.arrival.saturating_since(now),
+                Event::VmmcWrite {
+                    region: region.0,
+                    bytes: data.len() as u64,
+                },
+            );
+        }
         Ok(timing)
     }
 
@@ -519,6 +562,19 @@ impl Vmmc {
                 .frame_read(frame, in_frame, &mut data[cursor..cursor + take]);
             cursor += take;
         }
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::Vmmc,
+                from,
+                NIC_TRACK,
+                now,
+                done.saturating_since(now),
+                Event::VmmcFetch {
+                    region: region.0,
+                    bytes: len,
+                },
+            );
+        }
         Ok((data, done))
     }
 
@@ -527,7 +583,18 @@ impl Vmmc {
     pub fn notify(&self, from: NodeId, to: NodeId, now: SimTime) -> SendTiming {
         self.ensure_node(from);
         self.ensure_node(to);
-        self.san.notify(from, to, now)
+        let timing = self.san.notify(from, to, now);
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::Vmmc,
+                from,
+                NIC_TRACK,
+                now,
+                timing.arrival.saturating_since(now),
+                Event::VmmcNotify { to: to.0 },
+            );
+        }
+        timing
     }
 }
 

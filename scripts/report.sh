@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate the observability artifacts at full size:
+#
+#   BENCH_obs_FFT.json    layer breakdown + metric snapshot, FFT m=12
+#   BENCH_obs_RADIX.json  layer breakdown + metric snapshot, RADIX 64K keys
+#   trace_fft.json        Chrome-trace timeline of the FFT run on 8 nodes
+#                         (load in chrome://tracing or ui.perfetto.dev)
+#
+# The run executes each kernel twice (bus off, then on) and asserts the
+# simulated result is bit-identical, so a successful exit also re-proves
+# the observability layer is free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+
+cargo bench $CARGO_FLAGS -p cables-bench --bench obs_report

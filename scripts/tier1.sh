@@ -18,10 +18,18 @@ echo "==> cargo test --workspace"
 cargo test $CARGO_FLAGS --workspace -q
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall; do
+    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall obs_report; do
         echo "==> cargo bench --bench $bench -- --test"
         cargo bench $CARGO_FLAGS -p cables-bench --bench "$bench" -- --test
     done
+    # The observability artifacts must be machine-readable JSON (python's
+    # parser is the neutral referee; skip quietly if it is unavailable).
+    if command -v python3 >/dev/null 2>&1; then
+        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json trace_fft.json; do
+            echo "==> validate $f"
+            python3 -m json.tool "$f" > /dev/null
+        done
+    fi
 fi
 
 echo "tier1: OK"
