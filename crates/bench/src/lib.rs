@@ -105,9 +105,20 @@ pub struct RunOutcome {
 }
 
 /// Builds the cluster for a processor count (2-way SMP nodes, as in the
-/// paper).
+/// paper). `CABLES_OBS_CAP` overrides the observability event-buffer
+/// capacity (e.g. for long full-size runs whose traces overflow the
+/// default and would make the critical-path analysis refuse).
 pub fn cluster_for(procs: usize) -> ClusterConfig {
-    ClusterConfig::small(procs.div_ceil(2).max(1), 2)
+    let mut cfg = ClusterConfig::small(procs.div_ceil(2).max(1), 2);
+    if let Some(cap) = obs_cap_override() {
+        cfg.obs_cap = cap;
+    }
+    cfg
+}
+
+/// The `CABLES_OBS_CAP` environment override, if set and parseable.
+pub fn obs_cap_override() -> Option<usize> {
+    std::env::var("CABLES_OBS_CAP").ok()?.parse().ok()
 }
 
 fn dispatch(app: AppId, procs: usize) -> Box<dyn FnOnce(&M4Ctx) + Send> {

@@ -50,6 +50,8 @@ pub(crate) struct ThreadRec {
     pub sim_tid: Tid,
     pub phase: Phase,
     pub exit_time: SimTime,
+    /// Node the thread ran on (authoritative once `phase` is `Finished`).
+    pub exit_node: NodeId,
     pub joiners: Vec<Tid>,
     pub cancel_requested: bool,
 }
@@ -408,6 +410,7 @@ impl CablesRt {
                 sim_tid: sim.tid(),
                 phase: Phase::Running,
                 exit_time: SimTime::ZERO,
+                exit_node: self.master,
                 joiners: Vec::new(),
                 cancel_requested: false,
             },
@@ -611,7 +614,8 @@ impl CablesRt {
 
         let rt = Arc::clone(self);
         let pool = self.cfg.thread_pool;
-        let sim_tid = sim.spawn_on(target, start.max(sim.now()), "cables", move |csim| {
+        let run_at = start.max(sim.now());
+        let sim_tid = sim.spawn_on(target, run_at, "cables", move |csim| {
             let mut job: Option<(u64, JobFn)> = Some((ct, Box::new(f)));
             loop {
                 let (ct, body) = job.take().expect("pooled thread woken without a job");
@@ -656,12 +660,29 @@ impl CablesRt {
                 sim_tid,
                 phase: Phase::Running,
                 exit_time: SimTime::ZERO,
+                exit_node: target,
                 joiners: Vec::new(),
                 cancel_requested: false,
             },
         );
         st.by_tid.insert(sim_tid.0, ct);
         drop(st);
+        if run_at > t0 {
+            if let Some(o) = self.obs_if_on() {
+                // Causal edge: the create call to the new thread's first
+                // instruction.
+                o.edge(
+                    obs::EdgeKind::ThreadStart,
+                    sim.node(),
+                    sim.tid().0,
+                    t0,
+                    target,
+                    sim_tid.0,
+                    run_at,
+                    ct,
+                );
+            }
+        }
         self.obs_create(sim, t0, CtId(ct), target);
         CtId(ct)
     }
@@ -688,10 +709,11 @@ impl CablesRt {
     fn dispatch_pooled(self: &Arc<Self>, sim: &Sim, target: NodeId, tid: Tid, f: JobFn) -> CtId {
         let c = &self.cfg.costs;
         sim.op_point(c.pool_dispatch_ns);
+        let d0 = sim.now();
         let at = if target != sim.node() {
-            self.cluster().san.notify(sim.node(), target, sim.now()).arrival
+            self.cluster().san.notify(sim.node(), target, d0).arrival
         } else {
-            sim.now()
+            d0
         };
         let ct = {
             let mut st = self.state.lock();
@@ -705,6 +727,7 @@ impl CablesRt {
                     sim_tid: tid,
                     phase: Phase::Running,
                     exit_time: SimTime::ZERO,
+                    exit_node: target,
                     joiners: Vec::new(),
                     cancel_requested: false,
                 },
@@ -713,6 +736,21 @@ impl CablesRt {
             st.pool_jobs.insert(tid.0, (ct, f));
             ct
         };
+        if at > d0 {
+            if let Some(o) = self.obs_if_on() {
+                // Causal edge: pooled dispatch to the worker's wakeup.
+                o.edge(
+                    obs::EdgeKind::ThreadStart,
+                    sim.node(),
+                    sim.tid().0,
+                    d0,
+                    target,
+                    tid.0,
+                    at,
+                    ct,
+                );
+            }
+        }
         sim.wake(tid, at);
         CtId(ct)
     }
@@ -734,6 +772,7 @@ impl CablesRt {
             let rec = st.threads.get_mut(&ct.0).expect("exiting thread registered");
             rec.phase = Phase::Finished(ret);
             rec.exit_time = sim.now();
+            rec.exit_node = node;
             let joiners = std::mem::take(&mut rec.joiners);
             let cnt = st.threads_on.entry(node.0).or_insert(1);
             *cnt -= 1;
@@ -781,6 +820,8 @@ impl CablesRt {
                 match rec.phase {
                     Phase::Finished(v) => {
                         let t = rec.exit_time;
+                        let exit_node = rec.exit_node;
+                        let exit_tid = rec.sim_tid;
                         drop(st);
                         sim.clock_at_least(t);
                         self.state.lock().stats.joins += 1;
@@ -796,6 +837,20 @@ impl CablesRt {
                                 sim.now().saturating_since(t0),
                                 obs::Event::ThreadJoin { ct: ct.0 },
                             );
+                            if sim.now() > t {
+                                // Causal edge: the joined thread's exit to
+                                // this join's return.
+                                o.edge(
+                                    obs::EdgeKind::ThreadJoin,
+                                    exit_node,
+                                    exit_tid.0,
+                                    t,
+                                    sim.node(),
+                                    sim.tid().0,
+                                    sim.now(),
+                                    ct.0,
+                                );
+                            }
                         }
                         return v;
                     }

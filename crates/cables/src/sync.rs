@@ -173,11 +173,27 @@ impl CablesRt {
             }
             // Activation: a notification dispatching the wakeup handler on
             // the waiter's node.
+            let sig_t = sim.now();
             let at = if wnode != sim.node() {
-                self.cluster().san.notify(sim.node(), wnode, sim.now()).arrival
+                self.cluster().san.notify(sim.node(), wnode, sig_t).arrival
             } else {
-                sim.now()
+                sig_t
             };
+            if at > sig_t {
+                if let Some(o) = self.obs_if_on() {
+                    // Causal edge: signal to the waiter's wakeup.
+                    o.edge(
+                        obs::EdgeKind::CondSignal,
+                        sim.node(),
+                        sim.tid().0,
+                        sig_t,
+                        wnode,
+                        tid.0,
+                        at,
+                        cond.0,
+                    );
+                }
+            }
             sim.wake(tid, at);
         }
     }
@@ -209,11 +225,26 @@ impl CablesRt {
         };
         for (tid, wnode) in targets {
             // One remote write per waiting node, as in the paper.
+            let sig_t = sim.now();
             let at = if wnode != sim.node() {
-                self.cluster().san.notify(sim.node(), wnode, sim.now()).arrival
+                self.cluster().san.notify(sim.node(), wnode, sig_t).arrival
             } else {
-                sim.now()
+                sig_t
             };
+            if at > sig_t {
+                if let Some(o) = self.obs_if_on() {
+                    o.edge(
+                        obs::EdgeKind::CondSignal,
+                        sim.node(),
+                        sim.tid().0,
+                        sig_t,
+                        wnode,
+                        tid.0,
+                        at,
+                        cond.0,
+                    );
+                }
+            }
             sim.wake(tid, at);
         }
     }

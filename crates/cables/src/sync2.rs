@@ -261,11 +261,27 @@ impl CablesRt {
             to_wake
         };
         for (tid, node) in to_wake {
+            let rel_t = sim.now();
             let at = if node != sim.node() {
-                self.cluster().san.notify(sim.node(), node, sim.now()).arrival
+                self.cluster().san.notify(sim.node(), node, rel_t).arrival
             } else {
-                sim.now()
+                rel_t
             };
+            if at > rel_t {
+                if let Some(o) = self.obs_if_on() {
+                    // Causal edge: this unlock to the granted waiter.
+                    o.edge(
+                        obs::EdgeKind::RwHandoff,
+                        sim.node(),
+                        sim.tid().0,
+                        rel_t,
+                        node,
+                        tid.0,
+                        at,
+                        rw.0,
+                    );
+                }
+            }
             sim.wake(tid, at);
         }
     }

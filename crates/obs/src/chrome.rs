@@ -3,14 +3,17 @@
 //! Nodes map to trace *processes* (`pid`), tracks — simulated threads or
 //! the NIC lane — map to trace *threads* (`tid`). Spans become `"X"`
 //! (complete) events with a duration; instants become `"i"` events with
-//! thread scope. Timestamps are simulated microseconds with nanosecond
+//! thread scope; causal edges become Perfetto *flow* pairs (`"s"` at the
+//! cause, `"f"` at the effect) so arrows connect the lanes in the
+//! timeline. Timestamps are simulated microseconds with nanosecond
 //! precision, formatted as exact decimals (never floats), so identical
-//! runs export byte-identical files.
+//! runs export byte-identical files (flow ids are assigned sequentially
+//! in recording order).
 
 use std::collections::BTreeSet;
 use std::fmt::Write;
 
-use crate::event::{EventRecord, NIC_TRACK};
+use crate::event::{Event, EventRecord, NIC_TRACK};
 
 /// Formats nanoseconds as fixed-point microseconds ("12.345").
 fn us(ns: u64) -> String {
@@ -35,6 +38,10 @@ pub fn export(events: &[EventRecord]) -> String {
     for e in events {
         nodes.insert(e.node.0);
         tracks.insert((e.node.0, e.track));
+        if let Event::Edge { src_node, src_track, .. } = e.event {
+            nodes.insert(src_node);
+            tracks.insert((src_node, src_track));
+        }
     }
     let mut j = String::with_capacity(256 + events.len() * 96);
     j.push_str("{\"traceEvents\":[");
@@ -62,7 +69,39 @@ pub fn export(events: &[EventRecord]) -> String {
             track_label(*t)
         );
     }
+    let mut flow_id = 0u64;
     for e in events {
+        if let Event::Edge { src_node, src_track, src_ns, .. } = e.event {
+            // A causal edge renders as a Perfetto flow pair: `"s"` at the
+            // cause endpoint, `"f"` (binding to the enclosing slice end)
+            // at the effect endpoint.
+            flow_id += 1;
+            sep(&mut j);
+            let _ = write!(
+                j,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"id\":{},\"ph\":\"s\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{",
+                e.event.kind_name(),
+                e.layer.name(),
+                flow_id,
+                src_node,
+                src_track,
+                us(src_ns)
+            );
+            e.event.write_args(&mut j);
+            j.push_str("}}");
+            sep(&mut j);
+            let _ = write!(
+                j,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"id\":{},\"ph\":\"f\",\"bp\":\"e\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{}}}}",
+                e.event.kind_name(),
+                e.layer.name(),
+                flow_id,
+                e.node.0,
+                e.track,
+                us(e.at.as_nanos())
+            );
+            continue;
+        }
         sep(&mut j);
         let _ = write!(
             j,
@@ -126,5 +165,32 @@ mod tests {
     fn empty_export_is_valid() {
         let a = export(&[]);
         crate::json::validate(&a).expect("empty trace parses");
+    }
+
+    #[test]
+    fn edges_export_as_flow_pairs() {
+        use crate::event::EdgeKind;
+        let evs = vec![rec(
+            900,
+            0,
+            1,
+            5,
+            Event::Edge {
+                kind: EdgeKind::LockHandoff,
+                src_node: 0,
+                src_track: 3,
+                src_ns: 100,
+                obj: 7,
+            },
+            EdgeKind::LockHandoff.layer(),
+        )];
+        let a = export(&evs);
+        crate::json::validate(&a).expect("flow trace parses");
+        assert!(a.contains("\"ph\":\"s\""), "missing flow start: {a}");
+        assert!(a.contains("\"ph\":\"f\",\"bp\":\"e\""), "missing flow finish: {a}");
+        // Both endpoints get track metadata, and the pair shares an id.
+        assert!(a.contains("\"pid\":0,\"tid\":3,\"ts\":0.100"));
+        assert!(a.contains("\"pid\":1,\"tid\":5,\"ts\":0.900"));
+        assert!(a.contains("\"id\":1"));
     }
 }

@@ -77,6 +77,92 @@ impl Layer {
     }
 }
 
+/// The kind of a causal [`Event::Edge`]: which cause→effect dependency
+/// the edge records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// SAN message: send start → remote arrival (NIC lanes only; the
+    /// critical-path walk never enters these, they are drawn as arrows).
+    MsgSend,
+    /// SAN fetch: remote serve start → data back at the requester.
+    MsgFetch,
+    /// SAN notification: send start → remote handler dispatch.
+    MsgNotify,
+    /// Mutex release → next holder's grant (cross-node lock handoff).
+    LockHandoff,
+    /// Barrier last arrival → one waiter's release (fan-out: one edge per
+    /// released waiter).
+    BarrierRelease,
+    /// Condition signal/broadcast → one waiter's wakeup.
+    CondSignal,
+    /// Rwlock release → one woken reader/writer's grant.
+    RwHandoff,
+    /// Page fault → home fetch → reply → resume, collapsed onto the
+    /// faulting thread's own lane (src = fetch issue, effect = data back).
+    PageFetch,
+    /// Thread create → the new thread's first run.
+    ThreadStart,
+    /// Thread exit → its joiner's resume.
+    ThreadJoin,
+    /// Generic scheduler wake: waker's wake call → wakee's resume
+    /// (covers every block→wake the typed edges above don't).
+    Wakeup,
+}
+
+impl EdgeKind {
+    /// Number of kinds (array dimension for breakdowns).
+    pub const COUNT: usize = 11;
+
+    /// All kinds, in display order.
+    pub const ALL: [EdgeKind; EdgeKind::COUNT] = [
+        EdgeKind::MsgSend,
+        EdgeKind::MsgFetch,
+        EdgeKind::MsgNotify,
+        EdgeKind::LockHandoff,
+        EdgeKind::BarrierRelease,
+        EdgeKind::CondSignal,
+        EdgeKind::RwHandoff,
+        EdgeKind::PageFetch,
+        EdgeKind::ThreadStart,
+        EdgeKind::ThreadJoin,
+        EdgeKind::Wakeup,
+    ];
+
+    /// The layer an edge of this kind is attributed to (message edges to
+    /// the SAN, lock/barrier handoffs to Sync, pthread-level handoffs and
+    /// thread lifecycle to Rt, page movement to Proto, generic scheduler
+    /// wakes to Sched).
+    pub const fn layer(self) -> Layer {
+        match self {
+            EdgeKind::MsgSend | EdgeKind::MsgFetch | EdgeKind::MsgNotify => Layer::San,
+            EdgeKind::LockHandoff | EdgeKind::BarrierRelease => Layer::Sync,
+            EdgeKind::CondSignal
+            | EdgeKind::RwHandoff
+            | EdgeKind::ThreadStart
+            | EdgeKind::ThreadJoin => Layer::Rt,
+            EdgeKind::PageFetch => Layer::Proto,
+            EdgeKind::Wakeup => Layer::Sched,
+        }
+    }
+
+    /// Display name (last path segment of the dotted kind name).
+    pub const fn name(self) -> &'static str {
+        match self {
+            EdgeKind::MsgSend => "msg_send",
+            EdgeKind::MsgFetch => "msg_fetch",
+            EdgeKind::MsgNotify => "msg_notify",
+            EdgeKind::LockHandoff => "lock_handoff",
+            EdgeKind::BarrierRelease => "barrier_release",
+            EdgeKind::CondSignal => "cond_signal",
+            EdgeKind::RwHandoff => "rw_handoff",
+            EdgeKind::PageFetch => "page_fetch",
+            EdgeKind::ThreadStart => "thread_start",
+            EdgeKind::ThreadJoin => "thread_join",
+            EdgeKind::Wakeup => "wakeup",
+        }
+    }
+}
+
 /// Engine scheduling-point kinds forwarded from `sim`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedKind {
@@ -293,6 +379,25 @@ pub enum Event {
         /// Which scheduling point.
         kind: SchedKind,
     },
+
+    // ---- Causal edges ----
+    /// A cause→effect dependency. The record's `at`/`node`/`track` are the
+    /// *effect* endpoint; the payload carries the *source* endpoint. An
+    /// edge is an instant (`dur_ns == 0`) — the dependency's latency is
+    /// `at - src_ns`, reconstructed by `critpath`.
+    Edge {
+        /// Which dependency this edge records.
+        kind: EdgeKind,
+        /// Node the cause happened on.
+        src_node: u32,
+        /// Track (thread id or [`NIC_TRACK`]) the cause happened on.
+        src_track: u64,
+        /// SimTime of the cause, in nanoseconds.
+        src_ns: u64,
+        /// The object the edge is about: page index, lock/barrier/cond/
+        /// rwlock id, CableS thread id, or message bytes — keyed by `kind`.
+        obj: u64,
+    },
 }
 
 impl Event {
@@ -347,7 +452,23 @@ impl Event {
             Event::Sched { kind: SchedKind::Exit } => "sched.exit",
             Event::Sched { kind: SchedKind::Block } => "sched.block",
             Event::Sched { kind: SchedKind::Wake } => "sched.wake",
+            Event::Edge { kind: EdgeKind::MsgSend, .. } => "edge.msg_send",
+            Event::Edge { kind: EdgeKind::MsgFetch, .. } => "edge.msg_fetch",
+            Event::Edge { kind: EdgeKind::MsgNotify, .. } => "edge.msg_notify",
+            Event::Edge { kind: EdgeKind::LockHandoff, .. } => "edge.lock_handoff",
+            Event::Edge { kind: EdgeKind::BarrierRelease, .. } => "edge.barrier_release",
+            Event::Edge { kind: EdgeKind::CondSignal, .. } => "edge.cond_signal",
+            Event::Edge { kind: EdgeKind::RwHandoff, .. } => "edge.rw_handoff",
+            Event::Edge { kind: EdgeKind::PageFetch, .. } => "edge.page_fetch",
+            Event::Edge { kind: EdgeKind::ThreadStart, .. } => "edge.thread_start",
+            Event::Edge { kind: EdgeKind::ThreadJoin, .. } => "edge.thread_join",
+            Event::Edge { kind: EdgeKind::Wakeup, .. } => "edge.wakeup",
         }
+    }
+
+    /// True for causal [`Event::Edge`] records.
+    pub const fn is_edge(&self) -> bool {
+        matches!(self, Event::Edge { .. })
     }
 
     /// Writes the Chrome-trace `args` object body (without braces) for
@@ -414,6 +535,18 @@ impl Event {
             }
             Event::Sched { kind } => {
                 let _ = write!(out, "\"kind\":\"{}\"", kind.name());
+            }
+            Event::Edge {
+                src_node,
+                src_track,
+                src_ns,
+                obj,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    "\"src_node\":{src_node},\"src_track\":{src_track},\"src_ns\":{src_ns},\"obj\":{obj}"
+                );
             }
         }
     }

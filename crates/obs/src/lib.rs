@@ -51,17 +51,19 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chrome;
+pub mod critpath;
 mod event;
 pub mod json;
 mod metrics;
 pub mod report;
+pub mod sharing;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use sim::{NodeId, SimTime};
 
-pub use event::{Event, EventRecord, Layer, SchedKind, NIC_TRACK};
+pub use event::{EdgeKind, Event, EventRecord, Layer, SchedKind, NIC_TRACK};
 pub use metrics::{Histogram, KindAgg, MetricsSnapshot, NodeMetrics, PageMetrics, HIST_BUCKETS};
 
 use metrics::Registry;
@@ -200,6 +202,38 @@ impl ObsSink {
     /// Records an instantaneous event at `at`.
     pub fn instant(&self, layer: Layer, node: NodeId, track: u64, at: SimTime, event: Event) {
         self.span(layer, node, track, at, 0, event);
+    }
+
+    /// Records a causal edge: the cause at `(src_node, src_track, src)`
+    /// enabled the effect at `(node, track, at)`. `obj` identifies what
+    /// the dependency is about (page, lock id, thread id, bytes — keyed by
+    /// `kind`). Edges charge no simulated time; they only annotate the
+    /// trace for `critpath` and the Perfetto flow arrows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge(
+        &self,
+        kind: EdgeKind,
+        src_node: NodeId,
+        src_track: u64,
+        src: SimTime,
+        node: NodeId,
+        track: u64,
+        at: SimTime,
+        obj: u64,
+    ) {
+        self.instant(
+            kind.layer(),
+            node,
+            track,
+            at,
+            Event::Edge {
+                kind,
+                src_node: src_node.0,
+                src_track,
+                src_ns: src.as_nanos(),
+                obj,
+            },
+        );
     }
 
     /// Raises the named gauge to at least `v` (no-op when disabled).

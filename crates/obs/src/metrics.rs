@@ -51,6 +51,42 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// Interpolated percentile (`p` in `[0, 100]`) of the recorded
+    /// durations, in nanoseconds. The exact sample values are gone — only
+    /// their log2 bucket survives — so the estimate interpolates linearly
+    /// inside the target bucket (bucket `i` covers `[2^i, 2^{i+1})`;
+    /// bucket 0 covers `[0, 2)`). Deterministic: pure integer/f64
+    /// arithmetic on the counts, rounded to whole nanoseconds.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (p / 100.0) * n as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = 1u64 << (i + 1);
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return (lo as f64 + frac * (hi - lo) as f64).round() as u64;
+            }
+            cum = next;
+        }
+        // Unreachable for p <= 100; fall back to the top of the last
+        // non-empty bucket.
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0);
+        1u64 << (last + 1)
+    }
 }
 
 /// Per-node aggregates: simulated time and event counts per layer.
@@ -105,6 +141,19 @@ pub struct PageMetrics {
     pub invals: u64,
     /// Home migrations of the containing chunk.
     pub migrates: u64,
+    /// Bitmask of nodes that faulted on the page (node `i` sets bit
+    /// `min(i, 63)`; clusters beyond 64 nodes saturate the top bit).
+    pub nodes_mask: u64,
+    /// Ping-pong handoffs: faults whose node differs from the previous
+    /// faulting node (the false-sharing smell).
+    pub handoffs: u64,
+}
+
+impl PageMetrics {
+    /// Number of distinct nodes that faulted on the page (capped at 64).
+    pub fn sharers(&self) -> u32 {
+        self.nodes_mask.count_ones()
+    }
 }
 
 /// A deterministic, serializable snapshot of every registry.
@@ -185,14 +234,21 @@ impl MetricsSnapshot {
             if i > 0 {
                 j.push(',');
             }
-            let _ = write!(j, "\n    \"{}\": [", l.name());
-            for (b, v) in self.hists[l.index()].buckets.iter().enumerate() {
+            let h = &self.hists[l.index()];
+            let _ = write!(j, "\n    \"{}\": {{\"buckets\": [", l.name());
+            for (b, v) in h.buckets.iter().enumerate() {
                 if b > 0 {
                     j.push(',');
                 }
                 let _ = write!(j, "{v}");
             }
-            j.push(']');
+            let _ = write!(
+                j,
+                "], \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0)
+            );
         }
         j.push_str("\n  },\n  \"pages\": [");
         for (i, p) in self.pages.iter().enumerate() {
@@ -201,8 +257,9 @@ impl MetricsSnapshot {
             }
             let _ = write!(
                 j,
-                "\n    {{\"page\": {}, \"faults\": {}, \"fetches\": {}, \"diffs\": {}, \"invals\": {}, \"migrates\": {}}}",
-                p.page, p.faults, p.fetches, p.diffs, p.invals, p.migrates
+                "\n    {{\"page\": {}, \"faults\": {}, \"fetches\": {}, \"diffs\": {}, \"invals\": {}, \"migrates\": {}, \"sharers\": {}, \"handoffs\": {}}}",
+                p.page, p.faults, p.fetches, p.diffs, p.invals, p.migrates,
+                p.sharers(), p.handoffs
             );
         }
         j.push_str("\n  ],\n  \"gauges\": {");
@@ -224,6 +281,8 @@ pub(crate) struct Registry {
     kinds: BTreeMap<&'static str, (u64, u64, u64, u64)>, // count, total, min, max
     hists: Vec<Histogram>,
     pages: BTreeMap<u64, PageMetrics>,
+    /// Last node to fault on each page (drives `PageMetrics::handoffs`).
+    page_last: BTreeMap<u64, u32>,
     gauges: BTreeMap<String, u64>,
 }
 
@@ -256,7 +315,15 @@ impl Registry {
         e.2 = e.2.min(dur_ns);
         e.3 = e.3.max(dur_ns);
         match *event {
-            Event::Fault { page, .. } => self.page(page).faults += 1,
+            Event::Fault { page, .. } => {
+                let m = self.page(page);
+                m.faults += 1;
+                m.nodes_mask |= 1 << node.min(63);
+                match self.page_last.insert(page, node) {
+                    Some(prev) if prev != node => self.page(page).handoffs += 1,
+                    _ => {}
+                }
+            }
             Event::Fetch { page, .. } => self.page(page).fetches += 1,
             Event::Diff { page, .. } => self.page(page).diffs += 1,
             Event::Invalidate { page } => self.page(page).invals += 1,

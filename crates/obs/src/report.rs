@@ -85,25 +85,65 @@ pub fn hot_pages(s: &MetricsSnapshot, top: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9}",
-        "page", "faults", "fetches", "diffs", "invals", "migrates"
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>9}",
+        "page", "faults", "fetches", "diffs", "invals", "migrates", "sharers", "handoffs"
     );
-    let _ = writeln!(out, "{}", "-".repeat(56));
+    let _ = writeln!(out, "{}", "-".repeat(75));
     for p in pages.iter().take(top) {
         let _ = writeln!(
             out,
-            "p{:<9} {:>8} {:>8} {:>8} {:>8} {:>9}",
-            p.page, p.faults, p.fetches, p.diffs, p.invals, p.migrates
+            "p{:<9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>9}",
+            p.page,
+            p.faults,
+            p.fetches,
+            p.diffs,
+            p.invals,
+            p.migrates,
+            p.sharers(),
+            p.handoffs
         );
     }
     out
 }
 
-/// The full report: latency table + layer breakdown + hot pages.
+/// Renders interpolated latency percentiles per layer (from the log2
+/// histograms; estimates, exact to the bucket).
+pub fn percentile_table(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "layer", "events", "p50", "p95", "p99"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(52));
+    for l in Layer::ALL {
+        let h = &s.hists[l.index()];
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>10} {:>10} {:>10}",
+            l.name(),
+            h.count(),
+            fmt_ns(h.percentile(50.0)),
+            fmt_ns(h.percentile(95.0)),
+            fmt_ns(h.percentile(99.0))
+        );
+    }
+    out
+}
+
+/// Renders the page-sharing table (folds the snapshot + events through
+/// [`crate::sharing::analyze`]).
+pub fn sharing_table(title: &str, s: &MetricsSnapshot, events: &[crate::EventRecord]) -> String {
+    crate::sharing::analyze(s, events).render(title, 10)
+}
+
+/// The full report: latency table + percentiles + layer breakdown + hot
+/// pages.
 pub fn full_report(title: &str, s: &MetricsSnapshot) -> String {
     format!(
-        "=== {title}: latency breakdown (Table-3 style) ===\n{}\n=== {title}: per-node layer decomposition (Fig-5/6 style) ===\n{}\n=== {title}: hottest pages ===\n{}",
+        "=== {title}: latency breakdown (Table-3 style) ===\n{}\n=== {title}: latency percentiles (interpolated, per layer) ===\n{}\n=== {title}: per-node layer decomposition (Fig-5/6 style) ===\n{}\n=== {title}: hottest pages ===\n{}",
         latency_table(s),
+        percentile_table(s),
         layer_breakdown(s),
         hot_pages(s, 10)
     )
@@ -129,5 +169,20 @@ mod tests {
         assert!(rep.contains("dropped 2"));
         assert!(rep.contains("p3"));
         assert!(rep.contains("layer decomposition"));
+        assert!(rep.contains("latency percentiles"));
+        assert!(rep.contains("sharers"));
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        use crate::metrics::Histogram;
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1_000); // bucket 9: [512, 1024)
+        }
+        let p50 = h.percentile(50.0);
+        assert!((512..1024).contains(&p50), "p50={p50}");
+        assert!(h.percentile(99.0) >= p50);
+        assert_eq!(Histogram::default().percentile(50.0), 0);
     }
 }

@@ -29,7 +29,7 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-use obs::{Event, Layer, ObsSink, NIC_TRACK};
+use obs::{EdgeKind, Event, Layer, ObsSink, NIC_TRACK};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sim::{NodeId, SimTime};
@@ -234,6 +234,19 @@ impl San {
                 arrival.saturating_since(now),
                 Event::SanSend { to: to.0, bytes },
             );
+            // Causal edge: wire injection at the sender's NIC to landing
+            // in remote memory (the Perfetto arrow between the two NIC
+            // lanes).
+            o.edge(
+                EdgeKind::MsgSend,
+                from,
+                NIC_TRACK,
+                tx_start,
+                to,
+                NIC_TRACK,
+                arrival,
+                bytes,
+            );
         }
         SendTiming {
             local_done: tx_start + occ,
@@ -279,6 +292,18 @@ impl San {
                 done.saturating_since(now),
                 Event::SanFetch { to: to.0, bytes },
             );
+            // Causal edge: the remote NIC starts serving the data, the
+            // reply lands at the requester.
+            o.edge(
+                EdgeKind::MsgFetch,
+                to,
+                NIC_TRACK,
+                remote_serve_start,
+                from,
+                NIC_TRACK,
+                done,
+                bytes,
+            );
         }
         done
     }
@@ -309,6 +334,18 @@ impl San {
                 now,
                 arrival.saturating_since(now),
                 Event::SanNotify { to: to.0 },
+            );
+            // Causal edge: notification injection to remote handler
+            // dispatch.
+            o.edge(
+                EdgeKind::MsgNotify,
+                from,
+                NIC_TRACK,
+                tx_start,
+                to,
+                NIC_TRACK,
+                arrival,
+                self.cfg.word_bytes,
             );
         }
         SendTiming {

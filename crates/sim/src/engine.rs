@@ -84,6 +84,20 @@ pub enum SchedEventKind {
     Wake,
 }
 
+/// The causing side of a scheduling point: which thread, where, and at
+/// what virtual time it triggered the event. Present on `Spawn` (the
+/// creating thread) and `Wake` (the waker); absent for the root spawn,
+/// `Block`, and `Exit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedCause {
+    /// The thread that caused the event.
+    pub tid: Tid,
+    /// Its node.
+    pub node: NodeId,
+    /// Its virtual clock when it triggered the event.
+    pub at: SimTime,
+}
+
 /// A scheduling point, reported to the hook installed with
 /// [`Engine::set_sched_hook`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +110,8 @@ pub struct SchedEvent {
     pub tid: Tid,
     /// Which scheduling point.
     pub kind: SchedEventKind,
+    /// The causing thread, when one exists.
+    pub cause: Option<SchedCause>,
 }
 
 /// Observer callback for engine scheduling points.
@@ -208,13 +224,21 @@ struct Kernel {
 }
 
 impl Kernel {
-    fn emit_sched(&self, at: SimTime, node: NodeId, tid: Tid, kind: SchedEventKind) {
+    fn emit_sched(
+        &self,
+        at: SimTime,
+        node: NodeId,
+        tid: Tid,
+        kind: SchedEventKind,
+        cause: Option<SchedCause>,
+    ) {
         if let Some(h) = &self.sched_hook {
             h(&SchedEvent {
                 at,
                 node,
                 tid,
                 kind,
+                cause,
             });
         }
     }
@@ -471,7 +495,7 @@ impl Engine {
     where
         F: FnOnce(&Sim) + Send + 'static,
     {
-        self.spawn_thread(node, SimTime::ZERO, "root".to_string(), Box::new(root));
+        self.spawn_thread(node, SimTime::ZERO, "root".to_string(), None, Box::new(root));
         {
             let mut k = self.inner.kernel.lock();
             if k.running.is_none() {
@@ -498,6 +522,7 @@ impl Engine {
         node: NodeId,
         start: SimTime,
         name: String,
+        cause: Option<SchedCause>,
         f: Box<dyn FnOnce(&Sim) + Send + 'static>,
     ) -> Tid {
         let inner = Arc::clone(&self.inner);
@@ -532,7 +557,7 @@ impl Engine {
             k.live += 1;
             k.stats.threads_spawned += 1;
             k.push_ready(tid);
-            k.emit_sched(start, node, tid, SchedEventKind::Spawn);
+            k.emit_sched(start, node, tid, SchedEventKind::Spawn, cause);
         }
         let engine = self.clone();
         let handle = std::thread::Builder::new()
@@ -574,7 +599,8 @@ impl Engine {
     fn thread_exit(&self, tid: Tid, panic_msg: Option<String>) {
         let mut k = self.inner.kernel.lock();
         let clock = k.rec(tid).clock;
-        k.emit_sched(clock, k.rec(tid).node, tid, SchedEventKind::Exit);
+        let exit_node = k.rec(tid).node;
+        k.emit_sched(clock, exit_node, tid, SchedEventKind::Exit, None);
         k.rec_mut(tid).state = ThreadState::Exited;
         k.final_time = k.final_time.max(clock);
         k.live -= 1;
@@ -582,10 +608,16 @@ impl Engine {
             k.running = None;
         }
         let waiters = std::mem::take(&mut k.rec_mut(tid).exit_waiters);
+        let cause = Some(SchedCause {
+            tid,
+            node: exit_node,
+            at: clock,
+        });
         for w in waiters {
             if k.rec(w).state == ThreadState::Blocked {
                 let wc = k.rec(w).clock.max(clock);
                 k.rec_mut(w).clock = wc;
+                k.emit_sched(wc, k.rec(w).node, w, SchedEventKind::Wake, cause);
                 k.push_ready(w);
             }
         }
@@ -895,6 +927,7 @@ impl Sim {
                 k.rec(self.tid).node,
                 self.tid,
                 SchedEventKind::Block,
+                None,
             );
             cell = Arc::clone(&k.rec(self.tid).cell);
             k.rec_mut(self.tid).state = ThreadState::Blocked;
@@ -926,6 +959,7 @@ impl Sim {
                 k.rec(self.tid).node,
                 self.tid,
                 SchedEventKind::Block,
+                None,
             );
             cell = Arc::clone(&k.rec(self.tid).cell);
             let gen = {
@@ -958,7 +992,12 @@ impl Sim {
         self.flush_into(&mut k);
         let mine = k.rec(self.tid).clock;
         let at = at.max(mine);
-        k.emit_sched(at, k.rec(target).node, target, SchedEventKind::Wake);
+        let cause = Some(SchedCause {
+            tid: self.tid,
+            node: k.rec(self.tid).node,
+            at: mine,
+        });
+        k.emit_sched(at, k.rec(target).node, target, SchedEventKind::Wake, cause);
         match k.rec(target).state {
             ThreadState::Blocked => {
                 let tc = k.rec(target).clock.max(at);
@@ -1007,8 +1046,13 @@ impl Sim {
         F: FnOnce(&Sim) + Send + 'static,
     {
         let start = start.max(self.now());
+        let cause = Some(SchedCause {
+            tid: self.tid,
+            node: self.node(),
+            at: self.now(),
+        });
         self.engine
-            .spawn_thread(node, start, name.to_string(), Box::new(f))
+            .spawn_thread(node, start, name.to_string(), cause, Box::new(f))
     }
 
     /// Blocks until `target` exits; on resume this thread's clock is at

@@ -43,7 +43,8 @@ mod rng;
 mod time;
 
 pub use engine::{
-    Engine, EngineStats, NodeId, SchedEvent, SchedEventKind, SchedHook, Sim, SimError, Tid,
+    Engine, EngineStats, NodeId, SchedCause, SchedEvent, SchedEventKind, SchedHook, Sim, SimError,
+    Tid,
 };
 pub use rng::DetRng;
 pub use time::{dur, SimTime};

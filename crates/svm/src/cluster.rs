@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use memsim::{ClusterMem, OsVmConfig};
-use obs::{Event, Layer, ObsSink, SchedKind};
+use obs::{EdgeKind, Event, Layer, ObsSink, SchedKind};
 use san::{San, SanConfig};
 use sim::{Engine, NodeId, SchedEvent, SchedEventKind};
 use vmmc::{Vmmc, VmmcConfig};
@@ -22,6 +22,9 @@ pub struct ClusterConfig {
     pub os: OsVmConfig,
     /// NIC registration limits.
     pub vmmc: VmmcConfig,
+    /// Capacity of the observability event buffer (records beyond this
+    /// are dropped-and-counted; metrics still aggregate them).
+    pub obs_cap: usize,
 }
 
 impl ClusterConfig {
@@ -34,6 +37,7 @@ impl ClusterConfig {
             san: SanConfig::paper(),
             os: OsVmConfig::windows_nt(),
             vmmc: VmmcConfig::paper(),
+            obs_cap: obs::DEFAULT_CAP,
         }
     }
 
@@ -80,7 +84,7 @@ impl Cluster {
         let san = Arc::new(San::new(cfg.san));
         let mem = Arc::new(ClusterMem::new(cfg.os));
         let vmmc = Arc::new(Vmmc::new(cfg.vmmc, Arc::clone(&san), Arc::clone(&mem)));
-        let obs = Arc::new(ObsSink::new());
+        let obs = Arc::new(ObsSink::with_capacity(cfg.obs_cap));
         vmmc.set_obs(Arc::clone(&obs));
         // Forward engine scheduling points onto the bus. The hook runs
         // with the kernel lock held and only touches the sink, never the
@@ -97,6 +101,21 @@ impl Cluster {
                 SchedEventKind::Wake => SchedKind::Wake,
             };
             hook_sink.instant(Layer::Sched, e.node, e.tid.0, e.at, Event::Sched { kind });
+            // Spawn/Wake points with a recorded cause also produce a
+            // causal edge so the critical-path walk can cross every
+            // engine-level hand-off, not just the ones the runtime
+            // layers annotate with typed edges. Zero-latency hand-offs
+            // are skipped: the walk only follows strictly-forward edges.
+            if let Some(c) = e.cause {
+                if c.at < e.at {
+                    let ek = match e.kind {
+                        SchedEventKind::Spawn => EdgeKind::ThreadStart,
+                        SchedEventKind::Wake => EdgeKind::Wakeup,
+                        _ => return,
+                    };
+                    hook_sink.edge(ek, c.node, c.tid.0, c.at, e.node, e.tid.0, e.at, 0);
+                }
+            }
         })));
         let mut nodes = Vec::with_capacity(cfg.nodes);
         for _ in 0..cfg.nodes {

@@ -108,7 +108,7 @@ pub(crate) struct LockState {
 #[derive(Debug, Default)]
 pub(crate) struct BarrierState {
     pub count: usize,
-    pub waiters: Vec<Tid>,
+    pub waiters: Vec<(Tid, NodeId)>,
     pub max_arrival: SimTime,
 }
 
@@ -582,12 +582,30 @@ impl SvmSystem {
         }
 
         // Fetch the page contents from the home.
+        let t_fetch = sim.now();
         let (data, done) = self
             .cluster
             .vmmc
-            .remote_fetch(node, region, region_off, PAGE_SIZE, sim.now())
+            .remote_fetch(node, region, region_off, PAGE_SIZE, t_fetch)
             .unwrap_or_else(|e| panic!("page fetch failed: {e}"));
         sim.clock_at_least(done);
+        if done > t_fetch {
+            if let Some(o) = self.obs_if_on() {
+                // Self-lane causal edge: the fault issued the home fetch
+                // at t_fetch and the thread resumed at `done`; the gap is
+                // the fetch wait the critical-path walk can cross.
+                o.edge(
+                    obs::EdgeKind::PageFetch,
+                    node,
+                    sim.tid().0,
+                    t_fetch,
+                    node,
+                    sim.tid().0,
+                    done,
+                    page.index(),
+                );
+            }
+        }
         let (frame, _) = self.cluster.mem.translate(node, page).expect("just mapped");
         self.cluster.mem.frame_write(frame, 0, &data);
 

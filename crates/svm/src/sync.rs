@@ -197,13 +197,29 @@ impl SvmSystem {
 
         if let Some((tid, wnode, manager)) = next {
             // Hand-off: release to manager, grant to the waiter.
-            let mut t = sim.now();
+            let rel_t = sim.now();
+            let mut t = rel_t;
             if node != manager {
                 t = self.cluster.san.notify(node, manager, t).arrival;
             }
             t = t + self.cfg.costs.lock_handler_ns;
             if manager != wnode {
                 t = self.cluster.san.notify(manager, wnode, t).arrival;
+            }
+            if t > rel_t {
+                if let Some(o) = self.obs_if_on() {
+                    // Causal edge: this release to the next holder's grant.
+                    o.edge(
+                        obs::EdgeKind::LockHandoff,
+                        node,
+                        sim.tid().0,
+                        rel_t,
+                        wnode,
+                        tid.0,
+                        t,
+                        id,
+                    );
+                }
             }
             sim.wake(tid, t);
         }
@@ -238,7 +254,7 @@ impl SvmSystem {
             b.count += 1;
             b.max_arrival = b.max_arrival.max(arrive_at_mgr);
             if b.count < n {
-                b.waiters.push(sim.tid());
+                b.waiters.push((sim.tid(), node));
                 false
             } else {
                 true
@@ -258,15 +274,29 @@ impl SvmSystem {
                 b.max_arrival = SimTime::ZERO;
                 (waiters, release_t)
             };
-            // Release messages fan out from the manager's NIC.
-            for tid in waiters {
-                let wnode = {
-                    // The engine does not expose other threads' nodes, so we
-                    // deliver with the one-way latency from the manager; the
-                    // same-node case is rare and only saves 7.8us.
-                    self.cluster.san.config().send_base_ns
-                };
-                sim.wake(tid, release_t + wnode);
+            // Release messages fan out from the manager's NIC. Every
+            // waiter pays the one-way latency from the manager; the
+            // same-node case is rare and only saves 7.8us.
+            let fan_t0 = sim.now();
+            for (tid, wnode) in waiters {
+                let wake_t = release_t + self.cluster.san.config().send_base_ns;
+                if wake_t > fan_t0 {
+                    if let Some(o) = self.obs_if_on() {
+                        // Causal edge: last arrival's fan-out to each
+                        // waiter's departure.
+                        o.edge(
+                            obs::EdgeKind::BarrierRelease,
+                            node,
+                            sim.tid().0,
+                            fan_t0,
+                            wnode,
+                            tid.0,
+                            wake_t,
+                            id,
+                        );
+                    }
+                }
+                sim.wake(tid, wake_t);
             }
             let back = if node != manager {
                 self.cluster.san.config().send_base_ns

@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-use obs::{Event, Layer, ObsSink, NIC_TRACK};
+use obs::{EdgeKind, Event, Layer, ObsSink, NIC_TRACK};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -529,6 +529,21 @@ impl Vmmc {
                     bytes: data.len() as u64,
                 },
             );
+            if owner != from {
+                // Region-level delivery arrow (the SAN layer draws the
+                // wire-level one with byte counts; this one names the
+                // region).
+                o.edge(
+                    EdgeKind::MsgSend,
+                    from,
+                    NIC_TRACK,
+                    now,
+                    owner,
+                    NIC_TRACK,
+                    timing.arrival,
+                    region.0,
+                );
+            }
         }
         Ok(timing)
     }
@@ -574,6 +589,18 @@ impl Vmmc {
                     bytes: len,
                 },
             );
+            if owner != from {
+                o.edge(
+                    EdgeKind::MsgFetch,
+                    owner,
+                    NIC_TRACK,
+                    now,
+                    from,
+                    NIC_TRACK,
+                    done,
+                    region.0,
+                );
+            }
         }
         Ok((data, done))
     }

@@ -3,15 +3,35 @@
 #
 #   BENCH_obs_FFT.json    layer breakdown + metric snapshot, FFT m=12
 #   BENCH_obs_RADIX.json  layer breakdown + metric snapshot, RADIX 64K keys
+#   BENCH_critpath.json   critical-path profile + blame table, both kernels
 #   trace_fft.json        Chrome-trace timeline of the FFT run on 8 nodes
-#                         (load in chrome://tracing or ui.perfetto.dev)
+#                         (load in chrome://tracing or ui.perfetto.dev;
+#                         causal edges render as Perfetto flow arrows)
 #
 # The run executes each kernel twice (bus off, then on) and asserts the
 # simulated result is bit-identical, so a successful exit also re-proves
-# the observability layer is free.
+# the observability layer is free. The script fails (non-zero exit) if
+# any expected artifact is missing or empty afterwards — a bench that
+# silently stopped emitting is a broken report, not a quiet success.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS:---offline}
 
+ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json trace_fft.json)
+
+# Drop stale copies first so a bench that no longer writes its artifact
+# cannot pass the check below on a leftover file.
+rm -f "${ARTIFACTS[@]}"
+
 cargo bench $CARGO_FLAGS -p cables-bench --bench obs_report
+cargo bench $CARGO_FLAGS -p cables-bench --bench critpath
+
+status=0
+for f in "${ARTIFACTS[@]}"; do
+    if [[ ! -s "$f" ]]; then
+        echo "report: missing or empty artifact: $f" >&2
+        status=1
+    fi
+done
+exit $status

@@ -1,0 +1,146 @@
+//! Critical-path profiler properties: on any observed run the rebuilt
+//! causal DAG must be acyclic (every edge strictly forward in SimTime),
+//! the walked path must be bounded by the run and by the busiest lane,
+//! the per-layer breakdown must partition the run exactly, and the
+//! analysis must be a pure function of the event buffer. Overflowed
+//! buffers are refused, never silently under-reported.
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use proptest::prelude::*;
+
+use cables_suite::obs::{critpath, Event, EventRecord};
+use cables_suite::svm::{Cluster, ClusterConfig, SvmConfig, SvmSystem};
+
+/// Region size in u64 elements (4 pages).
+const LEN: u64 = 2048;
+
+/// Runs the instrumented two-node program from `obs_equiv.rs` (threads,
+/// a contended lock, a barrier, remote pages) with the bus on, and
+/// returns the total simulated time, the drained events, and the drop
+/// counter. `obs_cap` overrides the sink capacity when given.
+fn observed_run(base: bool, seed: u64, obs_cap: Option<usize>) -> (u64, Vec<EventRecord>, u64) {
+    let cfg = if base {
+        SvmConfig::base()
+    } else {
+        SvmConfig::cables()
+    };
+    let mut cc = ClusterConfig::small(2, 1);
+    if let Some(cap) = obs_cap {
+        cc.obs_cap = cap;
+    }
+    let cluster = Cluster::build(cc);
+    let sys = SvmSystem::new(Arc::clone(&cluster), cfg);
+    sys.set_obs(true);
+    let s = Arc::clone(&sys);
+    let done: Arc<StdMutex<bool>> = Arc::new(StdMutex::new(false));
+    let done2 = Arc::clone(&done);
+    let end = cluster
+        .engine
+        .clone()
+        .run(cluster.nodes()[0], move |sim| {
+            let a = s.g_malloc(sim, LEN * 8);
+            let s2 = Arc::clone(&s);
+            s2.clone().create(sim, move |ws| {
+                s2.lock(ws, 1);
+                for i in 0..16u64 {
+                    let w = seed.wrapping_mul(2 * i + 1).wrapping_add(i) % LEN;
+                    s2.write::<u64>(ws, a + w * 8, seed ^ (0xCC00 + i));
+                }
+                s2.unlock(ws, 1);
+                s2.barrier(ws, 9, 2);
+            });
+            for i in 0..64u64 {
+                s.write::<u64>(sim, a + (seed.wrapping_add(i * 31) % LEN) * 8, seed ^ i);
+            }
+            s.lock(sim, 1);
+            s.unlock(sim, 1);
+            s.barrier(sim, 9, 2);
+            *done2.lock().unwrap() = true;
+            s.wait_for_end(sim);
+        })
+        .expect("critpath property program run");
+    assert!(*done.lock().unwrap(), "program did not finish");
+    (
+        end.as_nanos(),
+        cluster.obs.events(),
+        cluster.obs.dropped_events(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On both protocol configurations and arbitrary seeds: every causal
+    /// edge is strictly forward in SimTime (the DAG is acyclic by
+    /// construction), the critical path is no longer than the run and no
+    /// shorter than the busiest lane's span coverage, the layer
+    /// breakdown partitions the run exactly, and re-analyzing the same
+    /// buffer reproduces the same profile.
+    #[test]
+    fn critical_path_is_monotone_acyclic_and_bounded(
+        seed in any::<u64>(),
+        base in any::<bool>(),
+    ) {
+        let (total_ns, events, dropped) = observed_run(base, seed, None);
+        prop_assert_eq!(dropped, 0, "default capacity overflowed");
+
+        let mut edges = 0u64;
+        for rec in &events {
+            if let Event::Edge { src_ns, .. } = rec.event {
+                edges += 1;
+                prop_assert!(
+                    src_ns < rec.at.as_nanos(),
+                    "edge not strictly forward: {} -> {}",
+                    src_ns,
+                    rec.at.as_nanos()
+                );
+                prop_assert!(rec.at.as_nanos() <= total_ns, "edge past end of run");
+            }
+        }
+        prop_assert!(edges > 0, "instrumented program produced no edges");
+
+        let cp = critpath::analyze(&events, total_ns, dropped)
+            .expect("analysis of a clean buffer");
+        prop_assert!(cp.total_ns <= total_ns, "path longer than the run");
+        prop_assert!(
+            cp.total_ns >= critpath::busiest_lane_span_ns(&events),
+            "path shorter than the busiest lane"
+        );
+        prop_assert_eq!(
+            cp.layer_sum_ns(),
+            total_ns,
+            "layer breakdown does not partition the run"
+        );
+        prop_assert!(
+            cp.edges_on_path <= edges,
+            "walk crossed more edges than were recorded"
+        );
+
+        let again = critpath::analyze(&events, total_ns, dropped)
+            .expect("re-analysis of the same buffer");
+        prop_assert_eq!(cp, again, "analysis is not deterministic");
+    }
+}
+
+/// A sink that overflowed cannot support a truthful path: `analyze` must
+/// refuse with the drop count rather than report a partial profile.
+#[test]
+fn analyze_refuses_overflowed_buffers() {
+    let (total_ns, events, dropped) = observed_run(false, 7, Some(8));
+    assert!(dropped > 0, "tiny capacity did not overflow");
+    match critpath::analyze(&events, total_ns, dropped) {
+        Err(critpath::CritPathError::DroppedEvents(n)) => assert_eq!(n, dropped),
+        other => panic!("expected DroppedEvents refusal, got {other:?}"),
+    }
+}
+
+/// An empty buffer (observation off, or nothing recorded) is refused too.
+#[test]
+fn analyze_refuses_empty_buffers() {
+    match critpath::analyze(&[], 1_000, 0) {
+        Err(critpath::CritPathError::NoEvents) => {}
+        other => panic!("expected NoEvents refusal, got {other:?}"),
+    }
+}

@@ -77,8 +77,9 @@ proptest! {
     }
 }
 
-/// One observed FFT run: final time, Chrome-trace export, snapshot JSON.
-fn fft_observed() -> (u64, String, String) {
+/// One observed FFT run: final time, Chrome-trace export, snapshot JSON,
+/// and the number of causal edges on the bus.
+fn fft_observed() -> (u64, String, String, usize) {
     let cluster = Cluster::build(ClusterConfig::small(4, 2));
     let sys = M4System::cables(Arc::clone(&cluster));
     let svm = sys.svm();
@@ -95,10 +96,13 @@ fn fft_observed() -> (u64, String, String) {
         .expect("fft run");
     let svm = sys.svm();
     let sink = svm.obs();
+    let events = sink.events();
+    let edges = events.iter().filter(|e| e.event.is_edge()).count();
     (
         end.as_nanos(),
-        chrome::export(&sink.events()),
+        chrome::export(&events),
         sink.snapshot().to_json(),
+        edges,
     )
 }
 
@@ -113,6 +117,13 @@ fn identical_runs_export_identical_artifacts() {
     assert_eq!(a.2, b.2, "snapshots differ between identical runs");
     cables_suite::obs::json::validate(&a.1).expect("chrome trace JSON");
     cables_suite::obs::json::validate(&a.2).expect("snapshot JSON");
+    // The instrumented kernels record causal edges, and the Chrome export
+    // renders each one as a Perfetto flow pair (start + finish).
+    assert!(a.3 > 0, "no causal edges recorded by the FFT run");
+    assert!(
+        a.1.contains("\"ph\":\"s\"") && a.1.contains("\"ph\":\"f\""),
+        "chrome trace is missing Perfetto flow events"
+    );
 }
 
 /// SPLASH under M4: enabling the bus must not move the final time or the
@@ -143,9 +154,16 @@ fn obs_does_not_change_splash_results() {
     }
 }
 
-/// A pthreads program run: final time, contention counters, and (when
-/// observed) the metric snapshot.
-fn cables_observed(observe: bool) -> (u64, ContentionStats, cables_suite::obs::MetricsSnapshot) {
+/// A pthreads program run: final time, contention counters, (when
+/// observed) the metric snapshot, and the causal-edge kind names seen.
+fn cables_observed(
+    observe: bool,
+) -> (
+    u64,
+    ContentionStats,
+    cables_suite::obs::MetricsSnapshot,
+    Vec<&'static str>,
+) {
     let cluster = Cluster::build(ClusterConfig::small(2, 2));
     let rt = CablesRt::new(Arc::clone(&cluster), CablesConfig::paper());
     rt.svm().set_obs(observe);
@@ -175,15 +193,29 @@ fn cables_observed(observe: bool) -> (u64, ContentionStats, cables_suite::obs::M
             0
         })
         .expect("cables run");
-    (end.as_nanos(), rt.contention(), cluster.obs.snapshot())
+    let mut edge_kinds: Vec<&'static str> = cluster
+        .obs
+        .events()
+        .iter()
+        .filter(|e| e.event.is_edge())
+        .map(|e| e.event.kind_name())
+        .collect();
+    edge_kinds.sort_unstable();
+    edge_kinds.dedup();
+    (
+        end.as_nanos(),
+        rt.contention(),
+        cluster.obs.snapshot(),
+        edge_kinds,
+    )
 }
 
 /// The CableS runtime layer: observation must be free, contention counters
 /// must run unconditionally, and the Rt layer must attribute time when on.
 #[test]
 fn cables_runtime_records_rt_layer_without_perturbing() {
-    let (t_off, c_off, s_off) = cables_observed(false);
-    let (t_on, c_on, s_on) = cables_observed(true);
+    let (t_off, c_off, s_off, e_off) = cables_observed(false);
+    let (t_on, c_on, s_on, e_on) = cables_observed(true);
     assert_eq!(t_off, t_on, "obs changed the pthreads program's time");
     assert_eq!(c_off, c_on, "obs changed the contention counters");
     assert!(c_on.mutex_waits >= 3, "{c_on:?}");
@@ -195,5 +227,21 @@ fn cables_runtime_records_rt_layer_without_perturbing() {
     assert!(
         s_on.kinds.iter().any(|k| k.name == "rt.thread_create"),
         "thread creation not on the bus"
+    );
+    // Causal edges ride the same on/off switch as every other record: none
+    // when disabled, and the contended mutex / barrier / create-join
+    // program must produce handoff and thread-lifecycle edges when on.
+    assert!(e_off.is_empty(), "edges recorded with the sink disabled");
+    assert!(
+        e_on.contains(&"edge.thread_start"),
+        "no thread_start edges: {e_on:?}"
+    );
+    assert!(
+        e_on.contains(&"edge.barrier_release"),
+        "no barrier_release edges: {e_on:?}"
+    );
+    assert!(
+        e_on.contains(&"edge.lock_handoff"),
+        "no lock_handoff edges: {e_on:?}"
     );
 }
