@@ -122,12 +122,16 @@ pub fn obs_cap_override() -> Option<usize> {
 }
 
 fn dispatch(app: AppId, procs: usize) -> Box<dyn FnOnce(&M4Ctx) + Send> {
+    dispatch_verify(app, procs, false)
+}
+
+fn dispatch_verify(app: AppId, procs: usize, verify: bool) -> Box<dyn FnOnce(&M4Ctx) + Send> {
     match app {
         AppId::Fft => {
             let p = fft::FftParams {
                 m: 16,
                 nprocs: procs,
-                verify: false,
+                verify,
             };
             Box::new(move |ctx| {
                 fft::fft(ctx, &p);
@@ -138,7 +142,7 @@ fn dispatch(app: AppId, procs: usize) -> Box<dyn FnOnce(&M4Ctx) + Send> {
                 n: 128,
                 block: 16,
                 nprocs: procs,
-                verify: false,
+                verify,
             };
             Box::new(move |ctx| {
                 lu::lu(ctx, &p);
@@ -263,6 +267,72 @@ pub fn run_app_with(
         },
     };
     (outcome, engine_stats, wall)
+}
+
+/// Outcome of one run under fault injection: the application outcome plus
+/// the chaos engine's fault/recovery counters and (CableS mode) the
+/// runtime's node bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ChaosRunOutcome {
+    /// The application outcome.
+    pub run: RunOutcome,
+    /// Fault-injection and recovery counters.
+    pub chaos: chaos::ChaosStats,
+    /// CableS runtime statistics (attach/detach counts), when applicable.
+    pub rt_stats: Option<cables::RtStats>,
+}
+
+/// Runs `app` on `procs` processors with a fault-injection plan attached
+/// to every cluster layer. `verify` turns on the application's result
+/// check where it has one (FFT, LU) — the proof that drops and duplicates
+/// degrade time, not answers.
+pub fn run_app_chaos(
+    mode: M4Mode,
+    app: AppId,
+    procs: usize,
+    verify: bool,
+    seed: u64,
+    plan: chaos::FaultPlan,
+) -> ChaosRunOutcome {
+    let cluster = Cluster::build(cluster_for(procs));
+    cluster.set_chaos(chaos::ChaosEngine::new(seed, plan));
+    let sys = match mode {
+        M4Mode::Base => M4System::base(Arc::clone(&cluster)),
+        M4Mode::Cables => M4System::cables(Arc::clone(&cluster)),
+    };
+    let body = dispatch_verify(app, procs, verify);
+    let result = sys.run(move |ctx| body(ctx));
+    let stats = sys.svm().total_stats();
+    let placement = sys.svm().placement_report();
+    let max_nic_regions = cluster
+        .nodes()
+        .iter()
+        .map(|n| cluster.vmmc.nic_stats(*n).regions)
+        .max()
+        .unwrap_or(0);
+    let run = match result {
+        Ok(end) => RunOutcome {
+            total_ns: Some(end.as_nanos()),
+            parallel_ns: sys.parallel_ns(),
+            stats,
+            placement,
+            max_nic_regions,
+            error: None,
+        },
+        Err(e) => RunOutcome {
+            total_ns: None,
+            parallel_ns: None,
+            stats,
+            placement,
+            max_nic_regions,
+            error: Some(e.to_string()),
+        },
+    };
+    ChaosRunOutcome {
+        run,
+        chaos: cluster.chaos().expect("chaos attached").stats(),
+        rt_stats: sys.cables_rt().map(|rt| rt.stats()),
+    }
 }
 
 /// True when the binary was invoked with `--test` (the smoke mode the CI

@@ -52,6 +52,9 @@ mod sync;
 mod sync2;
 
 pub use config::{CablesConfig, CablesCosts};
-pub use rt::{CablesRt, Cancelled, ContentionStats, CtId, OpKind, OpTimes, Pth, RtStats};
+pub use mem::FreeError;
+pub use rt::{
+    CablesRt, Cancelled, ContentionStats, CtId, OpKind, OpTimes, Pth, RtStats, CRASHED_RET,
+};
 pub use sync::{Barrier, Cond, Mutex, MutexCondBarrier};
 pub use sync2::{Once, RwLock, TsdKey};

@@ -12,10 +12,29 @@
 //! dedicated section whose primary copies belong to the first node of the
 //! application.
 
+use std::fmt;
+
 use memsim::{GAddr, PAGE_SIZE};
 use sim::Sim;
 
 use crate::rt::{CablesRt, OpKind, Pth};
+
+/// A `global_free` the allocator could not honor: the address was never
+/// returned by [`CablesRt::global_malloc`], was already freed, or points
+/// into the middle of a live block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeError {
+    /// The address the application tried to free.
+    pub addr: GAddr,
+}
+
+impl fmt::Display for FreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "global_free of unallocated address {}", self.addr)
+    }
+}
+
+impl std::error::Error for FreeError {}
 
 impl CablesRt {
     /// Allocates `bytes` of global shared memory (`global_malloc`).
@@ -87,15 +106,23 @@ impl CablesRt {
     /// # Panics
     ///
     /// Panics on a double free or an address that was never allocated.
+    /// Use [`CablesRt::try_global_free`] for the non-panicking variant.
     pub fn global_free(&self, sim: &Sim, addr: GAddr) {
+        self.try_global_free(sim, addr)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Frees a block returned by [`CablesRt::global_malloc`], reporting a
+    /// double free or wild free as a typed [`FreeError`] instead of
+    /// panicking. The allocator state is untouched on error (the free is
+    /// counted in [`RtStats::frees`](crate::RtStats) either way — the call
+    /// happened).
+    pub fn try_global_free(&self, sim: &Sim, addr: GAddr) -> Result<(), FreeError> {
         self.admin_request(sim);
         sim.advance(self.cfg.costs.malloc_ns);
         let mut st = self.state.lock();
         st.stats.frees += 1;
-        let bytes = st
-            .allocated
-            .remove(&addr.raw())
-            .unwrap_or_else(|| panic!("global_free of unallocated address {addr}"));
+        let bytes = st.allocated.remove(&addr.raw()).ok_or(FreeError { addr })?;
         let mut start = addr.raw();
         let mut size = bytes;
         // Coalesce with the previous block.
@@ -112,6 +139,7 @@ impl CablesRt {
             size += nsize;
         }
         st.free_list.insert(start, size);
+        Ok(())
     }
 
     /// Bytes currently held on the free list (diagnostics).
@@ -182,6 +210,15 @@ impl Pth<'_> {
         let t0 = self.sim.now();
         self.rt().global_free(self.sim, addr);
         self.rt().record_op(OpKind::Free, self.sim.now() - t0);
+    }
+
+    /// Frees global shared memory, returning `Err(`[`FreeError`]`)` on a
+    /// double or wild free instead of panicking.
+    pub fn try_free(&self, addr: GAddr) -> Result<(), FreeError> {
+        let t0 = self.sim.now();
+        let r = self.rt().try_global_free(self.sim, addr);
+        self.rt().record_op(OpKind::Free, self.sim.now() - t0);
+        r
     }
 
     /// Defines a GLOBAL static variable (the `GLOBAL` qualifier).
@@ -311,6 +348,44 @@ mod tests {
             let worker = pth.create(move |p| p.read::<u64>(g));
             assert_eq!(pth.join(worker), 123);
             let _ = rt2;
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn double_free_reports_typed_error() {
+        let rt = rt(1, 1);
+        rt.run(|pth| {
+            let a = pth.malloc(8);
+            pth.try_free(a).expect("first free is legal");
+            let err = pth.try_free(a).expect_err("double free must be caught");
+            assert_eq!(err.addr, a);
+            assert!(err.to_string().contains("global_free of unallocated address"));
+            // The allocator survived: the same block is reusable.
+            let b = pth.malloc(8);
+            assert_eq!(b, a);
+            0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wild_free_reports_typed_error() {
+        let rt = rt(1, 1);
+        rt.run(|pth| {
+            let a = pth.malloc(64);
+            // Middle of a live block: never a malloc return value.
+            let wild = a + 8;
+            let err = pth.try_free(wild).expect_err("wild free must be caught");
+            assert_eq!(err.addr, wild);
+            // Never-allocated address, far off the heap.
+            let err2 = pth
+                .try_free(memsim::GAddr::new(0xdead_beef_0000))
+                .expect_err("unallocated free must be caught");
+            assert_eq!(err2.addr.raw(), 0xdead_beef_0000);
+            // The original block is still live and freeable.
+            pth.try_free(a).expect("live block still freeable");
             0
         })
         .unwrap();

@@ -8,14 +8,21 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use chaos::{ChaosEngine, CrashUnwind};
 use memsim::GAddr;
 use parking_lot::Mutex;
 use sim::{NodeId, Sim, SimError, SimTime, Tid};
 use svm::{Cluster, ProtoMode, SvmSystem};
 
 use crate::config::CablesConfig;
+
+/// The value [`CablesRt::join`] returns for a thread lost to a node crash
+/// (mirrors a POSIX `ECANCELED`-style status: the thread never produced a
+/// result of its own).
+pub const CRASHED_RET: u64 = 125;
 
 /// Identifier of a CableS (pthreads) thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -245,6 +252,10 @@ pub(crate) struct RtState {
     pub mutex_inflight: u64,
     /// Threads currently inside `pthread_barrier`.
     pub barrier_inflight: u64,
+    /// The chaos crash monitor's engine thread, while it is alive.
+    pub monitor: Option<Tid>,
+    /// Tells the monitor to exit at its next wakeup (set at teardown).
+    pub monitor_stop: bool,
 }
 
 /// The CableS runtime (one per application).
@@ -312,6 +323,8 @@ impl CablesRt {
                 contention: ContentionStats::default(),
                 mutex_inflight: 0,
                 barrier_inflight: 0,
+                monitor: None,
+                monitor_stop: false,
             }),
             master,
         })
@@ -384,6 +397,7 @@ impl CablesRt {
         let master = self.master;
         self.cluster().engine.clone().run(master, move |sim| {
             rt.pthread_start(sim);
+            rt.spawn_crash_monitor(sim);
             let pth = Pth {
                 sim,
                 rt: Arc::clone(&rt),
@@ -392,6 +406,65 @@ impl CablesRt {
             main(&pth);
             rt.pthread_end(sim);
         })
+    }
+
+    /// The attached chaos engine, when its plan contains node crashes.
+    fn chaos_crashes(&self) -> Option<Arc<ChaosEngine>> {
+        self.cluster()
+            .chaos()
+            .filter(|c| c.crashes_armed())
+            .cloned()
+    }
+
+    /// Whether the chaos plan says `node` is dead at this thread's clock.
+    pub(crate) fn node_crashed(&self, sim: &Sim, node: NodeId) -> bool {
+        match self.cluster().chaos() {
+            Some(c) => c.crashes_armed() && c.crashed(node.0, sim.now().as_nanos()),
+            None => false,
+        }
+    }
+
+    /// Starts the crash monitor: a runtime-internal engine thread on the
+    /// master that sleeps until each planned crash time and then runs
+    /// [`CablesRt::recover_crash`] for the dead node. Nothing is spawned
+    /// without a crash plan, so fault-free runs are bit-identical.
+    fn spawn_crash_monitor(self: &Arc<Self>, sim: &Sim) {
+        let Some(ch) = self.chaos_crashes() else {
+            return;
+        };
+        // Crash unwinds are controlled, not bugs: keep the default panic
+        // hook from spamming a backtrace for every simulated casualty.
+        static CRASH_HOOK: std::sync::Once = std::sync::Once::new();
+        CRASH_HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<CrashUnwind>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
+        let rt = Arc::clone(self);
+        let tid = sim.spawn_on(self.master, sim.now(), "chaos-monitor", move |msim| {
+            for &(node, at) in ch.crash_times() {
+                loop {
+                    if rt.state.lock().monitor_stop {
+                        rt.state.lock().monitor = None;
+                        return;
+                    }
+                    if msim.now().as_nanos() >= at {
+                        break;
+                    }
+                    let woken = msim.block_deadline(SimTime::ZERO + at);
+                    if woken && rt.state.lock().monitor_stop {
+                        rt.state.lock().monitor = None;
+                        return;
+                    }
+                }
+                rt.recover_crash(msim, NodeId(node));
+            }
+            rt.state.lock().monitor = None;
+        });
+        self.state.lock().monitor = Some(tid);
     }
 
     /// `pthread_start()`: initializes the runtime, attaching the master
@@ -444,7 +517,221 @@ impl CablesRt {
             sim.wake(tid, sim.now());
             sim.wait_exit(tid);
         }
+        // Dismiss the crash monitor: any crash planned past this point is
+        // moot (the application is over) and must not stretch the run.
+        let monitor = {
+            let mut st = self.state.lock();
+            st.monitor_stop = true;
+            st.monitor.take()
+        };
+        if let Some(tid) = monitor {
+            sim.wake(tid, sim.now());
+            sim.wait_exit(tid);
+        }
         sim.op_point(self.cfg.costs.end_teardown_ns);
+    }
+
+    /// Node-crash recovery (run by the monitor at the planned crash time):
+    /// every thread on the dead node is retired with [`CRASHED_RET`], its
+    /// queued waits are purged, locks it held pass to surviving waiters,
+    /// barriers it can no longer reach are forgiven its arrival, its
+    /// joiners are woken, and the node is detached. Threads are processed
+    /// lowest-id first and every queue edit uses per-entry filtering, so
+    /// replay with the same seed and plan is bit-identical.
+    fn recover_crash(self: &Arc<Self>, sim: &Sim, node: NodeId) {
+        let Some(ch) = self.cluster().chaos().cloned() else {
+            return;
+        };
+        let t0 = sim.now();
+        ch.note_crash();
+        if let Some(o) = self.obs_if_on() {
+            o.instant(
+                obs::Layer::Chaos,
+                node,
+                sim.tid().0,
+                t0,
+                obs::Event::ChaosCrash { node: node.0 },
+            );
+        }
+        let mut victims: Vec<(u64, Tid)> = {
+            let st = self.state.lock();
+            st.threads
+                .iter()
+                .filter(|(_, r)| r.phase == Phase::Running && r.exit_node == node)
+                .map(|(ct, r)| (*ct, r.sim_tid))
+                .collect()
+        };
+        victims.sort_unstable();
+        let dead: Vec<Tid> = victims.iter().map(|&(_, tid)| tid).collect();
+        let mut to_wake: Vec<Tid> = Vec::new();
+        for &(ct, tid) in &victims {
+            let was_waiting_svm = self.svm().crash_purge_waiter(tid);
+            let (was_waiting_rt, joiners) = {
+                let mut st = self.state.lock();
+                let mut found = false;
+                for cs in st.conds.values_mut() {
+                    let before = cs.waiters.len();
+                    cs.waiters.retain(|(t, _)| *t != tid);
+                    found |= cs.waiters.len() != before;
+                }
+                for r in st.rwlocks.values_mut() {
+                    let before = r.waiters.len();
+                    r.waiters.retain(|(t, _, _)| *t != tid);
+                    found |= r.waiters.len() != before;
+                }
+                for rec in st.threads.values_mut() {
+                    let before = rec.joiners.len();
+                    rec.joiners.retain(|t| *t != tid);
+                    found |= rec.joiners.len() != before;
+                }
+                if let Some(v) = st.pool_idle.get_mut(&node.0) {
+                    let before = v.len();
+                    v.retain(|t| *t != tid);
+                    found |= v.len() != before;
+                }
+                st.pool_jobs.remove(&tid.0);
+                let rec = st.threads.get_mut(&ct).expect("crashed thread registered");
+                rec.phase = Phase::Finished(CRASHED_RET);
+                rec.exit_time = t0;
+                rec.exit_node = node;
+                (found, std::mem::take(&mut rec.joiners))
+            };
+            // One forgiven barrier arrival per casualty (its own queued
+            // arrival, if any, was retracted by the purge above).
+            self.svm().crash_add_discount(1);
+            if was_waiting_svm || was_waiting_rt {
+                // It sat parked in a queue we just emptied: unpark it so
+                // its OS thread reaches a crash checkpoint and unwinds.
+                to_wake.push(tid);
+            }
+            to_wake.extend(joiners);
+        }
+        // Locks (and write-held rwlocks) owned by the dead pass on. Read
+        // holds are counts without owners, so a reader lost mid-hold leaks
+        // its count — a documented limit of the fault model.
+        to_wake.extend(self.svm().crash_handoff_locks(sim, &dead, node));
+        to_wake.extend(self.crash_handoff_rwlocks(sim, &dead));
+        {
+            let mut st = self.state.lock();
+            st.threads_on.insert(node.0, 0);
+            st.pool_idle.remove(&node.0);
+            let before = st.attached.len();
+            st.attached.retain(|n| *n != node);
+            if st.attached.len() != before {
+                st.stats.nodes_detached += 1;
+            }
+        }
+        to_wake.extend(self.svm().crash_release_ready_barriers(sim));
+        to_wake.sort_unstable_by_key(|t| t.0);
+        to_wake.dedup_by_key(|t| t.0);
+        for t in to_wake {
+            sim.wake(t, sim.now());
+        }
+        sim.advance(self.cfg.costs.detach_ns);
+        if let Some(o) = self.obs_if_on() {
+            o.instant(
+                obs::Layer::Rt,
+                node,
+                sim.tid().0,
+                sim.now(),
+                obs::Event::NodeDetach { node: node.0 },
+            );
+            o.edge(
+                obs::EdgeKind::Recovery,
+                node,
+                sim.tid().0,
+                t0,
+                sim.node(),
+                sim.tid().0,
+                sim.now(),
+                node.0 as u64,
+            );
+        }
+        let latency = sim.now().saturating_since(t0);
+        ch.note_recovery(latency);
+        if let Some(o) = self.obs_if_on() {
+            o.instant(
+                obs::Layer::Chaos,
+                sim.node(),
+                sim.tid().0,
+                sim.now(),
+                obs::Event::ChaosRecovery {
+                    node: node.0,
+                    threads: victims.len() as u64,
+                    latency_ns: latency,
+                },
+            );
+        }
+    }
+
+    /// Write-lock hand-off for rwlocks whose writer died: grants the head
+    /// waiter (or the leading run of readers), mirroring
+    /// [`CablesRt::rwlock_unlock`]'s promotion. Returns the woken grantees.
+    fn crash_handoff_rwlocks(&self, sim: &Sim, dead: &[Tid]) -> Vec<Tid> {
+        let ids: Vec<u64> = {
+            let st = self.state.lock();
+            let mut v: Vec<u64> = st.rwlocks.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut woken = Vec::new();
+        for id in ids {
+            let grants = {
+                let mut st = self.state.lock();
+                let Some(r) = st.rwlocks.get_mut(&id) else {
+                    continue;
+                };
+                if !r.writer.map_or(false, |w| dead.contains(&w)) {
+                    continue;
+                }
+                r.writer = None;
+                let mut grants = Vec::new();
+                if r.readers == 0 {
+                    if let Some(&(_, _, true)) = r.waiters.front() {
+                        let (tid, _, _) = r.waiters.pop_front().expect("head");
+                        r.writer = Some(tid);
+                        grants.push(tid);
+                    } else {
+                        while let Some(&(_, _, false)) = r.waiters.front() {
+                            let (tid, _, _) = r.waiters.pop_front().expect("head");
+                            r.readers += 1;
+                            grants.push(tid);
+                        }
+                    }
+                }
+                grants
+            };
+            for tid in grants {
+                sim.wake(tid, sim.now());
+                woken.push(tid);
+            }
+        }
+        woken
+    }
+
+    /// Retires a thread whose body unwound with [`chaos::CrashUnwind`]
+    /// before the monitor processed its node (per-thread clocks can run
+    /// ahead of the recovery). Idempotent with [`CablesRt::recover_crash`]:
+    /// whichever runs first does the bookkeeping, the other is a no-op.
+    pub(crate) fn thread_crashed(&self, sim: &Sim, ct: CtId) {
+        let joiners = {
+            let mut st = self.state.lock();
+            let rec = st.threads.get_mut(&ct.0).expect("crashed thread registered");
+            if matches!(rec.phase, Phase::Finished(_)) {
+                return;
+            }
+            rec.phase = Phase::Finished(CRASHED_RET);
+            rec.exit_time = sim.now();
+            rec.exit_node = sim.node();
+            let joiners = std::mem::take(&mut rec.joiners);
+            let cnt = st.threads_on.entry(sim.node().0).or_insert(0);
+            *cnt = cnt.saturating_sub(1);
+            joiners
+        };
+        self.svm().crash_add_discount(1);
+        for j in joiners {
+            sim.wake(j, sim.now());
+        }
     }
 
     /// An administration request: a small ACB update handled on the
@@ -490,7 +777,7 @@ impl CablesRt {
                         .cluster()
                         .nodes()
                         .iter()
-                        .find(|n| !st.attached.contains(n))
+                        .find(|n| !st.attached.contains(n) && !self.node_crashed(sim, **n))
                         .copied();
                     match unattached {
                         Some(node) => (node, true),
@@ -626,7 +913,18 @@ impl CablesRt {
                     rt: Arc::clone(&rt),
                     ct: CtId(ct),
                 };
-                let ret = body(&pth);
+                let ret = match catch_unwind(AssertUnwindSafe(|| body(&pth))) {
+                    Ok(v) => v,
+                    Err(p) => {
+                        if p.downcast_ref::<CrashUnwind>().is_some() {
+                            // Node crash: retire with CRASHED_RET and let
+                            // the OS thread exit so the engine can drain.
+                            rt.thread_crashed(csim, CtId(ct));
+                            return;
+                        }
+                        resume_unwind(p);
+                    }
+                };
                 rt.thread_exit(csim, CtId(ct), ret);
                 if !pool {
                     return;
@@ -643,6 +941,11 @@ impl CablesRt {
                         .push(csim.tid());
                 }
                 csim.block();
+                if rt.node_crashed(csim, csim.node()) {
+                    // Woken by crash recovery, not a dispatch: there is no
+                    // job, and the node is gone.
+                    return;
+                }
                 {
                     let mut st = rt.state.lock();
                     if st.pool_shutdown {
@@ -770,12 +1073,17 @@ impl CablesRt {
         let (joiners, detach) = {
             let mut st = self.state.lock();
             let rec = st.threads.get_mut(&ct.0).expect("exiting thread registered");
+            if matches!(rec.phase, Phase::Finished(_)) {
+                // Already retired by crash recovery; the bookkeeping (and
+                // this thread's slot on the node) is gone.
+                return;
+            }
             rec.phase = Phase::Finished(ret);
             rec.exit_time = sim.now();
             rec.exit_node = node;
             let joiners = std::mem::take(&mut rec.joiners);
             let cnt = st.threads_on.entry(node.0).or_insert(1);
-            *cnt -= 1;
+            *cnt = cnt.saturating_sub(1);
             let detach = *cnt == 0 && node != self.master && self.cfg.auto_detach;
             if detach {
                 st.attached.retain(|n| *n != node);
@@ -814,6 +1122,7 @@ impl CablesRt {
             sim.clock_at_least(done);
         }
         loop {
+            self.svm().crash_check(sim);
             {
                 let mut st = self.state.lock();
                 let rec = st.threads.get_mut(&ct.0).expect("join of unknown thread");
@@ -1000,6 +1309,7 @@ impl Pth<'_> {
 
     /// Charges `ns` nanoseconds of local computation.
     pub fn compute(&self, ns: u64) {
+        self.rt.svm().crash_check(self.sim);
         self.sim.advance(ns);
     }
 

@@ -124,6 +124,9 @@ impl CablesRt {
         }
         self.mutex_unlock(sim, mutex);
         sim.block();
+        // A waiter unparked by crash recovery (its queue entry purged) must
+        // die here, before cancellation is even considered.
+        self.svm().crash_check(sim);
         if self.cancel_requested(ct) {
             return Err(Cancelled);
         }

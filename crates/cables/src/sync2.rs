@@ -102,6 +102,9 @@ impl CablesRt {
         let deadline = sim.now() + timeout_ns;
         self.mutex_unlock(sim, mutex);
         let woken = sim.block_deadline(deadline);
+        // A waiter unparked by crash recovery must die here, before the
+        // timeout/cancel outcomes are considered.
+        self.svm().crash_check(sim);
         if !woken {
             // Deregister before anyone can signal us (no ordering point
             // between the timeout and this removal).
@@ -157,6 +160,9 @@ impl CablesRt {
         };
         if !granted {
             sim.block();
+            // A waiter unparked by crash recovery (queue entry purged)
+            // must die here rather than proceed unlocked.
+            self.svm().crash_check(sim);
         }
         // RC acquire: observe the last writer's updates.
         self.svm().acquire(sim);
@@ -186,6 +192,7 @@ impl CablesRt {
         };
         if !granted {
             sim.block();
+            self.svm().crash_check(sim);
         }
         self.svm().acquire(sim);
         self.rw_acquired(sim, rw, t0, true);

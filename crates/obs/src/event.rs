@@ -36,11 +36,14 @@ pub enum Layer {
     Rt,
     /// Engine scheduling points (spawn/exit/block/wake).
     Sched,
+    /// Fault injection and recovery (the `chaos` subsystem): injected
+    /// wire/resource/node faults and the recovery actions they trigger.
+    Chaos,
 }
 
 impl Layer {
     /// Number of layers (array dimension for per-layer registries).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All layers, in display order.
     pub const ALL: [Layer; Layer::COUNT] = [
@@ -50,6 +53,7 @@ impl Layer {
         Layer::Sync,
         Layer::Rt,
         Layer::Sched,
+        Layer::Chaos,
     ];
 
     /// Dense index for per-layer arrays.
@@ -61,6 +65,7 @@ impl Layer {
             Layer::Sync => 3,
             Layer::Rt => 4,
             Layer::Sched => 5,
+            Layer::Chaos => 6,
         }
     }
 
@@ -73,6 +78,7 @@ impl Layer {
             Layer::Sync => "sync",
             Layer::Rt => "rt",
             Layer::Sched => "sched",
+            Layer::Chaos => "chaos",
         }
     }
 }
@@ -107,11 +113,15 @@ pub enum EdgeKind {
     /// Generic scheduler wake: waker's wake call → wakee's resume
     /// (covers every block→wake the typed edges above don't).
     Wakeup,
+    /// Fault → recovery completion: an injected fault (crash observed,
+    /// fetch timeout, registration failure) to the action that restored
+    /// progress (node detached, retry succeeded, region evicted).
+    Recovery,
 }
 
 impl EdgeKind {
     /// Number of kinds (array dimension for breakdowns).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// All kinds, in display order.
     pub const ALL: [EdgeKind; EdgeKind::COUNT] = [
@@ -126,6 +136,7 @@ impl EdgeKind {
         EdgeKind::ThreadStart,
         EdgeKind::ThreadJoin,
         EdgeKind::Wakeup,
+        EdgeKind::Recovery,
     ];
 
     /// The layer an edge of this kind is attributed to (message edges to
@@ -142,6 +153,7 @@ impl EdgeKind {
             | EdgeKind::ThreadJoin => Layer::Rt,
             EdgeKind::PageFetch => Layer::Proto,
             EdgeKind::Wakeup => Layer::Sched,
+            EdgeKind::Recovery => Layer::Chaos,
         }
     }
 
@@ -159,6 +171,7 @@ impl EdgeKind {
             EdgeKind::ThreadStart => "thread_start",
             EdgeKind::ThreadJoin => "thread_join",
             EdgeKind::Wakeup => "wakeup",
+            EdgeKind::Recovery => "recovery",
         }
     }
 }
@@ -380,6 +393,56 @@ pub enum Event {
         kind: SchedKind,
     },
 
+    // ---- Chaos (fault injection / recovery) instants and spans ----
+    /// An injected wire fault on a SAN message (jitter, reorder delay,
+    /// retransmissions after drops, duplicate deliveries).
+    ChaosWireFault {
+        /// Destination node of the faulted message.
+        to: u32,
+        /// Total extra latency injected, ns.
+        delay_ns: u64,
+        /// Retransmissions the reliable transport performed (drops).
+        retransmits: u64,
+        /// Duplicate deliveries (extra receive occupancy).
+        duplicates: u64,
+    },
+    /// An injected transient NIC resource failure (region/registered/
+    /// pinned exhaustion pressure in `vmmc`).
+    ChaosResourceFault {
+        /// The faulted VMMC operation ("export", "import", "extend").
+        op: &'static str,
+    },
+    /// One bounded-backoff retry of a faulted operation (span covers the
+    /// backoff window before the re-issue).
+    ChaosRetry {
+        /// 1-based retry attempt number.
+        attempt: u64,
+        /// Backoff charged before this re-issue, ns.
+        backoff_ns: u64,
+    },
+    /// Eviction of an imported region to free NIC resources (the
+    /// deregister-and-retry fallback of the paper's §3.4 regime).
+    ChaosEvict {
+        /// Evicted region id.
+        region: u64,
+    },
+    /// A node crash taking effect (all its threads are about to be torn
+    /// down and the node detached).
+    ChaosCrash {
+        /// Crashed node.
+        node: u32,
+    },
+    /// Completed crash recovery: locks released, joiners woken, node
+    /// detached.
+    ChaosRecovery {
+        /// Recovered (detached) node.
+        node: u32,
+        /// Threads torn down by the recovery.
+        threads: u64,
+        /// Crash-to-recovery latency, ns.
+        latency_ns: u64,
+    },
+
     // ---- Causal edges ----
     /// A cause→effect dependency. The record's `at`/`node`/`track` are the
     /// *effect* endpoint; the payload carries the *source* endpoint. An
@@ -452,6 +515,12 @@ impl Event {
             Event::Sched { kind: SchedKind::Exit } => "sched.exit",
             Event::Sched { kind: SchedKind::Block } => "sched.block",
             Event::Sched { kind: SchedKind::Wake } => "sched.wake",
+            Event::ChaosWireFault { .. } => "chaos.wire_fault",
+            Event::ChaosResourceFault { .. } => "chaos.resource_fault",
+            Event::ChaosRetry { .. } => "chaos.retry",
+            Event::ChaosEvict { .. } => "chaos.evict",
+            Event::ChaosCrash { .. } => "chaos.crash",
+            Event::ChaosRecovery { .. } => "chaos.recovery",
             Event::Edge { kind: EdgeKind::MsgSend, .. } => "edge.msg_send",
             Event::Edge { kind: EdgeKind::MsgFetch, .. } => "edge.msg_fetch",
             Event::Edge { kind: EdgeKind::MsgNotify, .. } => "edge.msg_notify",
@@ -463,6 +532,7 @@ impl Event {
             Event::Edge { kind: EdgeKind::ThreadStart, .. } => "edge.thread_start",
             Event::Edge { kind: EdgeKind::ThreadJoin, .. } => "edge.thread_join",
             Event::Edge { kind: EdgeKind::Wakeup, .. } => "edge.wakeup",
+            Event::Edge { kind: EdgeKind::Recovery, .. } => "edge.recovery",
         }
     }
 
@@ -535,6 +605,39 @@ impl Event {
             }
             Event::Sched { kind } => {
                 let _ = write!(out, "\"kind\":\"{}\"", kind.name());
+            }
+            Event::ChaosWireFault {
+                to,
+                delay_ns,
+                retransmits,
+                duplicates,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"to\":{to},\"delay_ns\":{delay_ns},\"retransmits\":{retransmits},\"duplicates\":{duplicates}"
+                );
+            }
+            Event::ChaosResourceFault { op } => {
+                let _ = write!(out, "\"op\":\"{op}\"");
+            }
+            Event::ChaosRetry { attempt, backoff_ns } => {
+                let _ = write!(out, "\"attempt\":{attempt},\"backoff_ns\":{backoff_ns}");
+            }
+            Event::ChaosEvict { region } => {
+                let _ = write!(out, "\"region\":{region}");
+            }
+            Event::ChaosCrash { node } => {
+                let _ = write!(out, "\"node\":{node}");
+            }
+            Event::ChaosRecovery {
+                node,
+                threads,
+                latency_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"node\":{node},\"threads\":{threads},\"latency_ns\":{latency_ns}"
+                );
             }
             Event::Edge {
                 src_node,

@@ -29,6 +29,7 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
+use chaos::{ChaosEngine, WireOutcome};
 use obs::{EdgeKind, Event, Layer, ObsSink, NIC_TRACK};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -134,6 +135,7 @@ pub struct San {
     cfg: SanConfig,
     state: Mutex<Vec<NicEntry>>,
     obs: OnceLock<Arc<ObsSink>>,
+    chaos: OnceLock<Arc<ChaosEngine>>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -158,6 +160,7 @@ impl San {
             cfg,
             state: Mutex::new(Vec::new()),
             obs: OnceLock::new(),
+            chaos: OnceLock::new(),
         }
     }
 
@@ -178,6 +181,51 @@ impl San {
         match self.obs.get() {
             Some(o) if o.on() => Some(o),
             _ => None,
+        }
+    }
+
+    /// Attaches the cluster's chaos engine (done once by
+    /// `Cluster::set_chaos`; later calls are ignored).
+    pub fn set_chaos(&self, chaos: Arc<ChaosEngine>) {
+        let _ = self.chaos.set(chaos);
+    }
+
+    /// The chaos engine, if attached and capable of wire faults.
+    #[inline]
+    fn chaos_wire(&self) -> Option<&ChaosEngine> {
+        match self.chaos.get() {
+            Some(c) if c.wire_armed() => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Evaluates wire faults for one message; `WireOutcome::default()`
+    /// (the no-fault outcome) when no armed engine is attached.
+    fn wire_outcome(&self, from: NodeId, to: NodeId, now: SimTime, include_drops: bool) -> WireOutcome {
+        match self.chaos_wire() {
+            Some(c) => c.wire_outcome(from.0, to.0, now.as_nanos(), include_drops),
+            None => WireOutcome::default(),
+        }
+    }
+
+    /// Emits the chaos obs instant for a perturbed message.
+    fn obs_wire_fault(&self, from: NodeId, to: NodeId, now: SimTime, out: &WireOutcome) {
+        if !out.faulted() {
+            return;
+        }
+        if let Some(o) = self.obs_on() {
+            o.instant(
+                Layer::Chaos,
+                from,
+                NIC_TRACK,
+                now,
+                Event::ChaosWireFault {
+                    to: to.0,
+                    delay_ns: out.delay_ns,
+                    retransmits: out.retransmits as u64,
+                    duplicates: out.duplicates as u64,
+                },
+            );
         }
     }
 
@@ -206,6 +254,9 @@ impl San {
     /// Panics if `from == to`; local transfers never touch the SAN.
     pub fn send(&self, from: NodeId, to: NodeId, bytes: u64, now: SimTime) -> SendTiming {
         assert_ne!(from, to, "SAN send to self");
+        // Drops cost retransmission timeouts (reliable transport over a
+        // lossy wire), duplicates burn receive occupancy — never data.
+        let chw = self.wire_outcome(from, to, now, true);
         let mut s = self.state.lock();
         let need = from.0.max(to.0) as usize;
         while s.len() <= need {
@@ -214,17 +265,18 @@ impl San {
         let occ = self.cfg.occupancy_ns(bytes);
         let tx_start = now.max(s[from.0 as usize].nic.tx_free_at);
         s[from.0 as usize].nic.tx_free_at = tx_start + occ;
-        let lat_arrival = tx_start + self.cfg.send_latency_ns(bytes);
+        let lat_arrival = tx_start + self.cfg.send_latency_ns(bytes) + chw.delay_ns;
         // Receive-side serialization: a stream of messages cannot land
         // faster than the wire delivers them.
         let rx_ready = s[to.0 as usize].nic.rx_free_at + occ;
         let arrival = lat_arrival.max(rx_ready);
-        s[to.0 as usize].nic.rx_free_at = arrival;
+        s[to.0 as usize].nic.rx_free_at = arrival + chw.duplicates as u64 * occ;
         s[from.0 as usize].traffic.messages_out += 1;
         s[from.0 as usize].traffic.bytes_out += bytes;
-        s[to.0 as usize].traffic.messages_in += 1;
-        s[to.0 as usize].traffic.bytes_in += bytes;
+        s[to.0 as usize].traffic.messages_in += 1 + chw.duplicates as u64;
+        s[to.0 as usize].traffic.bytes_in += bytes * (1 + chw.duplicates as u64);
         drop(s);
+        self.obs_wire_fault(from, to, now, &chw);
         if let Some(o) = self.obs_on() {
             o.span(
                 Layer::San,
@@ -259,6 +311,10 @@ impl San {
     /// the requester.
     pub fn fetch(&self, from: NodeId, to: NodeId, bytes: u64, now: SimTime) -> SimTime {
         assert_ne!(from, to, "SAN fetch from self");
+        // Drops on fetches are modeled as requester-side timeouts by the
+        // caller (`vmmc::remote_fetch`), so only delay-class faults apply
+        // here.
+        let chw = self.wire_outcome(from, to, now, false);
         let mut s = self.state.lock();
         let need = from.0.max(to.0) as usize;
         while s.len() <= need {
@@ -273,7 +329,7 @@ impl San {
         let remote_serve_start = (tx_start + self.cfg.send_base_ns)
             .max(s[to.0 as usize].nic.tx_free_at);
         s[to.0 as usize].nic.tx_free_at = remote_serve_start + data_occ;
-        let latency_done = tx_start + self.cfg.fetch_latency_ns(bytes);
+        let latency_done = tx_start + self.cfg.fetch_latency_ns(bytes) + chw.delay_ns;
         let contended_done = remote_serve_start + data_occ;
         let done = latency_done.max(contended_done);
         s[from.0 as usize].traffic.messages_out += 1;
@@ -283,6 +339,7 @@ impl San {
         s[from.0 as usize].traffic.messages_in += 1;
         s[from.0 as usize].traffic.bytes_in += bytes;
         drop(s);
+        self.obs_wire_fault(from, to, now, &chw);
         if let Some(o) = self.obs_on() {
             o.span(
                 Layer::San,
@@ -312,6 +369,7 @@ impl San {
     /// Returns `(local_done, handler_start)` at the destination.
     pub fn notify(&self, from: NodeId, to: NodeId, now: SimTime) -> SendTiming {
         assert_ne!(from, to, "SAN notify to self");
+        let chw = self.wire_outcome(from, to, now, true);
         let mut s = self.state.lock();
         let need = from.0.max(to.0) as usize;
         while s.len() <= need {
@@ -320,12 +378,13 @@ impl San {
         let occ = self.cfg.occupancy_ns(self.cfg.word_bytes);
         let tx_start = now.max(s[from.0 as usize].nic.tx_free_at);
         s[from.0 as usize].nic.tx_free_at = tx_start + occ;
-        let arrival = tx_start + self.cfg.notification_ns;
+        let arrival = tx_start + self.cfg.notification_ns + chw.delay_ns;
         s[from.0 as usize].traffic.messages_out += 1;
         s[from.0 as usize].traffic.bytes_out += self.cfg.word_bytes;
-        s[to.0 as usize].traffic.messages_in += 1;
-        s[to.0 as usize].traffic.bytes_in += self.cfg.word_bytes;
+        s[to.0 as usize].traffic.messages_in += 1 + chw.duplicates as u64;
+        s[to.0 as usize].traffic.bytes_in += self.cfg.word_bytes * (1 + chw.duplicates as u64);
         drop(s);
+        self.obs_wire_fault(from, to, now, &chw);
         if let Some(o) = self.obs_on() {
             o.span(
                 Layer::San,
@@ -484,5 +543,75 @@ mod tests {
         let san = San::new(SanConfig::paper());
         let s = san.send(NodeId(0), NodeId(1), 8, t(1_000_000));
         assert!(s.arrival.as_nanos() >= 1_000_000 + 7_800);
+    }
+
+    #[test]
+    fn empty_chaos_plan_leaves_timing_identical() {
+        let plain = San::new(SanConfig::paper());
+        let chaotic = San::new(SanConfig::paper());
+        chaotic.set_chaos(chaos::ChaosEngine::new(42, chaos::FaultPlan::new()));
+        for i in 0..20u64 {
+            let now = t(i * 1_000);
+            assert_eq!(
+                plain.send(NodeId(0), NodeId(1), 512, now),
+                chaotic.send(NodeId(0), NodeId(1), 512, now)
+            );
+            assert_eq!(
+                plain.fetch(NodeId(0), NodeId(2), 4096, now),
+                chaotic.fetch(NodeId(0), NodeId(2), 4096, now)
+            );
+            assert_eq!(
+                plain.notify(NodeId(1), NodeId(0), now),
+                chaotic.notify(NodeId(1), NodeId(0), now)
+            );
+        }
+        assert_eq!(plain.traffic(NodeId(0)), chaotic.traffic(NodeId(0)));
+    }
+
+    #[test]
+    fn drop_plan_delays_sends_by_retransmit_timeouts() {
+        let san = San::new(SanConfig::paper());
+        san.set_chaos(chaos::ChaosEngine::new(
+            7,
+            chaos::FaultPlan::new().wire(chaos::WireFaults {
+                drop_p: 1.0,
+                max_retransmits: 2,
+                retransmit_timeout_ns: 10_000,
+                ..chaos::WireFaults::default()
+            }),
+        ));
+        let s = san.send(NodeId(0), NodeId(1), 4, t(0));
+        // 2 forced retransmissions at 10us each on top of the base latency.
+        assert_eq!(s.arrival.as_nanos(), 7_800 + 20_000);
+    }
+
+    #[test]
+    fn paused_node_delays_messages_until_window_end() {
+        let san = San::new(SanConfig::paper());
+        san.set_chaos(chaos::ChaosEngine::new(
+            7,
+            chaos::FaultPlan::new().pause(1, 0, 100_000),
+        ));
+        let s = san.send(NodeId(0), NodeId(1), 4, t(0));
+        assert_eq!(s.arrival.as_nanos(), 100_000 + 7_800);
+        // Outside the window: back to nominal.
+        let s2 = san.send(NodeId(2), NodeId(1), 4, t(200_000));
+        assert_eq!(s2.arrival.as_nanos(), 200_000 + 7_800);
+    }
+
+    #[test]
+    fn duplicates_burn_receive_occupancy_and_traffic() {
+        let san = San::new(SanConfig::paper());
+        san.set_chaos(chaos::ChaosEngine::new(
+            7,
+            chaos::FaultPlan::new().wire(chaos::WireFaults {
+                dup_p: 1.0,
+                ..chaos::WireFaults::default()
+            }),
+        ));
+        san.send(NodeId(0), NodeId(1), 100, t(0));
+        let inn = san.traffic(NodeId(1));
+        assert_eq!(inn.messages_in, 2);
+        assert_eq!(inn.bytes_in, 200);
     }
 }

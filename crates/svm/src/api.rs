@@ -5,7 +5,7 @@
 //! same instance with [`crate::config::ProtoMode::Cables`]).
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use memsim::{GAddr, PAGE_SIZE};
@@ -42,6 +42,10 @@ pub struct SvmSystem {
     /// When false, the bulk slice API degrades to per-scalar loops and the
     /// memory layer's software TLB is bypassed (measurement baseline).
     pub(crate) fast_path: AtomicBool,
+    /// Number of threads removed by node-crash recovery whose barrier
+    /// arrivals must be forgiven (see `crash_add_discount`). Always zero
+    /// without chaos, so the release check is unchanged in normal runs.
+    pub(crate) crashed_discount: AtomicU64,
 }
 
 impl fmt::Debug for SvmSystem {
@@ -64,7 +68,22 @@ impl SvmSystem {
             state: Mutex::new(ProtoState::new(nodes)),
             master,
             fast_path: AtomicBool::new(true),
+            crashed_discount: AtomicU64::new(0),
         })
+    }
+
+    /// Crash checkpoint: when a chaos plan says this thread's node has
+    /// crashed, unwinds with the typed [`chaos::CrashUnwind`] payload so
+    /// the runtime above (CableS) can absorb it instead of dying. A pure
+    /// no-op — one `Option` check — when no crash plan is attached.
+    /// Public so runtimes layered on top can add their own checkpoints.
+    #[inline]
+    pub fn crash_check(&self, sim: &Sim) {
+        if let Some(c) = self.cluster.chaos() {
+            if c.crashes_armed() && c.crashed(sim.node().0, sim.now().as_nanos()) {
+                std::panic::panic_any(chaos::CrashUnwind);
+            }
+        }
     }
 
     /// Enables or disables the hot-path optimizations end to end: bulk

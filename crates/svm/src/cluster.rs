@@ -1,8 +1,9 @@
 //! The simulated cluster: engine + network + memory + communication layer.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use chaos::ChaosEngine;
 use memsim::{ClusterMem, OsVmConfig};
 use obs::{EdgeKind, Event, Layer, ObsSink, SchedKind};
 use san::{San, SanConfig};
@@ -64,6 +65,7 @@ pub struct Cluster {
     /// The cluster-wide observability sink (disabled by default; every
     /// layer records into this one bus when it is enabled).
     pub obs: Arc<ObsSink>,
+    chaos: OnceLock<Arc<ChaosEngine>>,
     nodes: Vec<NodeId>,
     cpus_per_node: usize,
 }
@@ -129,9 +131,25 @@ impl Cluster {
             mem,
             vmmc,
             obs,
+            chaos: OnceLock::new(),
             nodes,
             cpus_per_node: cfg.cpus_per_node,
         })
+    }
+
+    /// Attaches a deterministic fault-injection engine, forwarding it to
+    /// every layer ([`Vmmc`] and, through it, [`San`]). Must be called
+    /// before constructing the SVM/CableS runtimes on this cluster so
+    /// every layer observes the same plan; later calls are ignored.
+    pub fn set_chaos(&self, chaos: Arc<ChaosEngine>) {
+        self.vmmc.set_chaos(Arc::clone(&chaos));
+        let _ = self.chaos.set(chaos);
+    }
+
+    /// The attached chaos engine, if any (cheap: one atomic load).
+    #[inline]
+    pub fn chaos(&self) -> Option<&Arc<ChaosEngine>> {
+        self.chaos.get()
     }
 
     /// The node ids, in order.

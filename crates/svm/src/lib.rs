@@ -33,6 +33,6 @@ pub use api::SvmSystem;
 pub use cluster::{Cluster, ClusterConfig};
 pub use config::{ProtoMode, SvmConfig, SvmCosts};
 pub use proto::{
-    NodeStats, PlacementReport, GLOBAL_SECTION_BASE, GLOBAL_SECTION_BYTES, HEAP_BASE,
+    NodeStats, PlacementReport, ProtoError, GLOBAL_SECTION_BASE, GLOBAL_SECTION_BYTES, HEAP_BASE,
 };
 pub use trace::{TraceEvent, TraceRecord, TRACE_CAP};

@@ -23,10 +23,12 @@
 //! invalidations.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
+use chaos::ChaosEngine;
 use memsim::{FaultKind, GAddr, PageNum, Prot, Scalar, PAGE_SIZE};
 use sim::{NodeId, Sim, SimTime, Tid};
-use vmmc::RegionId;
+use vmmc::{RegionId, VmmcError};
 
 use crate::api::SvmSystem;
 use crate::config::ProtoMode;
@@ -110,6 +112,10 @@ pub(crate) struct BarrierState {
     pub count: usize,
     pub waiters: Vec<(Tid, NodeId)>,
     pub max_arrival: SimTime,
+    /// Membership of the current episode, recorded on every arrival so a
+    /// crash recovery can release the barrier when the survivors plus the
+    /// crashed-thread discount cover it.
+    pub expected: usize,
 }
 
 #[derive(Debug)]
@@ -150,6 +156,66 @@ impl ProtoState {
         }
     }
 }
+
+/// Typed failure of a NIC registration-class protocol operation.
+///
+/// Without a chaos engine attached these surface as panics with the same
+/// text the original implementation used (the paper's §3.4 failure mode:
+/// the base system cannot run OCEAN on 32 processors; the bench harness
+/// reports such runs as failed). With chaos armed the protocol first runs
+/// a bounded deregister-and-retry recovery — evicting cold imported
+/// regions to free NIC resources — and only surfaces
+/// [`ProtoError::Exhausted`] when the failure persists through every
+/// attempt (genuine, not injected, exhaustion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The underlying VMMC operation failed and no recovery was armed.
+    Vmmc {
+        /// Which protocol step failed (doubles as the legacy panic text).
+        what: &'static str,
+        /// The VMMC failure.
+        source: VmmcError,
+    },
+    /// Recovery ran out of attempts.
+    Exhausted {
+        /// Which protocol step failed.
+        what: &'static str,
+        /// Recovery attempts performed.
+        attempts: u32,
+        /// The last VMMC failure observed.
+        last: VmmcError,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Vmmc { what, source } => write!(f, "{what}: {source}"),
+            ProtoError::Exhausted {
+                what,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "{what}: still failing after {attempts} recovery attempts: {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Vmmc { source, .. } => Some(source),
+            ProtoError::Exhausted { last, .. } => Some(last),
+        }
+    }
+}
+
+/// Bounded attempts of the registration-recovery loop.
+pub(crate) const REG_RETRY_ATTEMPTS: u32 = 6;
+/// Base backoff of the registration-recovery loop, ns (doubles per try).
+pub(crate) const REG_RETRY_BASE_NS: u64 = 20_000;
 
 /// Placement quality of a finished run (paper Fig. 6).
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
@@ -249,6 +315,207 @@ impl SvmSystem {
         }
     }
 
+    /// The attached chaos engine, when it can inject anything at all.
+    #[inline]
+    pub(crate) fn chaos_armed(&self) -> Option<&ChaosEngine> {
+        match self.cluster.chaos() {
+            Some(c) if c.armed() => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Evicts one cold imported region from `node`'s NIC to free a
+    /// registration slot (never `protect`, which the caller is using).
+    /// The victim is the lowest-numbered import so replay is
+    /// deterministic. Returns whether a victim existed.
+    fn evict_one_import(
+        &self,
+        sim: &Sim,
+        node: NodeId,
+        protect: Option<RegionId>,
+        ch: &ChaosEngine,
+    ) -> bool {
+        let victim = {
+            let st = self.state.lock();
+            st.nodes[node.0 as usize]
+                .imported
+                .keys()
+                .copied()
+                .filter(|r| Some(*r) != protect.map(|p| p.0))
+                .min()
+        };
+        let Some(victim) = victim else {
+            return false;
+        };
+        {
+            let mut st = self.state.lock();
+            st.nodes[node.0 as usize].imported.remove(&victim);
+        }
+        // The lazy-import paths re-import on the next touch, so dropping
+        // a cold import costs latency, never data.
+        let _ = self.cluster.vmmc.unimport_region(node, RegionId(victim));
+        ch.note_eviction();
+        if let Some(o) = self.obs_if_on() {
+            o.instant(
+                obs::Layer::Chaos,
+                node,
+                sim.tid().0,
+                sim.now(),
+                obs::Event::ChaosEvict { region: victim },
+            );
+        }
+        true
+    }
+
+    /// Runs a registration-class VMMC operation with recovery.
+    ///
+    /// Without chaos the operation runs exactly once and a failure is the
+    /// caller's to surface (legacy §3.4 semantics). With chaos armed the
+    /// operation is retried with exponential backoff, evicting one cold
+    /// import per retry after the first, so transient (injected) NIC
+    /// pressure degrades the run instead of killing it.
+    fn reg_op<T>(
+        &self,
+        sim: &Sim,
+        node: NodeId,
+        what: &'static str,
+        protect: Option<RegionId>,
+        mut f: impl FnMut() -> Result<T, VmmcError>,
+    ) -> Result<T, ProtoError> {
+        let first = match f() {
+            Ok(v) => return Ok(v),
+            Err(e) => e,
+        };
+        let Some(ch) = self.chaos_armed() else {
+            return Err(ProtoError::Vmmc {
+                what,
+                source: first,
+            });
+        };
+        let t_fail = sim.now();
+        if let Some(o) = self.obs_if_on() {
+            o.instant(
+                obs::Layer::Chaos,
+                node,
+                sim.tid().0,
+                t_fail,
+                obs::Event::ChaosResourceFault { op: what },
+            );
+        }
+        let mut last = first;
+        for attempt in 1..=REG_RETRY_ATTEMPTS {
+            let backoff = REG_RETRY_BASE_NS << (attempt - 1);
+            if let Some(o) = self.obs_if_on() {
+                o.span(
+                    obs::Layer::Chaos,
+                    node,
+                    sim.tid().0,
+                    sim.now(),
+                    backoff,
+                    obs::Event::ChaosRetry {
+                        attempt: attempt as u64,
+                        backoff_ns: backoff,
+                    },
+                );
+            }
+            ch.note_retry();
+            sim.advance(backoff);
+            if attempt > 1 {
+                self.evict_one_import(sim, node, protect, ch);
+            }
+            match f() {
+                Ok(v) => {
+                    if let Some(o) = self.obs_if_on() {
+                        o.edge(
+                            obs::EdgeKind::Recovery,
+                            node,
+                            sim.tid().0,
+                            t_fail,
+                            node,
+                            sim.tid().0,
+                            sim.now(),
+                            attempt as u64,
+                        );
+                    }
+                    return Ok(v);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(ProtoError::Exhausted {
+            what,
+            attempts: REG_RETRY_ATTEMPTS,
+            last,
+        })
+    }
+
+    /// A remote fetch that survives a concurrently evicted import: with
+    /// chaos armed, `NotImported` re-imports (itself recovered) and
+    /// retries; everything else is a protocol invariant violation.
+    fn fetch_with_recovery(
+        &self,
+        sim: &Sim,
+        node: NodeId,
+        what: &'static str,
+        region: RegionId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, SimTime), ProtoError> {
+        loop {
+            match self
+                .cluster
+                .vmmc
+                .remote_fetch(node, region, offset, len, sim.now())
+            {
+                Ok(v) => return Ok(v),
+                Err(VmmcError::NotImported { .. }) if self.chaos_armed().is_some() => {
+                    {
+                        let mut st = self.state.lock();
+                        st.nodes[node.0 as usize].imported.insert(region.0, ());
+                    }
+                    self.reg_op(sim, node, what, Some(region), || {
+                        self.cluster.vmmc.import_region(node, region)
+                    })?;
+                    sim.advance(self.cluster.vmmc.config().import_op_ns);
+                }
+                Err(e) => return Err(ProtoError::Vmmc { what, source: e }),
+            }
+        }
+    }
+
+    /// The remote-write analogue of [`SvmSystem::fetch_with_recovery`]
+    /// (diff flushes racing an import eviction).
+    fn write_with_recovery(
+        &self,
+        sim: &Sim,
+        node: NodeId,
+        what: &'static str,
+        region: RegionId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<san::SendTiming, ProtoError> {
+        loop {
+            match self
+                .cluster
+                .vmmc
+                .remote_write(node, region, offset, data, sim.now())
+            {
+                Ok(t) => return Ok(t),
+                Err(VmmcError::NotImported { .. }) if self.chaos_armed().is_some() => {
+                    {
+                        let mut st = self.state.lock();
+                        st.nodes[node.0 as usize].imported.insert(region.0, ());
+                    }
+                    self.reg_op(sim, node, what, Some(region), || {
+                        self.cluster.vmmc.import_region(node, region)
+                    })?;
+                    sim.advance(self.cluster.vmmc.config().import_op_ns);
+                }
+                Err(e) => return Err(ProtoError::Vmmc { what, source: e }),
+            }
+        }
+    }
+
     /// Directory lookup with per-node caching ("segment owner detect").
     fn owner_detect(&self, sim: &Sim, page: PageNum) {
         let node = sim.node();
@@ -291,7 +558,9 @@ impl SvmSystem {
         let base = page.chunk_base(gran);
         let os = self.cluster.mem.config().clone();
 
-        // Allocate home frames.
+        // Allocate home frames. Invariant: reachable only on genuine
+        // physical-frame exhaustion (the workloads are sized within node
+        // memory and chaos never injects here), so this stays fatal.
         let mut frames = Vec::with_capacity(gran as usize);
         for _ in 0..gran {
             let f = self
@@ -315,19 +584,19 @@ impl SvmSystem {
                 drop(st);
                 let (region, off) = match entry {
                     Some((r, len)) => {
-                        self.cluster
-                            .vmmc
-                            .extend_region(r, frames.clone())
-                            .unwrap_or_else(|e| panic!("home region extension failed: {e}"));
+                        self.reg_op(sim, node, "home region extension failed", Some(r), || {
+                            self.cluster.vmmc.extend_region(r, frames.clone())
+                        })
+                        .unwrap_or_else(|e| panic!("{e}"));
                         register_cost = self.cluster.vmmc.config().extend_op_ns;
                         (r, len)
                     }
                     None => {
                         let r = self
-                            .cluster
-                            .vmmc
-                            .export_region(node, frames.clone())
-                            .unwrap_or_else(|e| panic!("home region export failed: {e}"));
+                            .reg_op(sim, node, "home region export failed", None, || {
+                                self.cluster.vmmc.export_region(node, frames.clone())
+                            })
+                            .unwrap_or_else(|e| panic!("{e}"));
                         (r, 0)
                     }
                 };
@@ -355,21 +624,23 @@ impl SvmSystem {
                                 .map(|p| (p as u64 - 1) * PAGE_SIZE == off)
                                 .unwrap_or(false) =>
                     {
-                        self.cluster
-                            .vmmc
-                            .extend_region(r, frames.clone())
-                            .unwrap_or_else(|e| panic!("run extension failed: {e}"));
+                        self.reg_op(sim, node, "run extension failed", Some(r), || {
+                            self.cluster.vmmc.extend_region(r, frames.clone())
+                        })
+                        .unwrap_or_else(|e| panic!("{e}"));
                         register_cost = self.cluster.vmmc.config().extend_op_ns;
                         (r, off + PAGE_SIZE)
                     }
                     _ => {
                         let r = self
-                            .cluster
-                            .vmmc
-                            .export_region(node, frames.clone())
-                            .unwrap_or_else(|e| {
-                                panic!("registration failed (paper §3.4 OCEAN regime): {e}")
-                            });
+                            .reg_op(
+                                sim,
+                                node,
+                                "registration failed (paper §3.4 OCEAN regime)",
+                                None,
+                                || self.cluster.vmmc.export_region(node, frames.clone()),
+                            )
+                            .unwrap_or_else(|e| panic!("{e}"));
                         new_region = Some(r);
                         (r, 0)
                     }
@@ -386,9 +657,14 @@ impl SvmSystem {
         if let (ProtoMode::Base, Some(r)) = (self.cfg.mode, new_region) {
             for other in self.cluster.nodes() {
                 if *other != node {
-                    self.cluster.vmmc.import_region(*other, r).unwrap_or_else(|e| {
-                        panic!("registration failed (paper §3.4 OCEAN regime): {e}")
-                    });
+                    self.reg_op(
+                        sim,
+                        *other,
+                        "registration failed (paper §3.4 OCEAN regime)",
+                        Some(r),
+                        || self.cluster.vmmc.import_region(*other, r),
+                    )
+                    .unwrap_or_else(|e| panic!("{e}"));
                 }
             }
             // Announce the new region to the cluster.
@@ -514,14 +790,20 @@ impl SvmSystem {
                 .is_none()
         };
         if need_import {
-            self.cluster
-                .vmmc
-                .import_region(node, region)
-                .unwrap_or_else(|e| panic!("region import failed (paper §3.4 regime): {e}"));
+            self.reg_op(
+                sim,
+                node,
+                "region import failed (paper §3.4 regime)",
+                Some(region),
+                || self.cluster.vmmc.import_region(node, region),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
             sim.advance(self.cluster.vmmc.config().import_op_ns);
         }
 
         // Local frame for the copy (normal page-granular OS paging).
+        // Invariant: copies are evicted before node memory fills, so frame
+        // exhaustion here is a simulator bug, not injectable pressure.
         let have_frame = self.cluster.mem.translate(node, page).is_some();
         if !have_frame {
             let f = self
@@ -584,10 +866,8 @@ impl SvmSystem {
         // Fetch the page contents from the home.
         let t_fetch = sim.now();
         let (data, done) = self
-            .cluster
-            .vmmc
-            .remote_fetch(node, region, region_off, PAGE_SIZE, t_fetch)
-            .unwrap_or_else(|e| panic!("page fetch failed: {e}"));
+            .fetch_with_recovery(sim, node, "page fetch failed", region, region_off, PAGE_SIZE)
+            .unwrap_or_else(|e| panic!("{e}"));
         sim.clock_at_least(done);
         if done > t_fetch {
             if let Some(o) = self.obs_if_on() {
@@ -748,10 +1028,10 @@ impl SvmSystem {
                         .is_none()
                 };
                 if need_import {
-                    self.cluster
-                        .vmmc
-                        .import_region(node, region)
-                        .unwrap_or_else(|e| panic!("region import failed: {e}"));
+                    self.reg_op(sim, node, "region import failed", Some(region), || {
+                        self.cluster.vmmc.import_region(node, region)
+                    })
+                    .unwrap_or_else(|e| panic!("{e}"));
                     sim.advance(self.cluster.vmmc.config().import_op_ns);
                 }
                 let (frame, _) = self
@@ -765,10 +1045,15 @@ impl SvmSystem {
                     let mut buf = vec![0u8; len as usize];
                     self.cluster.mem.frame_read(frame, off as usize, &mut buf);
                     let t = self
-                        .cluster
-                        .vmmc
-                        .remote_write(node, region, region_off + off, &buf, sim.now())
-                        .unwrap_or_else(|e| panic!("diff write failed: {e}"));
+                        .write_with_recovery(
+                            sim,
+                            node,
+                            "diff write failed",
+                            region,
+                            region_off + off,
+                            &buf,
+                        )
+                        .unwrap_or_else(|e| panic!("{e}"));
                     if !write_through {
                         max_arrival = max_arrival.max(t.arrival);
                     }
@@ -972,6 +1257,8 @@ impl SvmSystem {
         let os = self.cluster.mem.config().clone();
 
         // New home frames in this node's (single) registered region.
+        // Invariant: migration targets the faulting node's own memory,
+        // which the workloads never exhaust — a failure here is fatal.
         let mut frames = Vec::with_capacity(gran as usize);
         for _ in 0..gran {
             frames.push(
@@ -989,18 +1276,18 @@ impl SvmSystem {
             };
             let (region, off) = match entry {
                 Some((r, len)) => {
-                    self.cluster
-                        .vmmc
-                        .extend_region(r, frames.clone())
-                        .unwrap_or_else(|e| panic!("migration region extension failed: {e}"));
+                    self.reg_op(sim, node, "migration region extension failed", Some(r), || {
+                        self.cluster.vmmc.extend_region(r, frames.clone())
+                    })
+                    .unwrap_or_else(|e| panic!("{e}"));
                     (r, len)
                 }
                 None => {
                     let r = self
-                        .cluster
-                        .vmmc
-                        .export_region(node, frames.clone())
-                        .unwrap_or_else(|e| panic!("migration region export failed: {e}"));
+                        .reg_op(sim, node, "migration region export failed", None, || {
+                            self.cluster.vmmc.export_region(node, frames.clone())
+                        })
+                        .unwrap_or_else(|e| panic!("{e}"));
                     (r, 0)
                 }
             };
@@ -1031,10 +1318,15 @@ impl SvmSystem {
                 Some(f) => self.cluster.mem.copy_frame(f, new_frame),
                 None if in_dir => {
                     let (data, done) = self
-                        .cluster
-                        .vmmc
-                        .remote_fetch(node, old_region, old_off, PAGE_SIZE, sim.now())
-                        .unwrap_or_else(|e| panic!("migration fetch failed: {e}"));
+                        .fetch_with_recovery(
+                            sim,
+                            node,
+                            "migration fetch failed",
+                            old_region,
+                            old_off,
+                            PAGE_SIZE,
+                        )
+                        .unwrap_or_else(|e| panic!("{e}"));
                     sim.clock_at_least(done);
                     self.cluster.mem.frame_write(new_frame, 0, &data);
                 }
@@ -1153,6 +1445,7 @@ impl SvmSystem {
     /// Reads a scalar from the shared address space, faulting into the
     /// protocol as needed.
     pub fn read<T: Scalar>(&self, sim: &Sim, addr: GAddr) -> T {
+        self.crash_check(sim);
         sim.advance(self.cfg.costs.access_check_ns);
         loop {
             match self.cluster.mem.read_scalar::<T>(sim.node(), addr) {
@@ -1166,6 +1459,7 @@ impl SvmSystem {
     /// protocol as needed; the touched words become part of the next
     /// release's diff.
     pub fn write<T: Scalar>(&self, sim: &Sim, addr: GAddr, v: T) {
+        self.crash_check(sim);
         sim.advance(self.cfg.costs.access_check_ns);
         loop {
             match self.cluster.mem.write_scalar::<T>(sim.node(), addr, v) {
@@ -1201,6 +1495,7 @@ impl SvmSystem {
     ///
     /// Panics if `addr` is not aligned to `T`'s size.
     pub fn read_slice<T: Scalar>(&self, sim: &Sim, addr: GAddr, out: &mut [T]) {
+        self.crash_check(sim);
         Self::assert_bulk_align::<T>(addr);
         if !self.fast_path.load(std::sync::atomic::Ordering::Relaxed) {
             for (i, slot) in out.iter_mut().enumerate() {
@@ -1246,6 +1541,7 @@ impl SvmSystem {
     ///
     /// Panics if `addr` is not aligned to `T`'s size.
     pub fn write_slice<T: Scalar>(&self, sim: &Sim, addr: GAddr, data: &[T]) {
+        self.crash_check(sim);
         Self::assert_bulk_align::<T>(addr);
         if !self.fast_path.load(std::sync::atomic::Ordering::Relaxed) {
             for (i, v) in data.iter().enumerate() {
@@ -1286,6 +1582,7 @@ impl SvmSystem {
     ///
     /// Panics if `addr` is not aligned to `T`'s size.
     pub fn fill<T: Scalar>(&self, sim: &Sim, addr: GAddr, v: T, count: usize) {
+        self.crash_check(sim);
         Self::assert_bulk_align::<T>(addr);
         if !self.fast_path.load(std::sync::atomic::Ordering::Relaxed) {
             for i in 0..count {

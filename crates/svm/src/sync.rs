@@ -5,8 +5,9 @@
 //! CableS's pthreads mutexes are both built on these.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 
-use sim::{Sim, SimTime};
+use sim::{NodeId, Sim, SimTime, Tid};
 
 use crate::api::SvmSystem;
 use crate::proto::{BarrierState, LockState};
@@ -35,6 +36,7 @@ impl SvmSystem {
     /// the same node is a purely local operation (paper Table 4, "local
     /// mutex lock" vs "remote mutex lock").
     pub fn lock(&self, sim: &Sim, id: u64) {
+        self.crash_check(sim);
         let t0 = sim.now();
         sim.op_point(self.cfg.costs.lock_local_ns);
         let node = sim.node();
@@ -96,6 +98,9 @@ impl SvmSystem {
                 sim.clock_at_least(req.local_done);
             }
             sim.block();
+            // A waiter unparked by crash recovery (its queue entry purged)
+            // must die here, before it acts on a grant it never got.
+            self.crash_check(sim);
         }
 
         self.acquire(sim);
@@ -114,6 +119,7 @@ impl SvmSystem {
     /// Attempts to acquire system lock `id` without blocking. On success
     /// performs the RC acquire and returns `true`.
     pub fn try_lock(&self, sim: &Sim, id: u64) -> bool {
+        self.crash_check(sim);
         sim.op_point(self.cfg.costs.lock_local_ns);
         let node = sim.node();
         let (granted, local_grant, manager) = {
@@ -174,6 +180,7 @@ impl SvmSystem {
     ///
     /// Panics if the calling thread does not hold the lock.
     pub fn unlock(&self, sim: &Sim, id: u64) {
+        self.crash_check(sim);
         self.release(sim);
         sim.op_point(self.cfg.costs.lock_local_ns);
         let node = sim.node();
@@ -231,6 +238,7 @@ impl SvmSystem {
     /// Distinct barrier episodes may reuse the same `id`.
     pub fn barrier(&self, sim: &Sim, id: u64, n: usize) {
         assert!(n > 0, "barrier over zero threads");
+        self.crash_check(sim);
         let t0 = sim.now();
         self.release(sim);
         sim.op_point(self.cfg.costs.lock_local_ns);
@@ -243,6 +251,10 @@ impl SvmSystem {
             sim.now()
         };
 
+        // Threads removed by node-crash recovery never arrive; their
+        // arrivals are forgiven via the discount (always 0 without chaos,
+        // leaving the release condition untouched).
+        let discount = self.crashed_discount.load(Ordering::Relaxed) as usize;
         let is_last = {
             let mut st = self.state.lock();
             let stx = &mut *st;
@@ -252,8 +264,9 @@ impl SvmSystem {
                 .entry(id)
                 .or_insert_with(BarrierState::default);
             b.count += 1;
+            b.expected = n;
             b.max_arrival = b.max_arrival.max(arrive_at_mgr);
-            if b.count < n {
+            if b.count + discount < n {
                 b.waiters.push((sim.tid(), node));
                 false
             } else {
@@ -263,6 +276,9 @@ impl SvmSystem {
 
         if !is_last {
             sim.block();
+            // Unparked by crash recovery rather than a release: die before
+            // running code that believes the barrier completed.
+            self.crash_check(sim);
         } else {
             let (waiters, release_t) = {
                 let mut st = self.state.lock();
@@ -317,6 +333,157 @@ impl SvmSystem {
                 obs::Event::BarrierWait { id },
             );
         }
+    }
+
+    /// Forgives `k` future barrier arrivals: crash recovery calls this once
+    /// per thread it removes, so barriers the dead threads can never reach
+    /// still release once every surviving participant has arrived.
+    pub fn crash_add_discount(&self, k: u64) {
+        self.crashed_discount.fetch_add(k, Ordering::Relaxed);
+    }
+
+    /// Purges a crashed thread from every lock wait queue and barrier
+    /// waiter list. A purged barrier waiter's arrival is also retracted —
+    /// the crash discount stands in for it, so it must not count twice.
+    /// Returns whether the thread was parked in any of them; if so the
+    /// caller must wake it so its OS thread can unwind (it was removed
+    /// from the queue here, so the wake cannot race a legitimate one).
+    /// Per-entry `retain` keeps the result independent of map order, so
+    /// replay with the same plan stays deterministic.
+    pub fn crash_purge_waiter(&self, tid: Tid) -> bool {
+        let mut st = self.state.lock();
+        let mut found = false;
+        for l in st.locks.values_mut() {
+            let before = l.waiters.len();
+            l.waiters.retain(|(w, _)| *w != tid);
+            found |= l.waiters.len() != before;
+        }
+        for b in st.barriers.values_mut() {
+            let before = b.waiters.len();
+            b.waiters.retain(|(w, _)| *w != tid);
+            let removed = before - b.waiters.len();
+            b.count -= removed;
+            found |= removed > 0;
+        }
+        found
+    }
+
+    /// Hands every lock held by a dead thread to its next waiter. Call
+    /// after [`SvmSystem::crash_purge_waiter`] ran for *all* of `dead`, so
+    /// no grant can land on another casualty. A dead holder cannot run the
+    /// release hand-off itself; the recovery thread (`sim`) grants on its
+    /// behalf. Returns the woken grantees. Iteration is in sorted id
+    /// order so replay with the same plan stays deterministic.
+    pub fn crash_handoff_locks(&self, sim: &Sim, dead: &[Tid], node: NodeId) -> Vec<Tid> {
+        let mut woken = Vec::new();
+        let lock_ids: Vec<u64> = {
+            let st = self.state.lock();
+            let mut v: Vec<u64> = st.locks.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        for id in lock_ids {
+            let handoff = {
+                let mut st = self.state.lock();
+                let Some(l) = st.locks.get_mut(&id) else {
+                    continue;
+                };
+                let dead_holder = l.holder.map_or(false, |h| dead.contains(&h));
+                if !dead_holder {
+                    None
+                } else {
+                    match l.waiters.pop_front() {
+                        Some((next, wnode)) => {
+                            l.holder = Some(next);
+                            l.holder_node = Some(wnode);
+                            Some((l.holder.expect("just set"), wnode))
+                        }
+                        None => {
+                            l.holder = None;
+                            // Never leave ownership cached at a dead node:
+                            // the next acquirer must pay the remote path.
+                            l.holder_node = None;
+                            None
+                        }
+                    }
+                }
+            };
+            if let Some((next, wnode)) = handoff {
+                let t = sim.now() + self.cfg.costs.lock_handler_ns;
+                if let Some(o) = self.obs_if_on() {
+                    o.edge(
+                        obs::EdgeKind::Recovery,
+                        node,
+                        sim.tid().0,
+                        sim.now(),
+                        wnode,
+                        next.0,
+                        t,
+                        id,
+                    );
+                }
+                sim.wake(next, t);
+                woken.push(next);
+            }
+        }
+        woken
+    }
+
+    /// Releases every barrier that only dead threads were keeping closed
+    /// (arrivals + discount cover the expected count). Crash recovery calls
+    /// this after removing the crashed threads and bumping the discount.
+    /// Returns the woken waiters. Sorted-id iteration keeps replay
+    /// deterministic.
+    pub fn crash_release_ready_barriers(&self, sim: &Sim) -> Vec<Tid> {
+        let discount = self.crashed_discount.load(Ordering::Relaxed) as usize;
+        if discount == 0 {
+            return Vec::new();
+        }
+        let ready: Vec<u64> = {
+            let st = self.state.lock();
+            let mut v: Vec<u64> = st
+                .barriers
+                .iter()
+                .filter(|(_, b)| b.count > 0 && b.expected > 0 && b.count + discount >= b.expected)
+                .map(|(id, _)| *id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let mut woken = Vec::new();
+        for id in ready {
+            let (waiters, release_t) = {
+                let mut st = self.state.lock();
+                let b = st.barriers.get_mut(&id).expect("ready barrier");
+                let release_t =
+                    b.max_arrival + self.cfg.costs.barrier_per_node_ns * b.expected as u64;
+                let waiters = std::mem::take(&mut b.waiters);
+                b.count = 0;
+                b.max_arrival = SimTime::ZERO;
+                (waiters, release_t)
+            };
+            // The nominal release may predate the crash that unblocked it;
+            // never wake into the past.
+            let base = release_t.max(sim.now());
+            for (w, wnode) in waiters {
+                let wake_t = base + self.cluster.san.config().send_base_ns;
+                if let Some(o) = self.obs_if_on() {
+                    o.edge(
+                        obs::EdgeKind::Recovery,
+                        sim.node(),
+                        sim.tid().0,
+                        sim.now(),
+                        wnode,
+                        w.0,
+                        wake_t,
+                        id,
+                    );
+                }
+                sim.wake(w, wake_t);
+                woken.push(w);
+            }
+        }
+        woken
     }
 }
 

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
+use chaos::{ChaosEngine, ResourceOp};
 use obs::{EdgeKind, Event, Layer, ObsSink, NIC_TRACK};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -197,6 +198,7 @@ pub struct Vmmc {
     mem: Arc<ClusterMem>,
     state: Mutex<State>,
     obs: OnceLock<Arc<ObsSink>>,
+    chaos: OnceLock<Arc<ChaosEngine>>,
 }
 
 impl fmt::Debug for Vmmc {
@@ -222,6 +224,7 @@ impl Vmmc {
                 next_region: 0,
             }),
             obs: OnceLock::new(),
+            chaos: OnceLock::new(),
         }
     }
 
@@ -230,6 +233,32 @@ impl Vmmc {
     pub fn set_obs(&self, sink: Arc<ObsSink>) {
         self.san.set_obs(Arc::clone(&sink));
         let _ = self.obs.set(sink);
+    }
+
+    /// Attaches the cluster's chaos engine, forwarding it to the
+    /// underlying [`San`] (done once by `Cluster::set_chaos`; later calls
+    /// are ignored).
+    pub fn set_chaos(&self, chaos: Arc<ChaosEngine>) {
+        self.san.set_chaos(Arc::clone(&chaos));
+        let _ = self.chaos.set(chaos);
+    }
+
+    /// The chaos engine, if attached and armed for resource pressure.
+    #[inline]
+    fn chaos_resource(&self) -> Option<&ChaosEngine> {
+        match self.chaos.get() {
+            Some(c) if c.resource_armed() => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The chaos engine, if attached and armed for wire faults.
+    #[inline]
+    fn chaos_wire(&self) -> Option<&ChaosEngine> {
+        match self.chaos.get() {
+            Some(c) if c.wire_armed() => Some(c),
+            _ => None,
+        }
     }
 
     /// The sink, if attached and enabled (hot-path check).
@@ -291,6 +320,16 @@ impl Vmmc {
         frames: Vec<FrameId>,
     ) -> Result<RegionId, VmmcError> {
         self.ensure_node(owner);
+        // Chaos: transient NIC pressure makes the registration fail as if
+        // the region table were full; callers retry (paper §3.4 regime).
+        if let Some(c) = self.chaos_resource() {
+            if c.resource_inject(ResourceOp::Export, owner.0) {
+                return Err(VmmcError::RegionLimit {
+                    node: owner,
+                    limit: self.cfg.max_regions_per_nic,
+                });
+            }
+        }
         let bytes = frames.len() as u64 * PAGE_SIZE;
         let mut s = self.state.lock();
         let nic = &s.nics[owner.0 as usize];
@@ -362,6 +401,15 @@ impl Vmmc {
             .get(&region.0)
             .ok_or(VmmcError::NoSuchRegion(region))?
             .owner;
+        // Chaos: transient registered-memory pressure on the grow path.
+        if let Some(c) = self.chaos_resource() {
+            if c.resource_inject(ResourceOp::Extend, owner.0) {
+                return Err(VmmcError::RegisteredBytesLimit {
+                    node: owner,
+                    limit: self.cfg.max_registered_bytes,
+                });
+            }
+        }
         if s.nics[owner.0 as usize].registered_bytes + bytes > self.cfg.max_registered_bytes {
             return Err(VmmcError::RegisteredBytesLimit {
                 node: owner,
@@ -409,6 +457,15 @@ impl Vmmc {
         if r.importers.contains(&importer) {
             return Ok(());
         }
+        // Chaos: transient import-table pressure on the importer's NIC.
+        if let Some(c) = self.chaos_resource() {
+            if c.resource_inject(ResourceOp::Import, importer.0) {
+                return Err(VmmcError::RegionLimit {
+                    node: importer,
+                    limit: self.cfg.max_regions_per_nic,
+                });
+            }
+        }
         if s.nics[importer.0 as usize].regions + 1 > self.cfg.max_regions_per_nic {
             return Err(VmmcError::RegionLimit {
                 node: importer,
@@ -417,6 +474,31 @@ impl Vmmc {
         }
         s.nics[importer.0 as usize].regions += 1;
         s.regions.get_mut(&region.0).unwrap().importers.push(importer);
+        Ok(())
+    }
+
+    /// Releases `importer`'s import of `region`, freeing one slot in its
+    /// NIC region table. Used by the SVM layer to evict cold imports when
+    /// the NIC runs out of resources (degraded-but-alive recovery).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not exist or was never imported by
+    /// `importer`.
+    pub fn unimport_region(&self, importer: NodeId, region: RegionId) -> Result<(), VmmcError> {
+        let mut s = self.state.lock();
+        let r = s
+            .regions
+            .get_mut(&region.0)
+            .ok_or(VmmcError::NoSuchRegion(region))?;
+        let Some(pos) = r.importers.iter().position(|&n| n == importer) else {
+            return Err(VmmcError::NotImported {
+                node: importer,
+                region,
+            });
+        };
+        r.importers.remove(pos);
+        s.nics[importer.0 as usize].regions -= 1;
         Ok(())
     }
 
@@ -568,7 +650,49 @@ impl Vmmc {
         let done = if owner == from {
             now
         } else {
-            self.san.fetch(from, owner, len, now)
+            // Chaos: a dropped fetch request or reply costs the requester
+            // a timeout, after which the (idempotent) fetch is re-issued
+            // with exponential backoff. Data is read exactly once, after
+            // the final successful round-trip.
+            let mut issue = now;
+            if let Some(c) = self.chaos_wire() {
+                let (r, timeout) = c.fetch_retries(from.0, owner.0);
+                if r > 0 {
+                    for i in 0..r {
+                        let backoff = timeout << i;
+                        if let Some(o) = self.obs_on() {
+                            o.span(
+                                Layer::Chaos,
+                                from,
+                                NIC_TRACK,
+                                issue,
+                                backoff,
+                                Event::ChaosRetry {
+                                    attempt: (i + 1) as u64,
+                                    backoff_ns: backoff,
+                                },
+                            );
+                        }
+                        c.note_retry();
+                        issue = issue + backoff;
+                    }
+                    // Recovery arrow: first (lost) issue to the re-issue
+                    // that went through.
+                    if let Some(o) = self.obs_on() {
+                        o.edge(
+                            EdgeKind::Recovery,
+                            from,
+                            NIC_TRACK,
+                            now,
+                            from,
+                            NIC_TRACK,
+                            issue,
+                            region.0,
+                        );
+                    }
+                }
+            }
+            self.san.fetch(from, owner, len, issue)
         };
         let mut data = vec![0u8; len as usize];
         let mut cursor = 0usize;
@@ -813,5 +937,79 @@ mod tests {
         let (v, _) = setup();
         let t = v.notify(NodeId(0), NodeId(1), SimTime::ZERO);
         assert_eq!(t.arrival.as_nanos(), 18_000);
+    }
+
+    #[test]
+    fn unimport_frees_nic_region_slot() {
+        let (v, mem) = setup();
+        let fs = frames(&mem, NodeId(1), 1);
+        let r = v.export_region(NodeId(1), fs).unwrap();
+        v.import_region(NodeId(0), r).unwrap();
+        assert_eq!(v.nic_stats(NodeId(0)).regions, 1);
+        v.unimport_region(NodeId(0), r).unwrap();
+        assert_eq!(v.nic_stats(NodeId(0)).regions, 0);
+        // After unimport, remote access is rejected again...
+        assert!(matches!(
+            v.remote_write(NodeId(0), r, 0, &[1], SimTime::ZERO),
+            Err(VmmcError::NotImported { .. })
+        ));
+        // ...and a second unimport is an error, not a double decrement.
+        assert!(matches!(
+            v.unimport_region(NodeId(0), r),
+            Err(VmmcError::NotImported { .. })
+        ));
+    }
+
+    #[test]
+    fn chaos_resource_pressure_is_transient() {
+        let (v, mem) = setup();
+        v.set_chaos(chaos::ChaosEngine::new(
+            11,
+            chaos::FaultPlan::new().resources(chaos::ResourceFaults {
+                export_fail_p: 1.0,
+                max_consecutive: 2,
+                ..chaos::ResourceFaults::default()
+            }),
+        ));
+        let fs = frames(&mem, NodeId(0), 1);
+        // Two injected failures, then the bounded injector lets the
+        // operation through: a 3-attempt retry loop always succeeds.
+        let mut attempts = 0;
+        let mut fs = Some(fs);
+        let id = loop {
+            attempts += 1;
+            match v.export_region(NodeId(0), fs.take().unwrap()) {
+                Ok(id) => break id,
+                Err(VmmcError::RegionLimit { .. }) if attempts <= 3 => {
+                    fs = Some(frames(&mem, NodeId(0), 1));
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(attempts, 3);
+        assert_eq!(v.region_pages(id).unwrap(), 1);
+    }
+
+    #[test]
+    fn chaos_fetch_retries_delay_but_return_correct_data() {
+        let (v, mem) = setup();
+        v.set_chaos(chaos::ChaosEngine::new(
+            3,
+            chaos::FaultPlan::new().wire(chaos::WireFaults {
+                drop_p: 1.0,
+                max_retransmits: 2,
+                retransmit_timeout_ns: 10_000,
+                ..chaos::WireFaults::default()
+            }),
+        ));
+        let fs = frames(&mem, NodeId(1), 1);
+        mem.frame_write(fs[0], 0, &[42, 43]);
+        let r = v.export_region(NodeId(1), fs).unwrap();
+        v.import_region(NodeId(0), r).unwrap();
+        let (data, done) = v.remote_fetch(NodeId(0), r, 0, 2, SimTime::ZERO).unwrap();
+        assert_eq!(data, vec![42, 43], "retried fetch must not corrupt data");
+        // Two forced timeouts with exponential backoff (10us + 20us) plus
+        // the nominal round trip.
+        assert!(done.as_nanos() >= 30_000 + 22_000, "got {}", done.as_nanos());
     }
 }

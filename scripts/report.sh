@@ -4,6 +4,8 @@
 #   BENCH_obs_FFT.json    layer breakdown + metric snapshot, FFT m=12
 #   BENCH_obs_RADIX.json  layer breakdown + metric snapshot, RADIX 64K keys
 #   BENCH_critpath.json   critical-path profile + blame table, both kernels
+#   BENCH_chaos.json      fault-injection ladder: completion, retries and
+#                         recovery latencies per escalating fault level
 #   trace_fft.json        Chrome-trace timeline of the FFT run on 8 nodes
 #                         (load in chrome://tracing or ui.perfetto.dev;
 #                         causal edges render as Perfetto flow arrows)
@@ -18,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS:---offline}
 
-ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json trace_fft.json)
+ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json trace_fft.json)
 
 # Drop stale copies first so a bench that no longer writes its artifact
 # cannot pass the check below on a leftover file.
@@ -26,6 +28,7 @@ rm -f "${ARTIFACTS[@]}"
 
 cargo bench $CARGO_FLAGS -p cables-bench --bench obs_report
 cargo bench $CARGO_FLAGS -p cables-bench --bench critpath
+cargo bench $CARGO_FLAGS -p cables-bench --bench chaos_soak
 
 status=0
 for f in "${ARTIFACTS[@]}"; do

@@ -18,14 +18,14 @@ echo "==> cargo test --workspace"
 cargo test $CARGO_FLAGS --workspace -q
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall obs_report critpath; do
+    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall obs_report critpath chaos_soak; do
         echo "==> cargo bench --bench $bench -- --test"
         cargo bench $CARGO_FLAGS -p cables-bench --bench "$bench" -- --test
     done
     # The observability artifacts must be machine-readable JSON (python's
     # parser is the neutral referee; skip quietly if it is unavailable).
     if command -v python3 >/dev/null 2>&1; then
-        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json trace_fft.json; do
+        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json trace_fft.json; do
             echo "==> validate $f"
             python3 -m json.tool "$f" > /dev/null
         done

@@ -12,6 +12,7 @@
 //! | protocol | [`svm`] | GeNIMA-style home-based release consistency |
 //! | **contribution** | [`cables`] | the CableS pthreads runtime |
 //! | observability | [`obs`] | cross-layer event bus, metrics, Chrome-trace export |
+//! | fault injection | [`chaos`] | deterministic FaultPlan-driven wire/resource/node faults |
 //! | OpenMP | [`omp`] | OdinMP-style runtime over CableS |
 //! | workloads | [`apps`] | SPLASH-2 kernels, PN/PC/PIPE, OpenMP programs |
 //!
@@ -24,6 +25,7 @@
 
 pub use apps;
 pub use cables;
+pub use chaos;
 pub use memsim;
 pub use obs;
 pub use omp;
