@@ -64,6 +64,10 @@ pub struct SanConfig {
     pub occupancy_base_ns: u64,
     /// Machine word size in bytes.
     pub word_bytes: u64,
+    /// Framing header per segment of a multi-segment (batched) message,
+    /// bytes. A batch of N payloads pays one base latency but N of these
+    /// on the wire (offset + length descriptors).
+    pub segment_header_bytes: u64,
 }
 
 impl Default for SanConfig {
@@ -79,6 +83,7 @@ impl Default for SanConfig {
             occupancy_per_byte_ns: 8.0,
             occupancy_base_ns: 200,
             word_bytes: 4,
+            segment_header_bytes: 32,
         }
     }
 }
@@ -104,6 +109,12 @@ impl SanConfig {
     /// NIC occupancy of a `bytes`-long transfer, ns.
     pub fn occupancy_ns(&self, bytes: u64) -> u64 {
         self.occupancy_base_ns + (bytes as f64 * self.occupancy_per_byte_ns) as u64
+    }
+
+    /// Wire size of a multi-segment message: the payload bytes plus one
+    /// framing header per segment.
+    pub fn multi_wire_bytes(&self, seg_lens: &[u64]) -> u64 {
+        seg_lens.iter().sum::<u64>() + seg_lens.len() as u64 * self.segment_header_bytes
     }
 }
 
@@ -365,6 +376,158 @@ impl San {
         done
     }
 
+    /// A multi-segment (batched) send: `seg_lens` payloads travel as one
+    /// message paying one base latency and per-segment framing headers.
+    ///
+    /// Delivery is cut-through: the NIC streams the framed segments at its
+    /// injection rate (`occupancy_per_byte_ns`) — the same sustained rate a
+    /// stream of back-to-back single sends already achieves through
+    /// occupancy chaining — and the whole batch pays the per-message
+    /// pipeline latency (`send_base_ns`, plus the per-byte latency-slope
+    /// premium over the injection rate) exactly once instead of once per
+    /// payload. Occupancy, chaos, and traffic accounting are those of a
+    /// single message of the framed wire size, so a batch is one message
+    /// for drop/duplicate purposes and replays identically.
+    pub fn send_multi(&self, from: NodeId, to: NodeId, seg_lens: &[u64], now: SimTime) -> SendTiming {
+        assert!(!seg_lens.is_empty(), "empty multi-segment send");
+        let total_wire = self.cfg.multi_wire_bytes(seg_lens);
+        // Drops cost retransmission timeouts (reliable transport over a
+        // lossy wire), duplicates burn receive occupancy — never data.
+        let chw = self.wire_outcome(from, to, now, true);
+        let mut s = self.state.lock();
+        let need = from.0.max(to.0) as usize;
+        while s.len() <= need {
+            s.push(NicEntry::default());
+        }
+        let occ = self.cfg.occupancy_ns(total_wire);
+        let tx_start = now.max(s[from.0 as usize].nic.tx_free_at);
+        s[from.0 as usize].nic.tx_free_at = tx_start + occ;
+        let stream_ns = (total_wire.saturating_sub(self.cfg.word_bytes) as f64
+            * self.cfg.occupancy_per_byte_ns) as u64;
+        let lat_arrival = tx_start + self.cfg.send_base_ns + stream_ns + chw.delay_ns;
+        // Receive-side serialization: a stream of messages cannot land
+        // faster than the wire delivers them.
+        let rx_ready = s[to.0 as usize].nic.rx_free_at + occ;
+        let arrival = lat_arrival.max(rx_ready);
+        s[to.0 as usize].nic.rx_free_at = arrival + chw.duplicates as u64 * occ;
+        s[from.0 as usize].traffic.messages_out += 1;
+        s[from.0 as usize].traffic.bytes_out += total_wire;
+        s[to.0 as usize].traffic.messages_in += 1 + chw.duplicates as u64;
+        s[to.0 as usize].traffic.bytes_in += total_wire * (1 + chw.duplicates as u64);
+        drop(s);
+        self.obs_wire_fault(from, to, now, &chw);
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::San,
+                from,
+                NIC_TRACK,
+                now,
+                arrival.saturating_since(now),
+                Event::SanSend {
+                    to: to.0,
+                    bytes: total_wire,
+                },
+            );
+            o.edge(
+                EdgeKind::MsgSend,
+                from,
+                NIC_TRACK,
+                tx_start,
+                to,
+                NIC_TRACK,
+                arrival,
+                total_wire,
+            );
+        }
+        SendTiming {
+            local_done: tx_start + occ,
+            arrival,
+        }
+    }
+
+    /// A multi-segment (batched) fetch: one request, one reply streaming
+    /// all `seg_lens` payloads plus per-segment framing. One message on
+    /// the wire — see [`San::send_multi`] — but delivery is cut-through:
+    /// segment `i` is usable as soon as its own bytes have streamed off
+    /// the remote NIC and across the wire, before the trailing segments
+    /// finish. The first segment pays the full fetch pipeline latency of
+    /// just its own framed bytes — a single-segment batch degenerates to
+    /// an ordinary [`San::fetch`] — and trailing segments then land at the
+    /// NIC injection rate (`occupancy_per_byte_ns`), paying the
+    /// per-message round-trip cost once instead of once per payload. The
+    /// serve-occupancy term accrues per cumulative byte the same way, so a
+    /// contended home delays later segments, not just the first.
+    pub fn fetch_multi(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        seg_lens: &[u64],
+        now: SimTime,
+    ) -> Vec<SimTime> {
+        assert_ne!(from, to, "SAN fetch from self");
+        assert!(!seg_lens.is_empty(), "empty multi-segment fetch");
+        let total_wire = self.cfg.multi_wire_bytes(seg_lens);
+        // One message for drop/duplicate purposes (drops are modeled as
+        // requester-side timeouts by the caller, exactly as for `fetch`).
+        let chw = self.wire_outcome(from, to, now, false);
+        let mut s = self.state.lock();
+        let need = from.0.max(to.0) as usize;
+        while s.len() <= need {
+            s.push(NicEntry::default());
+        }
+        let req_occ = self.cfg.occupancy_ns(self.cfg.word_bytes);
+        let tx_start = now.max(s[from.0 as usize].nic.tx_free_at);
+        s[from.0 as usize].nic.tx_free_at = tx_start + req_occ;
+        let remote_serve_start =
+            (tx_start + self.cfg.send_base_ns).max(s[to.0 as usize].nic.tx_free_at);
+        s[to.0 as usize].nic.tx_free_at = remote_serve_start + self.cfg.occupancy_ns(total_wire);
+        let mut out = Vec::with_capacity(seg_lens.len());
+        let first_framed = seg_lens[0] + self.cfg.segment_header_bytes;
+        let lat_first = self.cfg.fetch_latency_ns(first_framed);
+        let mut cum = 0u64;
+        for len in seg_lens {
+            cum += len + self.cfg.segment_header_bytes;
+            let stream_ns =
+                ((cum - first_framed) as f64 * self.cfg.occupancy_per_byte_ns) as u64;
+            let latency_done = tx_start + lat_first + stream_ns + chw.delay_ns;
+            let contended_done = remote_serve_start + self.cfg.occupancy_ns(cum);
+            out.push(latency_done.max(contended_done));
+        }
+        let done = *out.last().expect("at least one segment");
+        s[from.0 as usize].traffic.messages_out += 1;
+        s[from.0 as usize].traffic.bytes_out += self.cfg.word_bytes;
+        s[to.0 as usize].traffic.messages_out += 1;
+        s[to.0 as usize].traffic.bytes_out += total_wire;
+        s[from.0 as usize].traffic.messages_in += 1;
+        s[from.0 as usize].traffic.bytes_in += total_wire;
+        drop(s);
+        self.obs_wire_fault(from, to, now, &chw);
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::San,
+                from,
+                NIC_TRACK,
+                now,
+                done.saturating_since(now),
+                Event::SanFetch {
+                    to: to.0,
+                    bytes: total_wire,
+                },
+            );
+            o.edge(
+                EdgeKind::MsgFetch,
+                to,
+                NIC_TRACK,
+                remote_serve_start,
+                from,
+                NIC_TRACK,
+                done,
+                total_wire,
+            );
+        }
+        out
+    }
+
     /// A notification (small message that dispatches a remote handler).
     /// Returns `(local_done, handler_start)` at the destination.
     pub fn notify(&self, from: NodeId, to: NodeId, now: SimTime) -> SendTiming {
@@ -597,6 +760,57 @@ mod tests {
         // Outside the window: back to nominal.
         let s2 = san.send(NodeId(2), NodeId(1), 4, t(200_000));
         assert_eq!(s2.arrival.as_nanos(), 200_000 + 7_800);
+    }
+
+    #[test]
+    fn multi_segment_send_amortizes_base_latency() {
+        let cfg = SanConfig::paper();
+        // Two 4KB pages in one batch: the framed bytes stream cut-through
+        // at the NIC injection rate, so the batch beats even two perfectly
+        // pipelined back-to-back sends (whose second message still pays
+        // the full per-message latency slope) — but it can never beat the
+        // injection rate itself.
+        let batched = San::new(cfg.clone())
+            .send_multi(NodeId(0), NodeId(1), &[4096, 4096], t(0))
+            .arrival
+            .as_nanos();
+        let pipelined_singles = cfg.occupancy_ns(4096) + cfg.send_latency_ns(4096);
+        let total_wire = cfg.multi_wire_bytes(&[4096, 4096]);
+        assert!(
+            batched < pipelined_singles,
+            "batched {batched} vs pipelined singles {pipelined_singles}"
+        );
+        assert!(
+            batched > cfg.occupancy_ns(total_wire),
+            "batched {batched} cannot beat the injection rate"
+        );
+        // A batch is exactly one message for traffic accounting.
+        let san = San::new(cfg.clone());
+        san.send_multi(NodeId(0), NodeId(1), &[128, 128, 128], t(0));
+        assert_eq!(san.traffic(NodeId(0)).messages_out, 1);
+        assert_eq!(
+            san.traffic(NodeId(0)).bytes_out,
+            3 * 128 + 3 * cfg.segment_header_bytes
+        );
+    }
+
+    #[test]
+    fn multi_segment_fetch_amortizes_rtt() {
+        let cfg = SanConfig::paper();
+        let times = San::new(cfg.clone()).fetch_multi(NodeId(0), NodeId(1), &[4096, 4096, 4096], t(0));
+        assert_eq!(times.len(), 3);
+        // Cut-through delivery: the first segment is usable for roughly a
+        // single-page fetch latency; later segments land strictly later.
+        let first = times[0].as_nanos();
+        assert!(
+            first < cfg.fetch_latency_ns(4096) + 2_000,
+            "first segment {first} should cost about one single-page fetch"
+        );
+        assert!(times[0] < times[1] && times[1] < times[2]);
+        // The whole batch still beats three separate round trips.
+        let batched = times[2].as_nanos();
+        let three_singles = 3 * cfg.fetch_latency_ns(4096);
+        assert!(batched < three_singles, "batched {batched} vs {three_singles}");
     }
 
     #[test]

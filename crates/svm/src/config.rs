@@ -85,6 +85,35 @@ pub struct SvmConfig {
     /// chunk to a node after `k` consecutive releases in which that node
     /// was its only remote writer; `None` reproduces the paper.
     pub migration_threshold: Option<u32>,
+    /// Release-time diff batching: ship all diffs bound for the same home
+    /// as one multi-segment VMMC write (one message header and one fence
+    /// contribution per home instead of per page), merging runs that are
+    /// adjacent across page boundaries within a chunk. Value-preserving;
+    /// changes message counts and simulated time only. Off reproduces the
+    /// per-page protocol exactly.
+    pub batch_diffs: bool,
+    /// Adaptive multi-page prefetch degree: after a per-thread stride
+    /// detector confirms a sequential/strided fault run, up to this many
+    /// extra pages from the same home ride along with the demand fetch in
+    /// one batched message. `0` disables prefetching (the per-page
+    /// protocol). Prefetched copies obey normal release consistency: the
+    /// same acquire-time write notices that invalidate demand-fetched
+    /// copies invalidate them.
+    pub prefetch_degree: u32,
+    /// Consecutive same-stride faults required before the detector trusts
+    /// the run and starts prefetching. Ignored when `prefetch_degree == 0`.
+    pub prefetch_confirm: u32,
+    /// Lock-data forwarding (GCS-style): at lock acquisition, pages made
+    /// stale by pending write notices whose demand-fetch count reached
+    /// `lock_forward_hot` are *refreshed* from home in one batched fetch
+    /// piggybacked on the grant, instead of invalidated and re-fetched on
+    /// the first post-acquire fault. Off reproduces invalidate-only
+    /// acquires exactly.
+    pub lock_forwarding: bool,
+    /// Demand-fetch count a page must reach before lock forwarding ships
+    /// its contents (cold pages are still invalidated — forwarding them
+    /// would waste grant-message bytes).
+    pub lock_forward_hot: u32,
     /// Cost constants.
     pub costs: SvmCosts,
 }
@@ -97,6 +126,11 @@ impl SvmConfig {
             home_granularity_pages: 1,
             write_through_single_writer: true,
             migration_threshold: None,
+            batch_diffs: false,
+            prefetch_degree: 0,
+            prefetch_confirm: 2,
+            lock_forwarding: false,
+            lock_forward_hot: 4,
             costs: SvmCosts::default(),
         }
     }
@@ -108,8 +142,23 @@ impl SvmConfig {
             home_granularity_pages: 16,
             write_through_single_writer: false,
             migration_threshold: None,
+            batch_diffs: false,
+            prefetch_degree: 0,
+            prefetch_confirm: 2,
+            lock_forwarding: false,
+            lock_forward_hot: 4,
             costs: SvmCosts::default(),
         }
+    }
+
+    /// Applies the three protocol-traffic optimizations as a 3-bit grid
+    /// point (used by the ablation bench and tests). `prefetch` enables a
+    /// degree-4 prefetcher with the default confirmation threshold.
+    pub fn with_protocol_opts(mut self, batch: bool, prefetch: bool, forward: bool) -> Self {
+        self.batch_diffs = batch;
+        self.prefetch_degree = if prefetch { 4 } else { 0 };
+        self.lock_forwarding = forward;
+        self
     }
 }
 
@@ -125,6 +174,18 @@ mod tests {
         assert_eq!(c.home_granularity_pages, 16);
         assert!(b.write_through_single_writer);
         assert!(!c.write_through_single_writer);
+    }
+
+    #[test]
+    fn protocol_opts_default_off_in_both_presets() {
+        for cfg in [SvmConfig::base(), SvmConfig::cables()] {
+            assert!(!cfg.batch_diffs);
+            assert_eq!(cfg.prefetch_degree, 0);
+            assert!(!cfg.lock_forwarding);
+        }
+        let on = SvmConfig::cables().with_protocol_opts(true, true, true);
+        assert!(on.batch_diffs && on.lock_forwarding);
+        assert_eq!(on.prefetch_degree, 4);
     }
 
     #[test]

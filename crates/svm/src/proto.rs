@@ -22,7 +22,7 @@
 //! data-race-free programs see identical values and at worst extra
 //! invalidations.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 use chaos::ChaosEngine;
@@ -52,6 +52,10 @@ pub(crate) struct PageDir {
     pub region_off: u64,
     pub first_writer: Option<NodeId>,
     pub multi_writer: bool,
+    /// Demand fetches served for this page; the lock-forwarding hotness
+    /// signal (kept in the protocol directory, not the obs sharing table,
+    /// so behaviour never depends on whether observability is enabled).
+    pub hot: u32,
 }
 
 #[derive(Debug)]
@@ -86,6 +90,23 @@ pub struct NodeStats {
     pub lock_acquires: u64,
     /// Barrier episodes joined by threads of this node.
     pub barrier_waits: u64,
+    /// Batched release diffs shipped (one per home per release with diff
+    /// batching on; always zero with it off).
+    pub diff_batches: u64,
+    /// Payload bytes that travelled inside batched diffs.
+    pub batched_diff_bytes: u64,
+    /// Pages fetched ahead of demand by the stride prefetcher.
+    pub prefetch_issued: u64,
+    /// Prefetched pages later consumed by a local fault (a fault that
+    /// needed no new message).
+    pub prefetch_hits: u64,
+    /// Prefetched pages invalidated by acquire-time notices before use.
+    pub prefetch_wasted: u64,
+    /// Lock grants that carried forwarded page contents (one per home per
+    /// grant).
+    pub lock_forwards: u64,
+    /// Page-content bytes refreshed by lock-data forwarding.
+    pub lock_forward_bytes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -95,6 +116,16 @@ pub(crate) struct NodeProto {
     pub seg_cache: HashMap<u64, ()>,
     pub imported: HashMap<u64, ()>,
     pub log_cursor: usize,
+    /// Stride detectors over this node's demand-fault stream, one per
+    /// faulting thread — two CPUs interleaving sequential scans would
+    /// otherwise shred each other's runs:
+    /// `tid → (last demand page, stride in pages, same-stride streak)`.
+    pub stride: HashMap<u64, (u64, i64, u32)>,
+    /// Pages installed by the prefetcher and not yet consumed or
+    /// invalidated, with the simulated time their bytes finish streaming
+    /// in (cut-through delivery: a consumer faulting earlier must wait
+    /// out the remainder).
+    pub prefetched: HashMap<u64, SimTime>,
     pub stats: NodeStats,
 }
 
@@ -516,6 +547,76 @@ impl SvmSystem {
         }
     }
 
+    /// Batched analogue of [`SvmSystem::fetch_with_recovery`]: several
+    /// segments of one region in a single SAN round trip. A concurrently
+    /// evicted import re-imports and retries the whole batch — reads are
+    /// idempotent, and the batch is one message for chaos purposes, so a
+    /// replay sees exactly one wire outcome per attempt.
+    fn fetch_multi_with_recovery(
+        &self,
+        sim: &Sim,
+        node: NodeId,
+        what: &'static str,
+        region: RegionId,
+        segs: &[(u64, u64)],
+    ) -> Result<(Vec<Vec<u8>>, Vec<SimTime>), ProtoError> {
+        loop {
+            match self
+                .cluster
+                .vmmc
+                .remote_fetch_multi(node, region, segs, sim.now())
+            {
+                Ok(v) => return Ok(v),
+                Err(VmmcError::NotImported { .. }) if self.chaos_armed().is_some() => {
+                    {
+                        let mut st = self.state.lock();
+                        st.nodes[node.0 as usize].imported.insert(region.0, ());
+                    }
+                    self.reg_op(sim, node, what, Some(region), || {
+                        self.cluster.vmmc.import_region(node, region)
+                    })?;
+                    sim.advance(self.cluster.vmmc.config().import_op_ns);
+                }
+                Err(e) => return Err(ProtoError::Vmmc { what, source: e }),
+            }
+        }
+    }
+
+    /// Batched analogue of [`SvmSystem::write_with_recovery`] (a whole
+    /// per-home diff batch racing an import eviction). The batch either
+    /// applies completely or — on `NotImported` — not at all, so the retry
+    /// never double-applies a prefix.
+    fn write_multi_with_recovery(
+        &self,
+        sim: &Sim,
+        node: NodeId,
+        what: &'static str,
+        region: RegionId,
+        segs: &[(u64, Vec<u8>)],
+        issue: SimTime,
+    ) -> Result<san::SendTiming, ProtoError> {
+        loop {
+            match self
+                .cluster
+                .vmmc
+                .remote_write_multi(node, region, segs, issue.min(sim.now()))
+            {
+                Ok(t) => return Ok(t),
+                Err(VmmcError::NotImported { .. }) if self.chaos_armed().is_some() => {
+                    {
+                        let mut st = self.state.lock();
+                        st.nodes[node.0 as usize].imported.insert(region.0, ());
+                    }
+                    self.reg_op(sim, node, what, Some(region), || {
+                        self.cluster.vmmc.import_region(node, region)
+                    })?;
+                    sim.advance(self.cluster.vmmc.config().import_op_ns);
+                }
+                Err(e) => return Err(ProtoError::Vmmc { what, source: e }),
+            }
+        }
+    }
+
     /// Directory lookup with per-node caching ("segment owner detect").
     fn owner_detect(&self, sim: &Sim, page: PageNum) {
         let node = sim.node();
@@ -707,6 +808,7 @@ impl SvmSystem {
                         region_off: base_off + i * PAGE_SIZE,
                         first_writer: None,
                         multi_writer: false,
+                        hot: 0,
                     },
                 );
                 st.nodes[node.0 as usize]
@@ -773,7 +875,7 @@ impl SvmSystem {
     }
 
     /// Fetches a page copy from its remote home.
-    fn fetch_page(&self, sim: &Sim, page: PageNum, _home: NodeId, kind: FaultKind) {
+    fn fetch_page(&self, sim: &Sim, page: PageNum, home: NodeId, kind: FaultKind) {
         let node = sim.node();
         let (region, region_off, version) = {
             let st = self.state.lock();
@@ -841,6 +943,15 @@ impl SvmSystem {
         if copy_current && kind == FaultKind::Write && have_frame {
             let mut st = self.state.lock();
             let np = &mut st.nodes[node.0 as usize];
+            if let Some(install) = np.prefetched.remove(&page.index()) {
+                np.stats.prefetch_hits += 1;
+                drop(st);
+                // Wait out the tail of the streaming batch if the bytes
+                // have not landed yet.
+                sim.clock_at_least(install);
+                st = self.state.lock();
+            }
+            let np = &mut st.nodes[node.0 as usize];
             let copy = np.copies.get_mut(&page.index()).expect("current copy");
             if copy.dirty.is_none() {
                 copy.dirty = Some(Box::new([0; BITMAP_WORDS]));
@@ -863,19 +974,151 @@ impl SvmSystem {
             return;
         }
 
-        // Fetch the page contents from the home.
+        // A read fault on a current clean copy needs no data transfer
+        // either: this is a prefetched page being consumed. (Unreachable
+        // with the prefetcher off — demand fetches always install a
+        // readable protection directly — so the branch is gated to keep
+        // the baseline path literally unchanged.)
+        if copy_current && kind == FaultKind::Read && have_frame && self.cfg.prefetch_degree > 0 {
+            let install = {
+                let mut st = self.state.lock();
+                let np = &mut st.nodes[node.0 as usize];
+                let install = np.prefetched.remove(&page.index());
+                if install.is_some() {
+                    np.stats.prefetch_hits += 1;
+                }
+                install
+            };
+            if let Some(t) = install {
+                // Wait out the tail of the streaming batch if the bytes
+                // have not landed yet.
+                sim.clock_at_least(t);
+            }
+            self.cluster
+                .mem
+                .set_prot(node, page, Prot::Read)
+                .expect("copy mapped");
+            sim.advance(self.cluster.mem.config().protect_ns);
+            return;
+        }
+
+        // Stride detection over the demand-fault stream. On a confirmed
+        // run, candidate pages from the same home region ride along with
+        // the demand fetch as one multi-segment message.
+        let mut prefetch: Vec<(u64, u64, u64)> = Vec::new(); // (page, region_off, version)
+        if self.cfg.prefetch_degree > 0 {
+            let idx = page.index();
+            let tid = sim.tid().0;
+            let st_entry = {
+                let mut st = self.state.lock();
+                let np = &mut st.nodes[node.0 as usize];
+                let entry = match np.stride.get(&tid) {
+                    Some(&(last, stride, streak)) => {
+                        let d = idx as i64 - last as i64;
+                        if d == 0 {
+                            (idx, stride, streak)
+                        } else if d == stride {
+                            (idx, stride, streak.saturating_add(1))
+                        } else {
+                            (idx, d, 1)
+                        }
+                    }
+                    None => (idx, 0, 0),
+                };
+                np.stride.insert(tid, entry);
+                entry
+            };
+            let (_, stride, streak) = st_entry;
+            if stride != 0 && streak >= self.cfg.prefetch_confirm {
+                let st = self.state.lock();
+                let np = &st.nodes[node.0 as usize];
+                for k in 1..=self.cfg.prefetch_degree as i64 {
+                    let cand = idx as i64 + stride * k;
+                    if cand < 0 {
+                        break;
+                    }
+                    let cand = cand as u64;
+                    // Stop at directory or home-region boundaries; skip
+                    // (but keep walking past) pages already usable here.
+                    let Some(d) = st.dir.get(&cand) else { break };
+                    if d.region != region || d.home == node {
+                        break;
+                    }
+                    if let Some(c) = np.copies.get(&cand) {
+                        if c.dirty.is_some() || c.version >= d.version {
+                            continue;
+                        }
+                    }
+                    prefetch.push((cand, d.region_off, d.version));
+                }
+            }
+        }
+
+        // Fetch the page contents from the home — batched with any
+        // confirmed-stride prefetch candidates.
         let t_fetch = sim.now();
-        let (data, done) = self
-            .fetch_with_recovery(sim, node, "page fetch failed", region, region_off, PAGE_SIZE)
-            .unwrap_or_else(|e| panic!("{e}"));
+        let (data, done) = if prefetch.is_empty() {
+            self.fetch_with_recovery(sim, node, "page fetch failed", region, region_off, PAGE_SIZE)
+                .unwrap_or_else(|e| panic!("{e}"))
+        } else {
+            let mut segs = Vec::with_capacity(1 + prefetch.len());
+            segs.push((region_off, PAGE_SIZE));
+            segs.extend(prefetch.iter().map(|(_, off, _)| (*off, PAGE_SIZE)));
+            let (mut all, times) = self
+                .fetch_multi_with_recovery(sim, node, "batched page fetch failed", region, &segs)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let demand = all.remove(0);
+            // Install the prefetched copies: frame, inaccessible mapping,
+            // current contents and version. The next local fault takes the
+            // no-transfer shortcut above and waits out the per-segment
+            // streaming install time; acquire-time notices invalidate
+            // them exactly like demand-fetched copies, which is what makes
+            // prefetching safe under release consistency.
+            for (i, ((cand, _, version), bytes)) in prefetch.iter().zip(all).enumerate() {
+                let cp = PageNum::new(*cand);
+                if self.cluster.mem.translate(node, cp).is_none() {
+                    let f = self
+                        .cluster
+                        .mem
+                        .alloc_frame(node)
+                        .unwrap_or_else(|e| panic!("prefetch frame allocation failed: {e}"));
+                    // No clock advance: the NIC deposits segments straight
+                    // into these frames, and the mapping bookkeeping
+                    // overlaps the demand segment still streaming in.
+                    self.cluster.mem.map_page(node, cp, f, Prot::None);
+                }
+                let (f, _) = self.cluster.mem.translate(node, cp).expect("just mapped");
+                self.cluster.mem.frame_write(f, 0, &bytes);
+                let mut st = self.state.lock();
+                let np = &mut st.nodes[node.0 as usize];
+                let copy = np.copies.entry(*cand).or_insert(CopyState {
+                    version: 0,
+                    dirty: None,
+                });
+                copy.version = *version;
+                np.prefetched.insert(*cand, times[i + 1]);
+                np.stats.prefetch_issued += 1;
+                np.stats.fetch_bytes += PAGE_SIZE;
+            }
+            // Cut-through delivery: the faulting thread resumes as soon as
+            // its demand segment (the first) has streamed in; the prefetch
+            // tail lands behind it at the per-segment times recorded above.
+            (demand, times[0])
+        };
         sim.clock_at_least(done);
         if done > t_fetch {
             if let Some(o) = self.obs_if_on() {
                 // Self-lane causal edge: the fault issued the home fetch
                 // at t_fetch and the thread resumed at `done`; the gap is
-                // the fetch wait the critical-path walk can cross.
+                // the fetch wait the critical-path walk can cross. Batched
+                // transfers get their own lane so the blame table shows
+                // demand-fetch waits shrinking separately.
                 o.edge(
-                    obs::EdgeKind::PageFetch,
+                    if prefetch.is_empty() {
+                        obs::EdgeKind::PageFetch
+                    } else {
+                        obs::EdgeKind::BatchFetch
+                    },
                     node,
                     sim.tid().0,
                     t_fetch,
@@ -886,12 +1129,32 @@ impl SvmSystem {
                 );
             }
         }
+        if !prefetch.is_empty() {
+            if let Some(o) = self.obs_if_on() {
+                o.instant(
+                    obs::Layer::Proto,
+                    node,
+                    sim.tid().0,
+                    sim.now(),
+                    obs::Event::Prefetch {
+                        page: page.index(),
+                        pages: prefetch.len() as u64,
+                        home: home.0,
+                    },
+                );
+            }
+        }
         let (frame, _) = self.cluster.mem.translate(node, page).expect("just mapped");
         self.cluster.mem.frame_write(frame, 0, &data);
 
         {
             let mut st = self.state.lock();
             let home = st.dir[&page.index()].home;
+            if let Some(d) = st.dir.get_mut(&page.index()) {
+                // Hotness for lock-data forwarding: pages that keep being
+                // demand-fetched are worth shipping with lock grants.
+                d.hot = d.hot.saturating_add(1);
+            }
             {
                 let np = &mut st.nodes[node.0 as usize];
                 np.stats.remote_fetches += 1;
@@ -969,6 +1232,15 @@ impl SvmSystem {
         }
         let mut diffed = 0u64;
         let mut max_arrival = sim.now();
+        // Diff batching: runs destined to the same home region accumulate
+        // here and ship as one multi-segment write per home after the
+        // loop. BTreeMap keeps the per-home issue order deterministic. The
+        // SimTime is when the batch's first segment was posted: the NIC
+        // streams the gather descriptor while the CPU diffs the remaining
+        // pages (zero-copy gather DMA), so the wire transfer overlaps the
+        // rest of the loop exactly as the unbatched per-run sends do.
+        let mut batches: BTreeMap<(u32, u64), (Vec<(u64, Vec<u8>)>, u64, SimTime)> =
+            BTreeMap::new();
         if let Some(threshold) = self.cfg.migration_threshold {
             // Migration policy (extension): a chunk repeatedly diffed by a
             // single remote node moves home to that node. One streak bump
@@ -1039,26 +1311,44 @@ impl SvmSystem {
                     .mem
                     .translate(node, page)
                     .expect("dirty page mapped");
-                for (w0, w1) in &runs {
-                    let off = w0 * 8;
-                    let len = (w1 - w0) * 8;
-                    let mut buf = vec![0u8; len as usize];
-                    self.cluster.mem.frame_read(frame, off as usize, &mut buf);
-                    let t = self
-                        .write_with_recovery(
-                            sim,
-                            node,
-                            "diff write failed",
-                            region,
-                            region_off + off,
-                            &buf,
-                        )
-                        .unwrap_or_else(|e| panic!("{e}"));
-                    if !write_through {
-                        max_arrival = max_arrival.max(t.arrival);
+                if self.cfg.batch_diffs && !write_through {
+                    // Defer the wire transfer: collect this page's runs
+                    // into the per-home batch. Per-page build cost, trace
+                    // and version bump stay exactly as in the unbatched
+                    // path; only the messaging is amortized.
+                    let entry = batches
+                        .entry((home.0, region.0))
+                        .or_insert_with(|| (Vec::new(), 0, sim.now()));
+                    for (w0, w1) in &runs {
+                        let off = w0 * 8;
+                        let len = (w1 - w0) * 8;
+                        let mut buf = vec![0u8; len as usize];
+                        self.cluster.mem.frame_read(frame, off as usize, &mut buf);
+                        entry.0.push((region_off + off, buf));
                     }
-                }
-                {
+                    entry.1 += 1;
+                    let mut st = self.state.lock();
+                    st.nodes[node.0 as usize].stats.diff_bytes += dirty_bytes;
+                } else {
+                    for (w0, w1) in &runs {
+                        let off = w0 * 8;
+                        let len = (w1 - w0) * 8;
+                        let mut buf = vec![0u8; len as usize];
+                        self.cluster.mem.frame_read(frame, off as usize, &mut buf);
+                        let t = self
+                            .write_with_recovery(
+                                sim,
+                                node,
+                                "diff write failed",
+                                region,
+                                region_off + off,
+                                &buf,
+                            )
+                            .unwrap_or_else(|e| panic!("{e}"));
+                        if !write_through {
+                            max_arrival = max_arrival.max(t.arrival);
+                        }
+                    }
                     let mut st = self.state.lock();
                     st.nodes[node.0 as usize].stats.diffs_sent += 1;
                     st.nodes[node.0 as usize].stats.diff_bytes += dirty_bytes;
@@ -1100,6 +1390,69 @@ impl SvmSystem {
                 .set_prot(node, page, Prot::Read)
                 .expect("dirty page mapped");
             sim.advance(self.cluster.mem.config().protect_ns);
+        }
+        // Ship the accumulated per-home batches: one multi-segment write
+        // (one header, one fence contribution) per home instead of one
+        // message per dirty run.
+        for ((home_id, region_id), (mut segs, pages, t_first)) in batches {
+            // Merge runs adjacent in region-offset space — this is where
+            // dirty runs fuse across page boundaries within a chunk.
+            segs.sort_by_key(|(off, _)| *off);
+            let mut merged: Vec<(u64, Vec<u8>)> = Vec::with_capacity(segs.len());
+            for (off, buf) in segs {
+                match merged.last_mut() {
+                    Some((m_off, m_buf)) if *m_off + m_buf.len() as u64 == off => {
+                        m_buf.extend_from_slice(&buf);
+                    }
+                    _ => merged.push((off, buf)),
+                }
+            }
+            let bytes: u64 = merged.iter().map(|(_, b)| b.len() as u64).sum();
+            let region = RegionId(region_id);
+            let t_issue = sim.now();
+            let t = self
+                .write_multi_with_recovery(
+                    sim,
+                    node,
+                    "batched diff write failed",
+                    region,
+                    &merged,
+                    t_first,
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
+            max_arrival = max_arrival.max(t.arrival);
+            {
+                let mut st = self.state.lock();
+                let np = &mut st.nodes[node.0 as usize];
+                np.stats.diffs_sent += 1;
+                np.stats.diff_batches += 1;
+                np.stats.batched_diff_bytes += bytes;
+            }
+            if let Some(o) = self.obs_if_on() {
+                o.instant(
+                    obs::Layer::Proto,
+                    node,
+                    sim.tid().0,
+                    sim.now(),
+                    obs::Event::DiffBatch {
+                        home: home_id,
+                        pages,
+                        bytes,
+                    },
+                );
+                if t.arrival > t_issue {
+                    o.edge(
+                        obs::EdgeKind::BatchDiff,
+                        node,
+                        sim.tid().0,
+                        t_issue,
+                        node,
+                        sim.tid().0,
+                        t.arrival,
+                        home_id as u64,
+                    );
+                }
+            }
         }
         // Release fence: diffs must be remotely visible.
         sim.clock_at_least(max_arrival);
@@ -1151,13 +1504,195 @@ impl SvmSystem {
                 .expect("cached copy mapped");
             {
                 let mut st = self.state.lock();
-                st.nodes[node.0 as usize].copies.remove(page_idx);
+                let np = &mut st.nodes[node.0 as usize];
+                np.copies.remove(page_idx);
+                if np.prefetched.remove(page_idx).is_some() {
+                    np.stats.prefetch_wasted += 1;
+                }
             }
             self.trace(sim, crate::trace::TraceEvent::Invalidate { node, page });
         }
         if applied > 0 {
             sim.advance(self.cfg.costs.notice_apply_ns * invalidate.len().max(1) as u64);
             if let Some(o) = self.obs_if_on() {
+                o.span(
+                    obs::Layer::Proto,
+                    node,
+                    sim.tid().0,
+                    t0,
+                    sim.now().saturating_since(t0),
+                    obs::Event::AcquireSpan {
+                        invals: invalidate.len() as u64,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Acquire executed on a lock grant. With lock-data forwarding on,
+    /// pending write notices for *hot* pages (frequently demand-fetched)
+    /// are resolved by refreshing the page contents from home in one
+    /// batched fetch piggybacked on the grant — the acquirer keeps a
+    /// current readable copy and skips the first post-acquire fault
+    /// round trip. Cold pages are invalidated as usual. With forwarding
+    /// off this is exactly [`SvmSystem::acquire`].
+    pub(crate) fn acquire_on_lock(&self, sim: &Sim) {
+        if !self.cfg.lock_forwarding {
+            self.acquire(sim);
+            return;
+        }
+        let node = sim.node();
+        let t0 = sim.now();
+        let hot_min = self.cfg.lock_forward_hot;
+        let mut invalidate = Vec::new();
+        // Hot stale pages grouped per (home, region): (page, region_off,
+        // version to install).
+        let mut forward: BTreeMap<(u32, u64), Vec<(u64, u64, u64)>> = BTreeMap::new();
+        let applied;
+        {
+            let mut st = self.state.lock();
+            let cursor = st.nodes[node.0 as usize].log_cursor;
+            let end = st.log.len();
+            applied = end - cursor;
+            // Latest pending notice per stale page (the log may carry
+            // several intervals for the same page).
+            let mut stale: BTreeMap<u64, u64> = BTreeMap::new();
+            for i in cursor..end {
+                let (page_idx, version) = st.log[i];
+                if st.dir[&page_idx].home == node {
+                    continue;
+                }
+                if let Some(copy) = st.nodes[node.0 as usize].copies.get(&page_idx) {
+                    if copy.version < version && copy.dirty.is_none() {
+                        let e = stale.entry(page_idx).or_insert(version);
+                        if version > *e {
+                            *e = version;
+                        }
+                    }
+                }
+            }
+            for (page_idx, version) in stale {
+                let d = &st.dir[&page_idx];
+                if d.hot >= hot_min {
+                    forward.entry((d.home.0, d.region.0)).or_default().push((
+                        page_idx,
+                        d.region_off,
+                        d.version.max(version),
+                    ));
+                } else {
+                    invalidate.push(page_idx);
+                }
+            }
+            st.nodes[node.0 as usize].log_cursor = end;
+            let fwd: u64 = forward.values().map(|v| v.len() as u64).sum();
+            st.nodes[node.0 as usize].stats.notices_applied += invalidate.len() as u64 + fwd;
+        }
+        for page_idx in &invalidate {
+            let page = PageNum::new(*page_idx);
+            self.cluster
+                .mem
+                .set_prot(node, page, Prot::None)
+                .expect("cached copy mapped");
+            {
+                let mut st = self.state.lock();
+                let np = &mut st.nodes[node.0 as usize];
+                np.copies.remove(page_idx);
+                if np.prefetched.remove(page_idx).is_some() {
+                    np.stats.prefetch_wasted += 1;
+                }
+            }
+            self.trace(sim, crate::trace::TraceEvent::Invalidate { node, page });
+        }
+        let mut forwarded_pages = 0u64;
+        for ((_home_id, region_id), pages) in &forward {
+            let region = RegionId(*region_id);
+            // The home region may never have been imported here (a copy
+            // can originate from an earlier forward); import lazily.
+            let need_import = {
+                let mut st = self.state.lock();
+                st.nodes[node.0 as usize]
+                    .imported
+                    .insert(region.0, ())
+                    .is_none()
+            };
+            if need_import {
+                self.reg_op(sim, node, "region import failed", Some(region), || {
+                    self.cluster.vmmc.import_region(node, region)
+                })
+                .unwrap_or_else(|e| panic!("{e}"));
+                sim.advance(self.cluster.vmmc.config().import_op_ns);
+            }
+            let segs: Vec<(u64, u64)> = pages.iter().map(|(_, off, _)| (*off, PAGE_SIZE)).collect();
+            let t_issue = sim.now();
+            let (all, times) = self
+                .fetch_multi_with_recovery(sim, node, "lock-forward fetch failed", region, &segs)
+                .unwrap_or_else(|e| panic!("{e}"));
+            // The acquirer needs every forwarded page current before the
+            // critical section runs, so it waits for the whole batch.
+            let done = *times.last().expect("at least one segment");
+            sim.clock_at_least(done);
+            if done > t_issue {
+                if let Some(o) = self.obs_if_on() {
+                    o.edge(
+                        obs::EdgeKind::BatchFetch,
+                        node,
+                        sim.tid().0,
+                        t_issue,
+                        node,
+                        sim.tid().0,
+                        done,
+                        *_home_id as u64,
+                    );
+                }
+            }
+            for ((page_idx, _, version), data) in pages.iter().zip(all) {
+                let page = PageNum::new(*page_idx);
+                let (frame, _) = self
+                    .cluster
+                    .mem
+                    .translate(node, page)
+                    .expect("stale copy mapped");
+                self.cluster.mem.frame_write(frame, 0, &data);
+                self.cluster
+                    .mem
+                    .set_prot(node, page, Prot::Read)
+                    .expect("stale copy mapped");
+                sim.advance(self.cluster.mem.config().protect_ns);
+                let mut st = self.state.lock();
+                let np = &mut st.nodes[node.0 as usize];
+                // The copy may have been removed by a concurrent acquire
+                // on this node; recreate it with the refreshed version.
+                let copy = np.copies.entry(*page_idx).or_insert(CopyState {
+                    version: 0,
+                    dirty: None,
+                });
+                copy.version = *version;
+                np.prefetched.remove(page_idx);
+                forwarded_pages += 1;
+            }
+            {
+                let mut st = self.state.lock();
+                let np = &mut st.nodes[node.0 as usize];
+                np.stats.lock_forwards += 1;
+                np.stats.lock_forward_bytes += PAGE_SIZE * pages.len() as u64;
+            }
+        }
+        if applied > 0 {
+            sim.advance(self.cfg.costs.notice_apply_ns * invalidate.len().max(1) as u64);
+            if let Some(o) = self.obs_if_on() {
+                if forwarded_pages > 0 {
+                    let bytes = forwarded_pages * PAGE_SIZE;
+                    o.instant(
+                        obs::Layer::Proto,
+                        node,
+                        sim.tid().0,
+                        sim.now(),
+                        obs::Event::LockForward {
+                            pages: forwarded_pages,
+                            bytes,
+                        },
+                    );
+                }
                 o.span(
                     obs::Layer::Proto,
                     node,
@@ -1414,6 +1949,13 @@ impl SvmSystem {
             out.migrations += s.migrations;
             out.lock_acquires += s.lock_acquires;
             out.barrier_waits += s.barrier_waits;
+            out.diff_batches += s.diff_batches;
+            out.batched_diff_bytes += s.batched_diff_bytes;
+            out.prefetch_issued += s.prefetch_issued;
+            out.prefetch_hits += s.prefetch_hits;
+            out.prefetch_wasted += s.prefetch_wasted;
+            out.lock_forwards += s.lock_forwards;
+            out.lock_forward_bytes += s.lock_forward_bytes;
         }
         out
     }

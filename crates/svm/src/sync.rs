@@ -103,7 +103,9 @@ impl SvmSystem {
             self.crash_check(sim);
         }
 
-        self.acquire(sim);
+        // With lock-data forwarding the grant carries hot-page contents,
+        // so the acquire can refresh instead of invalidate.
+        self.acquire_on_lock(sim);
         if let Some(o) = self.obs_if_on() {
             o.span(
                 obs::Layer::Sync,
@@ -156,7 +158,7 @@ impl SvmSystem {
             } else if !local_grant {
                 sim.advance(self.cfg.costs.lock_handler_ns);
             }
-            self.acquire(sim);
+            self.acquire_on_lock(sim);
             true
         } else {
             // A failed probe still costs the manager round trip when the

@@ -729,6 +729,198 @@ impl Vmmc {
         Ok((data, done))
     }
 
+    /// Batched remote write: deposits several discontiguous segments of
+    /// `region` on its owner in **one** SAN transaction (one base latency
+    /// and one header per segment instead of one message per segment).
+    ///
+    /// `segs` is a list of `(offset, data)` pairs. Chaos faults apply to
+    /// the batch as a whole — it is a single message, so a drop costs one
+    /// retransmit of the whole batch and a duplicate redelivers the whole
+    /// batch, keeping replays bit-identical with the unbatched protocol's
+    /// fault handling.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region is unknown, not imported by `from`, or any
+    /// segment is out of bounds; nothing is written on error.
+    pub fn remote_write_multi(
+        &self,
+        from: NodeId,
+        region: RegionId,
+        segs: &[(u64, Vec<u8>)],
+        now: SimTime,
+    ) -> Result<SendTiming, VmmcError> {
+        assert!(!segs.is_empty(), "empty batched write");
+        let mut owner = None;
+        let mut all_pieces = Vec::with_capacity(segs.len());
+        for (offset, data) in segs {
+            let (o, pieces) = self.check_remote(from, region, *offset, data.len() as u64)?;
+            owner = Some(o);
+            all_pieces.push(pieces);
+        }
+        let owner = owner.unwrap();
+        let total: u64 = segs.iter().map(|(_, d)| d.len() as u64).sum();
+        let timing = if owner == from {
+            SendTiming {
+                local_done: now,
+                arrival: now,
+            }
+        } else {
+            let lens: Vec<u64> = segs.iter().map(|(_, d)| d.len() as u64).collect();
+            self.san.send_multi(from, owner, &lens, now)
+        };
+        for ((_, data), pieces) in segs.iter().zip(all_pieces) {
+            let mut cursor = 0usize;
+            for (frame, in_frame, take) in pieces {
+                self.mem
+                    .frame_write(frame, in_frame, &data[cursor..cursor + take]);
+                cursor += take;
+            }
+        }
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::Vmmc,
+                from,
+                NIC_TRACK,
+                now,
+                timing.arrival.saturating_since(now),
+                Event::VmmcWrite {
+                    region: region.0,
+                    bytes: total,
+                },
+            );
+            if owner != from {
+                o.edge(
+                    EdgeKind::MsgSend,
+                    from,
+                    NIC_TRACK,
+                    now,
+                    owner,
+                    NIC_TRACK,
+                    timing.arrival,
+                    region.0,
+                );
+            }
+        }
+        Ok(timing)
+    }
+
+    /// Batched remote fetch: synchronously reads several discontiguous
+    /// segments of `region` from its owner in **one** SAN round trip.
+    ///
+    /// Returns the segment payloads and one cut-through completion time
+    /// per segment (see [`San::fetch_multi`]): the caller may resume as
+    /// soon as its demand segment has landed while the rest stream in.
+    ///
+    /// `segs` is a list of `(offset, len)` pairs; the result vector is in
+    /// the same order. Like [`Vmmc::remote_fetch`], a dropped request or
+    /// reply costs the requester a timeout and the whole (idempotent)
+    /// batch is re-issued with exponential backoff; data is read exactly
+    /// once after the final successful round trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region is unknown, not imported by `from`, or any
+    /// segment is out of bounds.
+    pub fn remote_fetch_multi(
+        &self,
+        from: NodeId,
+        region: RegionId,
+        segs: &[(u64, u64)],
+        now: SimTime,
+    ) -> Result<(Vec<Vec<u8>>, Vec<SimTime>), VmmcError> {
+        assert!(!segs.is_empty(), "empty batched fetch");
+        let mut owner = None;
+        let mut all_pieces = Vec::with_capacity(segs.len());
+        for (offset, len) in segs {
+            let (o, pieces) = self.check_remote(from, region, *offset, *len)?;
+            owner = Some(o);
+            all_pieces.push(pieces);
+        }
+        let owner = owner.unwrap();
+        let total: u64 = segs.iter().map(|(_, l)| *l).sum();
+        let times = if owner == from {
+            vec![now; segs.len()]
+        } else {
+            let mut issue = now;
+            if let Some(c) = self.chaos_wire() {
+                let (r, timeout) = c.fetch_retries(from.0, owner.0);
+                if r > 0 {
+                    for i in 0..r {
+                        let backoff = timeout << i;
+                        if let Some(o) = self.obs_on() {
+                            o.span(
+                                Layer::Chaos,
+                                from,
+                                NIC_TRACK,
+                                issue,
+                                backoff,
+                                Event::ChaosRetry {
+                                    attempt: (i + 1) as u64,
+                                    backoff_ns: backoff,
+                                },
+                            );
+                        }
+                        c.note_retry();
+                        issue = issue + backoff;
+                    }
+                    if let Some(o) = self.obs_on() {
+                        o.edge(
+                            EdgeKind::Recovery,
+                            from,
+                            NIC_TRACK,
+                            now,
+                            from,
+                            NIC_TRACK,
+                            issue,
+                            region.0,
+                        );
+                    }
+                }
+            }
+            let lens: Vec<u64> = segs.iter().map(|(_, l)| *l).collect();
+            self.san.fetch_multi(from, owner, &lens, issue)
+        };
+        let mut out = Vec::with_capacity(segs.len());
+        for ((_, len), pieces) in segs.iter().zip(all_pieces) {
+            let mut data = vec![0u8; *len as usize];
+            let mut cursor = 0usize;
+            for (frame, in_frame, take) in pieces {
+                self.mem
+                    .frame_read(frame, in_frame, &mut data[cursor..cursor + take]);
+                cursor += take;
+            }
+            out.push(data);
+        }
+        let last = *times.last().expect("non-empty batch");
+        if let Some(o) = self.obs_on() {
+            o.span(
+                Layer::Vmmc,
+                from,
+                NIC_TRACK,
+                now,
+                last.saturating_since(now),
+                Event::VmmcFetch {
+                    region: region.0,
+                    bytes: total,
+                },
+            );
+            if owner != from {
+                o.edge(
+                    EdgeKind::MsgFetch,
+                    owner,
+                    NIC_TRACK,
+                    now,
+                    from,
+                    NIC_TRACK,
+                    last,
+                    region.0,
+                );
+            }
+        }
+        Ok((out, times))
+    }
+
     /// Notification: a small message that dispatches a handler on the
     /// remote host. Returns the SAN timing (`arrival` = handler start).
     pub fn notify(&self, from: NodeId, to: NodeId, now: SimTime) -> SendTiming {
@@ -958,6 +1150,97 @@ mod tests {
             v.unimport_region(NodeId(0), r),
             Err(VmmcError::NotImported { .. })
         ));
+    }
+
+    #[test]
+    fn batched_write_moves_all_segments_in_one_message() {
+        let (v, mem) = setup();
+        let fs = frames(&mem, NodeId(1), 2);
+        let r = v.export_region(NodeId(1), fs.clone()).unwrap();
+        v.import_region(NodeId(0), r).unwrap();
+        let segs = vec![(8u64, vec![1, 2, 3]), (PAGE_SIZE + 16, vec![9, 9])];
+        let t_batch = v
+            .remote_write_multi(NodeId(0), r, &segs, SimTime::ZERO)
+            .unwrap();
+        let mut buf = [0u8; 3];
+        mem.frame_read(fs[0], 8, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+        let mut buf2 = [0u8; 2];
+        mem.frame_read(fs[1], 16, &mut buf2);
+        assert_eq!(buf2, [9, 9]);
+        assert_eq!(v.san().traffic(NodeId(0)).messages_out, 1);
+        // Cheaper than two per-page writes each awaiting its own fence
+        // (the unbatched release pattern: one arrival wait per page).
+        let (v2, mem2) = setup();
+        let fs2 = frames(&mem2, NodeId(1), 2);
+        let r2 = v2.export_region(NodeId(1), fs2).unwrap();
+        v2.import_region(NodeId(0), r2).unwrap();
+        let a = v2.remote_write(NodeId(0), r2, 8, &[1, 2, 3], SimTime::ZERO).unwrap();
+        let b = v2
+            .remote_write(NodeId(0), r2, PAGE_SIZE + 16, &[9, 9], a.arrival)
+            .unwrap();
+        assert!(t_batch.arrival < b.arrival);
+    }
+
+    #[test]
+    fn batched_fetch_returns_segments_in_order() {
+        let (v, mem) = setup();
+        let fs = frames(&mem, NodeId(1), 2);
+        mem.frame_write(fs[0], 0, &[5, 6]);
+        mem.frame_write(fs[1], 4, &[7, 8, 9]);
+        let r = v.export_region(NodeId(1), fs).unwrap();
+        v.import_region(NodeId(0), r).unwrap();
+        let (data, times) = v
+            .remote_fetch_multi(NodeId(0), r, &[(0, 2), (PAGE_SIZE + 4, 3)], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(data, vec![vec![5, 6], vec![7, 8, 9]]);
+        // Cut-through: the first segment lands first, the last segment
+        // still pays the full round trip.
+        assert!(times[0] <= times[1]);
+        assert!(times[1].as_nanos() >= 22_000);
+        // One batched round trip beats two back-to-back fetches.
+        assert!(times[1].as_nanos() < 2 * 22_000);
+    }
+
+    #[test]
+    fn batched_fetch_retries_whole_batch_without_corruption() {
+        let (v, mem) = setup();
+        v.set_chaos(chaos::ChaosEngine::new(
+            3,
+            chaos::FaultPlan::new().wire(chaos::WireFaults {
+                drop_p: 1.0,
+                max_retransmits: 2,
+                retransmit_timeout_ns: 10_000,
+                ..chaos::WireFaults::default()
+            }),
+        ));
+        let fs = frames(&mem, NodeId(1), 2);
+        mem.frame_write(fs[0], 0, &[42]);
+        mem.frame_write(fs[1], 0, &[43]);
+        let r = v.export_region(NodeId(1), fs).unwrap();
+        v.import_region(NodeId(0), r).unwrap();
+        let (data, times) = v
+            .remote_fetch_multi(NodeId(0), r, &[(0, 1), (PAGE_SIZE, 1)], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(data, vec![vec![42], vec![43]]);
+        let done = *times.last().unwrap();
+        assert!(done.as_nanos() >= 30_000 + 22_000, "got {}", done.as_nanos());
+    }
+
+    #[test]
+    fn batched_write_out_of_bounds_writes_nothing() {
+        let (v, mem) = setup();
+        let fs = frames(&mem, NodeId(1), 1);
+        let r = v.export_region(NodeId(1), fs.clone()).unwrap();
+        v.import_region(NodeId(0), r).unwrap();
+        let segs = vec![(0u64, vec![1]), (PAGE_SIZE, vec![2])];
+        assert!(matches!(
+            v.remote_write_multi(NodeId(0), r, &segs, SimTime::ZERO),
+            Err(VmmcError::OutOfBounds { .. })
+        ));
+        let mut buf = [9u8; 1];
+        mem.frame_read(fs[0], 0, &mut buf);
+        assert_eq!(buf, [0], "failed batch must not partially apply");
     }
 
     #[test]

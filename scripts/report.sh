@@ -6,6 +6,10 @@
 #   BENCH_critpath.json   critical-path profile + blame table, both kernels
 #   BENCH_chaos.json      fault-injection ladder: completion, retries and
 #                         recovery latencies per escalating fault level
+#   BENCH_protocol.json   protocol-traffic ablation: batched diffs x
+#                         stride prefetch x lock forwarding, full 2x2x2
+#                         grid with per-point message counts and the
+#                         critical-path blame of both corners
 #   trace_fft.json        Chrome-trace timeline of the FFT run on 8 nodes
 #                         (load in chrome://tracing or ui.perfetto.dev;
 #                         causal edges render as Perfetto flow arrows)
@@ -20,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS:---offline}
 
-ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json trace_fft.json)
+ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json trace_fft.json)
 
 # Drop stale copies first so a bench that no longer writes its artifact
 # cannot pass the check below on a leftover file.
@@ -29,6 +33,7 @@ rm -f "${ARTIFACTS[@]}"
 cargo bench $CARGO_FLAGS -p cables-bench --bench obs_report
 cargo bench $CARGO_FLAGS -p cables-bench --bench critpath
 cargo bench $CARGO_FLAGS -p cables-bench --bench chaos_soak
+cargo bench $CARGO_FLAGS -p cables-bench --bench protocol_opt
 
 status=0
 for f in "${ARTIFACTS[@]}"; do
@@ -37,4 +42,63 @@ for f in "${ARTIFACTS[@]}"; do
         status=1
     fi
 done
+
+# Cross-PR summary: one table over every BENCH_*.json in the repo root
+# (including artifacts produced by earlier PRs' benches, e.g.
+# BENCH_hotpath.json), so one `scripts/report.sh` run ends with the
+# repo's whole quantitative story in ~a screenful.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'PYEOF'
+import glob, json
+
+def ms(ns):
+    return f"{ns / 1e6:.2f} ms"
+
+print()
+print("=" * 72)
+print("cross-PR artifact summary")
+print("=" * 72)
+print(f"{'artifact':<24} {'subject':<16} headline")
+print("-" * 72)
+for path in sorted(glob.glob("BENCH_*.json")):
+    d = json.load(open(path))
+    name = path[len("BENCH_"):-len(".json")]
+    rows = []
+    if "layers_ns" in d:  # obs_report: per-kernel layer breakdown
+        rows.append((d["kernel"], f"sim {ms(d['sim_time_ns'])}, "
+                     f"{d['events_recorded']} events"))
+    elif name == "chaos":
+        for k in d["kernels"]:
+            rows.append((k["kernel"], f"clean {ms(k['clean_ns'])}, "
+                         f"{len(k['levels'])} fault levels, "
+                         f"completion {k['completion_rate']:.2f}"))
+    elif name == "critpath":
+        for k in d["kernels"]:
+            rows.append((k["kernel"], f"sim {ms(k['sim_time_ns'])}, "
+                         f"{k['causal_edges']} causal edges"))
+    elif name == "hotpath":
+        for w in d["workloads"]:
+            rows.append((f"{w['kernel']}/{w['mode']}",
+                         f"wall {w['slow_wall_ms']:.0f} -> "
+                         f"{w['fast_wall_ms']:.0f} ms "
+                         f"({w['speedup']:.2f}x), "
+                         f"TLB {w['tlb_hit_pct']:.1f}%"))
+    elif name == "protocol":
+        for k in d["kernels"]:
+            g = {(p["batch_diffs"], p["prefetch"], p["lock_forwarding"]): p
+                 for p in k["grid"]}
+            off, on = g[(False, False, False)], g[(True, True, True)]
+            rows.append((k["kernel"],
+                         f"fetches {off['remote_fetches']} -> {on['remote_fetches']}, "
+                         f"diffs {off['diffs_sent']} -> {on['diffs_sent']}, "
+                         f"time {ms(off['sim_time_ns'])} -> {ms(on['sim_time_ns'])}"))
+    else:  # future artifacts: stay visible even before a custom row
+        rows.append(("-", f"keys: {', '.join(list(d)[:6])}"))
+    for subject, headline in rows:
+        print(f"{name:<24} {subject:<16} {headline}")
+        name = ""
+print("=" * 72)
+PYEOF
+fi
+
 exit $status
