@@ -7,8 +7,10 @@
 //! down — shapes, ratios and the OCEAN failure mode are the reproduction
 //! target.
 
+use std::fmt::Write as _;
+
 use apps::M4Mode;
-use cables_bench::{fmt_ns, header, run_app, smoke_mode, AppId};
+use cables_bench::{fmt_ns, header, run_app, smoke_mode, write_artifact, AppId};
 
 /// NIC region limit applied to the OCEAN runs, scaled to the scaled
 /// problem size the same way the paper's real NIC limit related to its
@@ -41,13 +43,21 @@ fn main() {
         &AppId::ALL
     };
 
-    for &app in apps {
+    let mut json = String::from("{\n  \"bench\": \"fig5\",\n  \"apps\": [");
+    for (ai, &app) in apps.iter().enumerate() {
         println!("--- {} [{}] ---", app.name(), app.scale_note());
         let mut head = format!("{:<10}", "system");
         for p in procs_list {
             head.push_str(&format!(" {p:>12}"));
         }
         println!("{head}");
+        let _ = write!(
+            json,
+            "{}\n    {{\"app\": \"{}\", \"runs\": [",
+            if ai > 0 { "," } else { "" },
+            app.name()
+        );
+        let mut first_run = true;
         for mode in [M4Mode::Base, M4Mode::Cables] {
             let mut cells = Vec::new();
             let mut ratios = Vec::new();
@@ -58,6 +68,12 @@ fn main() {
                     (None, Some(ns)) => {
                         cells.push(fmt_ns(ns));
                         ratios.push(Some(ns));
+                        let _ = write!(
+                            json,
+                            "{}\n        {{\"mode\": \"{mode:?}\", \"procs\": {procs}, \
+                             \"parallel_ns\": {ns}, \"failed\": false}}",
+                            if first_run { "" } else { "," }
+                        );
                     }
                     (err, _) => {
                         cells.push("FAILED".to_string());
@@ -66,8 +82,15 @@ fn main() {
                             let first = e.lines().next().unwrap_or("");
                             println!("    [{mode:?} x{procs}] {first}");
                         }
+                        let _ = write!(
+                            json,
+                            "{}\n        {{\"mode\": \"{mode:?}\", \"procs\": {procs}, \
+                             \"parallel_ns\": null, \"failed\": true}}",
+                            if first_run { "" } else { "," }
+                        );
                     }
                 }
+                first_run = false;
             }
             let mut row = format!("{:<10}", format!("{mode:?}"));
             for c in &cells {
@@ -75,13 +98,20 @@ fn main() {
             }
             println!("{row}");
         }
+        json.push_str("\n      ]}");
         // CableS/Base ratio at 32 procs (paper: within 25% for FFT, LU,
         // RAYTRACE, WATER; worse for RADIX and VOLREND; OCEAN base fails).
         println!();
     }
+    json.push_str("\n  ]\n}\n");
     println!("paper shape targets:");
     println!("  - FFT/LU/WATER/RAYTRACE: CableS within ~25% of base at 32 procs");
     println!("  - OCEAN: base faster (write-through optimization) but FAILS at 32");
     println!("    procs on registration limits; CableS completes");
     println!("  - RADIX/VOLREND: CableS degraded by 64 KB-granularity placement");
+    if smoke {
+        println!("smoke mode: BENCH_fig5.json not rewritten");
+    } else {
+        write_artifact("BENCH_fig5.json", &json);
+    }
 }

@@ -1,11 +1,15 @@
 //! Protocol-traffic ablation: batched diffs × stride prefetch ×
 //! lock-data forwarding.
 //!
-//! Runs FFT and RADIX (16 processors → 8 nodes) over the full 2×2×2
-//! on/off grid of the three protocol optimizations and produces
+//! Runs FFT and RADIX (32 processors → 16 nodes at full size; 16
+//! processors → 8 nodes in smoke mode) over the full 2×2×2 on/off grid
+//! of the three protocol optimizations and produces
 //! `BENCH_protocol.json` with per-point message counts and simulated
 //! times, plus a critical-path blame comparison of the all-off and
-//! all-on corners.
+//! all-on corners. The grid runs on the green-thread parallel engine
+//! backend — the 16-node promotion is what that backend exists to make
+//! affordable — and every determinism assertion below therefore also
+//! exercises the parallel scheduler.
 //!
 //! Asserted invariants:
 //!
@@ -30,6 +34,7 @@ use apps::{M4Ctx, M4System};
 use cables::CablesConfig;
 use cables_bench::{cluster_for, fmt_ns, header, smoke_mode};
 use obs::critpath;
+use sim::EngineMode;
 use svm::{Cluster, NodeStats, SvmConfig};
 
 struct Workload {
@@ -44,7 +49,7 @@ fn fft_body(ctx: &M4Ctx, smoke: bool) -> u64 {
     // all-on corner must win simulated time robustly, not by luck.
     let p = fft::FftParams {
         m: if smoke { 10 } else { 14 },
-        nprocs: 16,
+        nprocs: if smoke { 16 } else { 32 },
         verify: false,
     };
     fft::fft(ctx, &p).checksum.to_bits()
@@ -55,7 +60,7 @@ fn radix_body(ctx: &M4Ctx, smoke: bool) -> u64 {
         keys: if smoke { 16_384 } else { 65_536 },
         digit_bits: 8,
         max_key: 1 << 16,
-        nprocs: 16,
+        nprocs: if smoke { 16 } else { 32 },
     };
     let r = radix::radix(ctx, &p);
     assert!(r.sorted, "RADIX output not sorted");
@@ -71,7 +76,11 @@ struct GridRun {
 }
 
 fn run_point(w: &Workload, toggles: (bool, bool, bool), observe: bool, smoke: bool) -> GridRun {
-    let cluster = Cluster::build(cluster_for(w.procs));
+    // The 16-node grid runs on the green-thread backend; determinism
+    // means the artifact is identical to a sequential-oracle run.
+    let mut cluster_cfg = cluster_for(w.procs);
+    cluster_cfg.engine = EngineMode::Parallel;
+    let cluster = Cluster::build(cluster_cfg);
     let cfg = CablesConfig {
         svm: SvmConfig::cables().with_protocol_opts(toggles.0, toggles.1, toggles.2),
         ..CablesConfig::paper()
@@ -122,15 +131,18 @@ fn main() {
         "protocol_opt: batched diffs x stride prefetch x lock forwarding",
         "no paper table; the GCS-style traffic reductions of §2.2, ablated",
     );
+    // Full size runs the promoted 16-node grid (32 processors); smoke
+    // keeps the original 8-node shape so CI stays fast.
+    let procs = if smoke { 16 } else { 32 };
     let workloads = [
         Workload {
             name: "FFT",
-            procs: 16,
+            procs,
             body: fft_body,
         },
         Workload {
             name: "RADIX",
-            procs: 16,
+            procs,
             body: radix_body,
         },
     ];
@@ -150,7 +162,7 @@ fn main() {
     let _ = write!(artifact, "  \"smoke\": {smoke},\n  \"kernels\": [");
 
     for (wi, w) in workloads.iter().enumerate() {
-        println!("--- {} (16 procs, 8 nodes) ---", w.name);
+        println!("--- {} ({} procs, {} nodes) ---", w.name, w.procs, w.procs / 2);
         println!(
             "{:<22} {:>12} {:>14} {:>11} {:>10} {:>9} {:>9}",
             "point", "sim time", "remote_fetches", "diffs_sent", "prefetch", "pf hits", "lock fwd"

@@ -4,7 +4,9 @@
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
 
-use cables_bench::header;
+use std::fmt::Write as _;
+
+use cables_bench::{header, write_artifact};
 use memsim::{ClusterMem, OsVmConfig, PAGE_SIZE};
 use san::{San, SanConfig};
 use sim::{Engine, SimTime};
@@ -14,6 +16,8 @@ struct Row {
     op: &'static str,
     paper: &'static str,
     measured: String,
+    value: f64,
+    unit: &'static str,
 }
 
 fn main() {
@@ -44,6 +48,8 @@ fn main() {
                     op,
                     paper,
                     measured: format!("{:.1} us", ns as f64 / 1e3),
+                    value: ns as f64,
+                    unit: "ns",
                 });
             };
 
@@ -88,6 +94,8 @@ fn main() {
                 op: "maximum ping-pong bandwidth",
                 paper: "125 MBytes/s",
                 measured: format!("{mbs:.0} MBytes/s"),
+                value: mbs,
+                unit: "MB/s",
             });
 
             // Fetch bandwidth.
@@ -103,6 +111,8 @@ fn main() {
                 op: "maximum fetch bandwidth",
                 paper: "125 MBytes/s",
                 measured: format!("{mbs:.0} MBytes/s"),
+                value: mbs,
+                unit: "MB/s",
             });
 
             // Notification.
@@ -114,8 +124,24 @@ fn main() {
 
     println!("{:<34} {:>14} {:>14}", "VMMC operation", "paper", "measured");
     println!("{}", "-".repeat(64));
-    for r in rows.lock().unwrap().iter() {
+    let rows = rows.lock().unwrap();
+    for r in rows.iter() {
         println!("{:<34} {:>14} {:>14}", r.op, r.paper, r.measured);
     }
     println!();
+
+    let mut json = String::from("{\n  \"bench\": \"table3\",\n  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    {{\"op\": \"{}\", \"paper\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}",
+            if i > 0 { "," } else { "" },
+            r.op,
+            r.paper,
+            r.value,
+            r.unit
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    write_artifact("BENCH_table3.json", &json);
 }

@@ -5,8 +5,10 @@
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
 
+use std::fmt::Write as _;
+
 use cables::{CablesConfig, CablesRt, MutexCondBarrier};
-use cables_bench::header;
+use cables_bench::{header, write_artifact};
 use svm::{Cluster, ClusterConfig};
 
 #[derive(Clone)]
@@ -397,7 +399,8 @@ fn main() {
         "CableS mechanism", "paper", "measured"
     );
     println!("{}", "-".repeat(80));
-    for r in rows.lock().unwrap().iter() {
+    let rows = rows.lock().unwrap();
+    for r in rows.iter() {
         println!(
             "{:<48} {:>14} {:>14}",
             r.mechanism,
@@ -408,4 +411,18 @@ fn main() {
     println!();
     println!("note: measured values come from the simulated cluster's cost model;");
     println!("      the reproduction targets the paper's magnitudes and ratios.");
+
+    let mut json = String::from("{\n  \"bench\": \"table4\",\n  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    {{\"mechanism\": \"{}\", \"paper\": \"{}\", \"measured_ns\": {}}}",
+            if i > 0 { "," } else { "" },
+            r.mechanism,
+            r.paper,
+            r.measured_ns
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    write_artifact("BENCH_table4.json", &json);
 }

@@ -6,11 +6,12 @@
 //! warmed up first (thread creation and node attach are the paper's
 //! initialization overhead, reported separately in Table 4).
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
 
 use cables::{CablesConfig, CablesRt};
-use cables_bench::{header, smoke_mode};
+use cables_bench::{header, smoke_mode, write_artifact};
 use omp::Omp;
 use svm::{Cluster, ClusterConfig};
 
@@ -107,13 +108,21 @@ fn main() {
         &[Program::Fft, Program::Lu, Program::Ocean]
     };
     let procs_list: &[usize] = if smoke { &[4] } else { &[4, 8, 16] };
-    for program in programs {
+    let mut json = String::from("{\n  \"bench\": \"table6\",\n  \"programs\": [");
+    for (pi, program) in programs.iter().enumerate() {
         let prow = paper
             .iter()
             .find(|(n, _)| *n == program.name())
             .expect("paper row");
         let t1 = run_one(*program, 1) as f64;
         let mut row = format!("{:<10}", program.name());
+        let _ = write!(
+            json,
+            "{}\n    {{\"program\": \"{}\", \"t1_ns\": {}, \"points\": [",
+            if pi > 0 { "," } else { "" },
+            program.name(),
+            t1 as u64
+        );
         for (j, procs) in procs_list.iter().enumerate() {
             let tp = run_one(*program, *procs) as f64;
             let speedup = t1 / tp;
@@ -121,10 +130,25 @@ fn main() {
                 " {:>16}",
                 format!("{speedup:>5.2} ({:>5.2})", prow.1[j])
             ));
+            let _ = write!(
+                json,
+                "{}{{\"procs\": {procs}, \"tp_ns\": {}, \"speedup\": {speedup:.3}, \
+                 \"paper_speedup\": {}}}",
+                if j > 0 { ", " } else { "" },
+                tp as u64,
+                prow.1[j]
+            );
         }
+        json.push_str("]}");
         println!("{row}");
     }
+    json.push_str("\n  ]\n}\n");
     println!();
     println!("shape targets: modest speedups throughout; LU scales best, OCEAN worst");
     println!("(OpenMP-for-SMP programs are master-initialized, so placement is poor).");
+    if smoke {
+        println!("smoke mode: BENCH_table6.json not rewritten");
+    } else {
+        write_artifact("BENCH_table6.json", &json);
+    }
 }

@@ -376,6 +376,17 @@ where
     (end, r)
 }
 
+/// Validates a JSON artifact and lands it at the repo root (where
+/// `scripts/report.sh` collects the cross-PR summary), regardless of
+/// cargo's bench working directory.
+pub fn write_artifact(name: &str, json: &str) {
+    obs::json::validate(json)
+        .unwrap_or_else(|e| panic!("{name}: malformed artifact JSON: {e:?}"));
+    let path = format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {name}: {e}"));
+    println!("results written to {name}");
+}
+
 /// Prints a standard bench header.
 pub fn header(title: &str, paper_ref: &str) {
     println!();

@@ -727,6 +727,32 @@ pub struct EventRecord {
     pub event: Event,
 }
 
+impl EventRecord {
+    /// A total, mode-independent ordering key: `(at, node, track, layer,
+    /// kind, dur)`. Recording order is already identical across engine
+    /// backends (every backend executes operations in the same global
+    /// timestamp order), so sorting by this key is defense in depth for
+    /// cross-backend comparisons — any reordering of same-instant records
+    /// normalizes away, while a genuine divergence still differs.
+    pub fn canonical_key(&self) -> (u64, u32, u64, usize, &'static str, u64) {
+        (
+            self.at.as_nanos(),
+            self.node.0,
+            self.track,
+            self.layer.index(),
+            self.event.kind_name(),
+            self.dur_ns,
+        )
+    }
+}
+
+/// Sorts `events` into the canonical cross-backend comparison order (see
+/// [`EventRecord::canonical_key`]). Stable, so records identical under the
+/// key keep their recording order.
+pub fn canonical_sort(events: &mut [EventRecord]) {
+    events.sort_by(|a, b| a.canonical_key().cmp(&b.canonical_key()));
+}
+
 impl fmt::Display for EventRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -63,7 +63,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use sim::{NodeId, SimTime};
 
-pub use event::{EdgeKind, Event, EventRecord, Layer, SchedKind, NIC_TRACK};
+pub use event::{canonical_sort, EdgeKind, Event, EventRecord, Layer, SchedKind, NIC_TRACK};
 pub use metrics::{Histogram, KindAgg, MetricsSnapshot, NodeMetrics, PageMetrics, HIST_BUCKETS};
 
 use metrics::Registry;

@@ -23,12 +23,14 @@ use std::collections::BinaryHeap;
 use std::cmp::Reverse;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
+use crate::carrier::{self, GreenCtx, Payload};
 use crate::time::SimTime;
 
 /// Identifier of a simulated cluster node.
@@ -48,6 +50,127 @@ pub struct Tid(pub u64);
 impl fmt::Display for Tid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{}", self.0)
+    }
+}
+
+/// Execution backend of the engine.
+///
+/// All three modes execute operations in the *same* global `(clock, tid)`
+/// order and therefore produce bit-identical simulated results, metrics
+/// snapshots and chaos replays (enforced by `tests/parallel_engine.rs`).
+/// They differ only in scheduling mechanics:
+///
+/// | mode                    | threads          | hand-off        | audits |
+/// |-------------------------|------------------|-----------------|--------|
+/// | `Sequential`            | one OS thread each | futex/condvar | off    |
+/// | `Parallel`              | green threads, one carrier | user-level stack switch | off |
+/// | `ParallelDeterministic` | green threads, one carrier | user-level stack switch | on |
+///
+/// The parallel backends exist for wall-clock speed: a futex hand-off
+/// costs microseconds of kernel scheduling, a stack switch costs
+/// nanoseconds, and the SPLASH kernels hand off thousands of times per
+/// run. `ParallelDeterministic` additionally verifies at runtime that
+/// dispatch keys are monotone, that declared operation scopes cover the
+/// executing node, and that green stacks are intact — the machine-checked
+/// version of the determinism argument in `DESIGN.md` §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The oracle: every simulated thread on its own OS thread.
+    #[default]
+    Sequential,
+    /// Green-thread carrier backend, audits off.
+    Parallel,
+    /// Green-thread carrier backend with runtime determinism audits.
+    ParallelDeterministic,
+}
+
+impl EngineMode {
+    /// Whether this mode runs on the green-thread carrier backend.
+    pub fn is_green(self) -> bool {
+        !matches!(self, EngineMode::Sequential)
+    }
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineMode::Sequential => write!(f, "sequential"),
+            EngineMode::Parallel => write!(f, "parallel"),
+            EngineMode::ParallelDeterministic => write!(f, "parallel_det"),
+        }
+    }
+}
+
+impl FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sequential" | "seq" => Ok(EngineMode::Sequential),
+            "parallel" | "par" => Ok(EngineMode::Parallel),
+            "parallel_det" | "parallel-det" | "parallel_deterministic" => {
+                Ok(EngineMode::ParallelDeterministic)
+            }
+            other => Err(format!(
+                "unknown engine mode {other:?} (expected sequential | parallel | parallel_det)"
+            )),
+        }
+    }
+}
+
+/// Declared node footprint of an operation ordered at a sync point.
+///
+/// A scope is the set of nodes whose simulation state the operation may
+/// read or write. Page faults, for example, touch the faulting node, the
+/// page's home and the segment master; locks, barriers and releases touch
+/// every node (write notices, the global notice log). Scopes never alter
+/// scheduling — operations always execute in global timestamp order — but
+/// they feed two things: the `ParallelDeterministic` audit (an operation
+/// must at least cover its own node) and the lookahead-window telemetry
+/// ([`EngineStats::window_admissible`]), which measures how many yields a
+/// footprint-aware conservative scheduler *could* avoid if cross-node
+/// effects carried a minimum latency (see `DESIGN.md` §5.3 for why they
+/// currently do not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope(u64);
+
+impl Scope {
+    /// The conservative scope: every node.
+    pub const ALL: Scope = Scope(u64::MAX);
+
+    /// Scope containing exactly `n`. Node ids ≥ 64 saturate to [`Scope::ALL`]
+    /// (conservative: false conflicts are sound, missed ones are not).
+    pub fn node(n: NodeId) -> Scope {
+        if n.0 >= 64 {
+            Scope::ALL
+        } else {
+            Scope(1 << n.0)
+        }
+    }
+
+    /// This scope extended with node `n`.
+    #[must_use]
+    pub fn with(self, n: NodeId) -> Scope {
+        if n.0 >= 64 {
+            Scope::ALL
+        } else {
+            Scope(self.0 | (1 << n.0))
+        }
+    }
+
+    /// Whether `n` is covered by this scope.
+    pub fn contains(self, n: NodeId) -> bool {
+        n.0 >= 64 || self.0 & (1 << n.0) != 0
+    }
+
+    /// Whether the two scopes share a node.
+    pub fn intersects(self, other: Scope) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether this is the conservative all-nodes scope.
+    pub fn is_all(self) -> bool {
+        self.0 == u64::MAX
     }
 }
 
@@ -172,6 +295,11 @@ struct ThreadRec {
     sleep_gen: u64,
     /// Set when the last timed block expired instead of being woken.
     timed_out: bool,
+    /// Declared footprint of the operation this thread is parked at
+    /// ([`Scope::ALL`] for resumes, blocks and undeclared points).
+    pend_scope: Scope,
+    /// Green-thread context (parallel backends only).
+    green: Option<GreenCtx>,
     name: String,
 }
 
@@ -204,11 +332,32 @@ pub struct EngineStats {
     pub tlb_hits: u64,
     /// Software-TLB misses, merged in by the memory layer.
     pub tlb_misses: u64,
+    /// Times a per-node ready shard had to grow its retained storage.
+    /// Flat after warm-up: steady-state scheduling does not allocate.
+    pub ready_reallocs: u64,
+    /// Slow-path yields whose operation a footprint-aware conservative
+    /// scheduler could have admitted without yielding: the declared scope
+    /// was disjoint from every earlier pending operation and the timestamp
+    /// was within the configured lookahead window of the earliest one.
+    /// Pure telemetry — the yield still happens (see `DESIGN.md` §5.3).
+    pub window_admissible: u64,
 }
+
+/// Per-node ready queues. Selection is identical to one global min-heap —
+/// the scheduler always takes the global minimum `(clock, tid)` — but each
+/// node's storage is retained for the whole run, so steady-state
+/// scheduling never allocates ([`EngineStats::ready_reallocs`] proves it).
+#[derive(Default)]
+struct ReadyShards {
+    shards: Vec<BinaryHeap<Reverse<(u64, u64)>>>,
+}
+
+/// Initial retained capacity of each node's ready shard.
+const SHARD_RESERVE: usize = 64;
 
 struct Kernel {
     threads: Vec<ThreadRec>,
-    ready: BinaryHeap<Reverse<(u64, u64)>>,
+    ready: ReadyShards,
     /// Sleeping (timed-blocked) threads: (deadline ns, tid, sleep_gen).
     sleepers: BinaryHeap<Reverse<(u64, u64, u64)>>,
     running: Option<Tid>,
@@ -218,6 +367,13 @@ struct Kernel {
     final_time: SimTime,
     stats: EngineStats,
     fresh: u64,
+    /// Execution backend; fixed before the first spawn.
+    mode: EngineMode,
+    /// Conservative lookahead window in ns for the window telemetry
+    /// (typically the SAN base message latency); `None` disables it.
+    lookahead: Option<u64>,
+    /// Last dispatched `(clock, tid)` key, for the monotonicity audit.
+    last_dispatch: (u64, u64),
     /// Observability hook for scheduling points (None = zero overhead
     /// beyond this Option check).
     sched_hook: Option<SchedHook>,
@@ -253,10 +409,36 @@ impl Kernel {
         &mut self.threads[tid.0 as usize]
     }
 
+    /// Whether the runtime determinism audits are on.
+    fn audits(&self) -> bool {
+        self.mode == EngineMode::ParallelDeterministic
+    }
+
+    /// Enqueues `tid` on its node's ready shard with a conservative
+    /// (all-nodes) pending scope — the right default for wakes, spawns and
+    /// expired sleeps, whose continuation may touch anything.
     fn push_ready(&mut self, tid: Tid) {
-        let clock = self.rec(tid).clock;
-        self.rec_mut(tid).state = ThreadState::Ready;
-        self.ready.push(Reverse((clock.as_nanos(), tid.0)));
+        self.push_ready_scoped(tid, Scope::ALL);
+    }
+
+    /// Enqueues `tid` with the declared footprint of the operation it is
+    /// parked at.
+    fn push_ready_scoped(&mut self, tid: Tid, scope: Scope) {
+        let (clock, node) = {
+            let r = self.rec(tid);
+            (r.clock, r.node)
+        };
+        {
+            let r = self.rec_mut(tid);
+            r.state = ThreadState::Ready;
+            r.pend_scope = scope;
+        }
+        let shard = &mut self.ready.shards[node.0 as usize];
+        let cap = shard.capacity();
+        shard.push(Reverse((clock.as_nanos(), tid.0)));
+        if shard.capacity() != cap {
+            self.stats.ready_reallocs += 1;
+        }
     }
 
     /// Drops invalidated entries and returns the earliest valid sleeper
@@ -274,16 +456,31 @@ impl Kernel {
         None
     }
 
+    /// Drops invalidated shard tops and returns the global minimum ready
+    /// key with its shard index, without popping it.
+    fn peek_ready_shard(&mut self) -> Option<((u64, u64), usize)> {
+        let mut best: Option<((u64, u64), usize)> = None;
+        for si in 0..self.ready.shards.len() {
+            loop {
+                let Some(&Reverse(top)) = self.ready.shards[si].peek() else {
+                    break;
+                };
+                if self.threads[top.1 as usize].state != ThreadState::Ready {
+                    self.ready.shards[si].pop();
+                    continue;
+                }
+                if best.map_or(true, |(b, _)| top < b) {
+                    best = Some((top, si));
+                }
+                break;
+            }
+        }
+        best
+    }
+
     /// Drops invalidated ready entries and returns the minimum ready key.
     fn peek_ready(&mut self) -> Option<(u64, u64)> {
-        while let Some(&Reverse(top)) = self.ready.peek() {
-            if self.rec(Tid(top.1)).state != ThreadState::Ready {
-                self.ready.pop();
-                continue;
-            }
-            return Some(top);
-        }
-        None
+        self.peek_ready_shard().map(|(key, _)| key)
     }
 
     /// Fires the earliest sleeper as a timeout: it becomes ready at its
@@ -302,15 +499,36 @@ impl Kernel {
         self.push_ready(tid);
     }
 
-    /// Hands the baton to the minimum-clock ready thread, waking timed
-    /// sleepers whose deadlines come first.
-    fn schedule_next(&mut self) {
+    /// Audit hook at every operation dispatch: global dispatch keys must be
+    /// nondecreasing (the determinism invariant of the engine; see the
+    /// module docs and `DESIGN.md` §5.3). Violations poison the run.
+    fn audit_dispatch(&mut self, key: (u64, u64)) {
+        if !self.audits() {
+            return;
+        }
+        if key.0 < self.last_dispatch.0 {
+            let (lk, lt) = self.last_dispatch;
+            self.poison(SimError::Panicked(format!(
+                "determinism audit: dispatch key ({}, t{}) after ({lk}, t{lt})",
+                key.0, key.1
+            )));
+            return;
+        }
+        self.last_dispatch = key;
+    }
+
+    /// Selects, marks running and accounts the next thread to execute:
+    /// the minimum-clock ready thread, after waking timed sleepers whose
+    /// deadlines come first. Returns `None` when nothing is runnable
+    /// (poisoning a deadlock if live threads remain). On the green backend
+    /// a poisoned run drains parked threads one by one so they unwind.
+    fn pick_next(&mut self) -> Option<Tid> {
         debug_assert!(self.running.is_none());
         loop {
             let sleeper = self.peek_sleeper();
-            let ready = self.peek_ready();
+            let ready = self.peek_ready_shard();
             match (ready, sleeper) {
-                (Some((rt, _)), Some(st)) if st < rt => {
+                (Some(((rt, _), _)), Some(st)) if st < rt => {
                     self.fire_sleeper();
                     continue;
                 }
@@ -318,14 +536,14 @@ impl Kernel {
                     self.fire_sleeper();
                     continue;
                 }
-                (Some((_, tid_raw)), _) => {
-                    let tid = Tid(tid_raw);
-                    self.ready.pop();
+                (Some((key, si)), _) => {
+                    let tid = Tid(key.1);
+                    self.ready.shards[si].pop();
                     self.rec_mut(tid).state = ThreadState::Running;
                     self.running = Some(tid);
                     self.stats.context_switches += 1;
-                    self.rec(tid).cell.signal();
-                    return;
+                    self.audit_dispatch(key);
+                    return Some(tid);
                 }
                 (None, None) => break,
             }
@@ -341,6 +559,63 @@ impl Kernel {
                 "{} threads blocked with nothing runnable: {:?}",
                 self.live, blocked
             )));
+        }
+        if self.poisoned.is_some() && self.mode.is_green() {
+            // Green threads cannot be unparked by a condvar broadcast; the
+            // scheduler resumes them one at a time (any order — each will
+            // observe the poison and unwind via `check_poison`).
+            for i in 0..self.threads.len() {
+                let t = &self.threads[i];
+                if matches!(t.state, ThreadState::Ready | ThreadState::Blocked) {
+                    let tid = Tid(i as u64);
+                    self.rec_mut(tid).state = ThreadState::Running;
+                    self.running = Some(tid);
+                    self.stats.context_switches += 1;
+                    return Some(tid);
+                }
+            }
+        }
+        None
+    }
+
+    /// OS backend: hands the baton to the thread chosen by [`Kernel::pick_next`].
+    fn schedule_next(&mut self) {
+        if let Some(tid) = self.pick_next() {
+            self.rec(tid).cell.signal();
+        }
+    }
+
+    /// Exit-time bookkeeping shared by both backends: emits the event,
+    /// retires the thread, wakes exit waiters and records a panic poison.
+    fn exit_bookkeeping(&mut self, tid: Tid, panic_msg: Option<String>) {
+        let clock = self.rec(tid).clock;
+        let exit_node = self.rec(tid).node;
+        self.emit_sched(clock, exit_node, tid, SchedEventKind::Exit, None);
+        self.rec_mut(tid).state = ThreadState::Exited;
+        self.final_time = self.final_time.max(clock);
+        self.live -= 1;
+        if self.running == Some(tid) {
+            self.running = None;
+        }
+        let waiters = std::mem::take(&mut self.rec_mut(tid).exit_waiters);
+        let cause = Some(SchedCause {
+            tid,
+            node: exit_node,
+            at: clock,
+        });
+        for w in waiters {
+            if self.rec(w).state == ThreadState::Blocked {
+                let wc = self.rec(w).clock.max(clock);
+                self.rec_mut(w).clock = wc;
+                self.emit_sched(wc, self.rec(w).node, w, SchedEventKind::Wake, cause);
+                self.push_ready(w);
+            }
+        }
+        if let Some(msg) = panic_msg {
+            // Suppress cascade panics from poisoning so the first cause wins.
+            if self.poisoned.is_none() {
+                self.poison(SimError::Panicked(msg));
+            }
         }
     }
 
@@ -366,6 +641,10 @@ struct EngineInner {
     /// charge takes the kernel lock (the pre-optimization behaviour, kept
     /// as a measurement baseline).
     lockless: AtomicBool,
+    /// Green backends: saved stack pointer of the carrier OS thread parked
+    /// in [`Engine::run`]. Only touched by that single carrier thread (the
+    /// atomic is for `Sync`, not for cross-thread traffic).
+    carrier_rsp: AtomicPtr<u8>,
 }
 
 /// A deterministic discrete-event engine for a simulated cluster.
@@ -414,7 +693,7 @@ impl Engine {
             inner: Arc::new(EngineInner {
                 kernel: Mutex::new(Kernel {
                     threads: Vec::new(),
-                    ready: BinaryHeap::new(),
+                    ready: ReadyShards::default(),
                     sleepers: BinaryHeap::new(),
                     running: None,
                     live: 0,
@@ -423,11 +702,15 @@ impl Engine {
                     final_time: SimTime::ZERO,
                     stats: EngineStats::default(),
                     fresh: 0,
+                    mode: EngineMode::Sequential,
+                    lookahead: None,
+                    last_dispatch: (0, 0),
                     sched_hook: None,
                 }),
                 done: Condvar::new(),
                 handles: Mutex::new(Vec::new()),
                 lockless: AtomicBool::new(true),
+                carrier_rsp: AtomicPtr::new(std::ptr::null_mut()),
             }),
         }
     }
@@ -464,7 +747,43 @@ impl Engine {
             cpus: vec![CpuRec::default(); cpus],
             next_cpu: 0,
         });
+        k.ready
+            .shards
+            .push(BinaryHeap::with_capacity(SHARD_RESERVE));
         id
+    }
+
+    /// Selects the execution backend. Must be called before the first
+    /// thread is spawned; the default is [`EngineMode::Sequential`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any thread has already been spawned.
+    pub fn set_mode(&self, mode: EngineMode) {
+        let mut k = self.inner.kernel.lock();
+        assert!(
+            k.threads.is_empty(),
+            "engine mode must be set before the first spawn"
+        );
+        k.mode = mode;
+    }
+
+    /// The currently selected execution backend.
+    pub fn mode(&self) -> EngineMode {
+        self.inner.kernel.lock().mode
+    }
+
+    /// Sets the conservative lookahead window (ns) used for the
+    /// [`EngineStats::window_admissible`] telemetry — typically the SAN
+    /// base message latency. `None` (the default) disables the telemetry.
+    /// Never affects scheduling order (see `DESIGN.md` §5.3).
+    pub fn set_lookahead(&self, window_ns: Option<u64>) {
+        self.inner.kernel.lock().lookahead = window_ns;
+    }
+
+    /// The configured lookahead window, if any.
+    pub fn lookahead(&self) -> Option<u64> {
+        self.inner.kernel.lock().lookahead
     }
 
     /// Number of nodes added so far.
@@ -495,6 +814,9 @@ impl Engine {
     where
         F: FnOnce(&Sim) + Send + 'static,
     {
+        if self.inner.kernel.lock().mode.is_green() {
+            return self.run_green(node, Box::new(root));
+        }
         self.spawn_thread(node, SimTime::ZERO, "root".to_string(), None, Box::new(root));
         {
             let mut k = self.inner.kernel.lock();
@@ -511,6 +833,35 @@ impl Engine {
             let _ = h.join();
         }
         let k = self.inner.kernel.lock();
+        match &k.poisoned {
+            Some(e) => Err(e.clone()),
+            None => Ok(k.final_time),
+        }
+    }
+
+    /// Green-backend body of [`Engine::run`]: the calling OS thread becomes
+    /// the *carrier* — it dispatches the root green thread and parks its own
+    /// context; green threads switch among themselves and the last exit
+    /// switches back here. Everything runs on this one OS thread.
+    fn run_green(&self, node: NodeId, root: Box<dyn FnOnce(&Sim) + Send + 'static>) -> Result<SimTime, SimError> {
+        self.spawn_thread(node, SimTime::ZERO, "root".to_string(), None, root);
+        let load = {
+            let mut k = self.inner.kernel.lock();
+            let first = k.pick_next().expect("root thread just spawned");
+            k.rec_mut(first)
+                .green
+                .as_mut()
+                .expect("green mode spawn creates a green context")
+                .take_rsp()
+        };
+        // The green side reads `carrier_rsp` to switch back when the run
+        // drains; `raw_switch` stores into the slot before any green code
+        // runs, and only this carrier OS thread ever touches the slot.
+        unsafe {
+            carrier::raw_switch(self.inner.carrier_rsp.as_ptr() as *mut *mut u8, load);
+        }
+        let k = self.inner.kernel.lock();
+        debug_assert!(k.live == 0 || k.poisoned.is_some());
         match &k.poisoned {
             Some(e) => Err(e.clone()),
             None => Ok(k.final_time),
@@ -552,12 +903,46 @@ impl Engine {
                 pending_wake: None,
                 sleep_gen: 0,
                 timed_out: false,
+                pend_scope: Scope::ALL,
+                green: None,
                 name: name.clone(),
             });
             k.live += 1;
             k.stats.threads_spawned += 1;
             k.push_ready(tid);
             k.emit_sched(start, node, tid, SchedEventKind::Spawn, cause);
+            if k.mode.is_green() {
+                // Green backend: no OS thread — park a fabricated context
+                // whose first dispatch runs the same body the OS backend
+                // would, then exits by switching away.
+                let engine = self.clone();
+                let body: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    if engine.inner.kernel.lock().poisoned.is_some() {
+                        Engine::green_exit(engine, tid, None);
+                    }
+                    let sim = Sim::new(engine.clone(), tid);
+                    let result = catch_unwind(AssertUnwindSafe(|| f(&sim)));
+                    // The kernel copy of the clock may be stale; make it
+                    // authoritative before exit bookkeeping reads it.
+                    sim.flush_for_exit();
+                    drop(sim);
+                    let panic_msg = result.err().and_then(|p| {
+                        if p.downcast_ref::<PoisonUnwind>().is_some() {
+                            // Cascade from an already-recorded failure.
+                            return None;
+                        }
+                        Some(
+                            p.downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| p.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string()),
+                        )
+                    });
+                    Engine::green_exit(engine, tid, panic_msg)
+                });
+                k.rec_mut(tid).green = Some(GreenCtx::new(Box::new(Payload { run: body })));
+                return tid;
+            }
         }
         let engine = self.clone();
         let handle = std::thread::Builder::new()
@@ -598,42 +983,43 @@ impl Engine {
 
     fn thread_exit(&self, tid: Tid, panic_msg: Option<String>) {
         let mut k = self.inner.kernel.lock();
-        let clock = k.rec(tid).clock;
-        let exit_node = k.rec(tid).node;
-        k.emit_sched(clock, exit_node, tid, SchedEventKind::Exit, None);
-        k.rec_mut(tid).state = ThreadState::Exited;
-        k.final_time = k.final_time.max(clock);
-        k.live -= 1;
-        if k.running == Some(tid) {
-            k.running = None;
-        }
-        let waiters = std::mem::take(&mut k.rec_mut(tid).exit_waiters);
-        let cause = Some(SchedCause {
-            tid,
-            node: exit_node,
-            at: clock,
-        });
-        for w in waiters {
-            if k.rec(w).state == ThreadState::Blocked {
-                let wc = k.rec(w).clock.max(clock);
-                k.rec_mut(w).clock = wc;
-                k.emit_sched(wc, k.rec(w).node, w, SchedEventKind::Wake, cause);
-                k.push_ready(w);
-            }
-        }
-        if let Some(msg) = panic_msg {
-            // Suppress cascade panics from poisoning so the first cause wins.
-            let already = k.poisoned.is_some();
-            if !already {
-                k.poison(SimError::Panicked(msg));
-            }
-        }
+        k.exit_bookkeeping(tid, panic_msg);
         if k.running.is_none() {
             k.schedule_next();
         }
         if k.live == 0 || k.poisoned.is_some() {
             self.inner.done.notify_all();
         }
+    }
+
+    /// Green-backend thread exit: records the exit, then switches straight
+    /// to the next runnable green thread — or back to the carrier parked in
+    /// [`Engine::run_green`] when the run has drained. Consumes the calling
+    /// green thread's `Engine` handle (dropping it before the final switch,
+    /// since this stack frame is abandoned, never unwound).
+    fn green_exit(engine: Engine, tid: Tid, panic_msg: Option<String>) -> ! {
+        let mut k = engine.inner.kernel.lock();
+        k.exit_bookkeeping(tid, panic_msg);
+        let next = k.pick_next();
+        let load = match next {
+            Some(t) => k
+                .rec_mut(t)
+                .green
+                .as_mut()
+                .expect("green mode threads all have a green context")
+                .take_rsp(),
+            // Nothing runnable: the run is over (drained or poisoned);
+            // resume the carrier. The slot was filled by `run_green`'s
+            // switch before any green code ran.
+            None => engine.inner.carrier_rsp.load(Ordering::Relaxed),
+        };
+        drop(k);
+        // The carrier's own `Engine` handle keeps the allocation alive for
+        // the rest of the run; this clone must die with this stack.
+        drop(engine);
+        let mut dead: *mut u8 = std::ptr::null_mut();
+        unsafe { carrier::raw_switch(&mut dead, load) };
+        unreachable!("exited green thread was resumed");
     }
 }
 
@@ -847,13 +1233,23 @@ impl Sim {
     /// `(clock, tid)` among runnable threads. Call before every operation
     /// on shared simulation state.
     pub fn sync_point(&self) {
+        self.sync_point_scoped(Scope::ALL);
+    }
+
+    /// Like [`Sim::sync_point`], with a declared footprint: the set of
+    /// nodes whose shared state the upcoming operation may touch. The
+    /// declaration never changes scheduling (see `DESIGN.md` §5.3 for why
+    /// any reordering would break determinism) — it feeds the
+    /// [`EngineStats::window_admissible`] telemetry and, under
+    /// [`EngineMode::ParallelDeterministic`], the scope audits.
+    pub fn sync_point_scoped(&self, scope: Scope) {
         let mut k = self.engine.inner.kernel.lock();
         self.flush_into(&mut k);
-        self.sync_point_with(k);
+        self.sync_point_with(k, scope);
     }
 
     /// Sync-point body; expects the cache already flushed under `k`.
-    fn sync_point_with(&self, mut k: MutexGuard<'_, Kernel>) {
+    fn sync_point_with(&self, mut k: MutexGuard<'_, Kernel>, scope: Scope) {
         debug_assert_eq!(k.running, Some(self.tid), "sync_point while not running");
         let my = (k.rec(self.tid).clock.as_nanos(), self.tid.0);
         // Fast path: still the global minimum among ready threads and
@@ -865,18 +1261,49 @@ impl Sim {
             .unwrap_or(false);
         if !(ready_first || sleeper_first) {
             self.n_sync_fast.set(self.n_sync_fast.get() + 1);
+            // The baton holder proceeding at its own key is a dispatch for
+            // audit purposes: keys must stay nondecreasing through it.
+            k.audit_dispatch(my);
             // Keep the baton: re-arm the lock-free cache so the next
             // charge doesn't pay for a kernel lock either.
             self.warm_cache(&k);
             return;
         }
         self.n_sync_slow.set(self.n_sync_slow.get() + 1);
-        let cell = Arc::clone(&k.rec(self.tid).cell);
+        // Window telemetry: count yields a footprint-aware conservative
+        // scheduler could have admitted — the op is within the lookahead
+        // window of the earliest pending one and its declared scope is
+        // disjoint from every earlier pending op's. Computed identically
+        // in every mode so [`EngineStats`] stays mode-invariant.
+        if let Some(w) = k.lookahead {
+            if !sleeper_first {
+                if let Some((min_key, _)) = k.peek_ready_shard() {
+                    if my.0 < min_key.0.saturating_add(w) {
+                        let disjoint = k.threads.iter().enumerate().all(|(i, t)| {
+                            i as u64 == self.tid.0
+                                || t.state != ThreadState::Ready
+                                || (t.clock.as_nanos(), i as u64) >= my
+                                || !t.pend_scope.intersects(scope)
+                        });
+                        if disjoint {
+                            k.stats.window_admissible += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if k.audits() {
+            let me_node = k.rec(self.tid).node;
+            if !scope.contains(me_node) {
+                let name = k.rec(self.tid).name.clone();
+                k.poison(SimError::Panicked(format!(
+                    "scope audit: thread {name} declared a footprint excluding its own node {me_node}"
+                )));
+            }
+        }
         k.running = None;
-        k.push_ready(self.tid);
-        k.schedule_next();
-        drop(k);
-        cell.wait();
+        k.push_ready_scoped(self.tid, scope);
+        self.park_and_switch(k);
         self.check_poison();
     }
 
@@ -886,6 +1313,12 @@ impl Sim {
     /// ordering check takes the kernel lock; when it is cold, both happen
     /// under a single critical section.
     pub fn op_point(&self, cost: u64) {
+        self.op_point_scoped(cost, Scope::ALL);
+    }
+
+    /// Like [`Sim::op_point`], with a declared footprint (see
+    /// [`Sim::sync_point_scoped`]).
+    pub fn op_point_scoped(&self, cost: u64, scope: Scope) {
         if cost > 0 && !self.cached_advance(cost) {
             let mut k = self.engine.inner.kernel.lock();
             self.flush_into(&mut k);
@@ -898,10 +1331,66 @@ impl Sim {
             let end = clock.max(free_at) + cost;
             k.rec_mut(self.tid).clock = end;
             k.nodes[node.0 as usize].cpus[cpu].free_at = end;
-            self.sync_point_with(k);
+            self.sync_point_with(k, scope);
             return;
         }
-        self.sync_point();
+        self.sync_point_scoped(scope);
+    }
+
+    /// Parks the calling thread (whose scheduling state the caller has
+    /// already updated, clearing `running`) and transfers control to the
+    /// next runnable thread; returns when this thread is next dispatched.
+    /// Sequential backend: hand the baton over the wait cell. Green
+    /// backends: switch stacks directly on the carrier OS thread.
+    fn park_and_switch(&self, mut k: MutexGuard<'_, Kernel>) {
+        debug_assert!(k.running.is_none());
+        if !k.mode.is_green() {
+            let cell = Arc::clone(&k.rec(self.tid).cell);
+            k.schedule_next();
+            drop(k);
+            cell.wait();
+            return;
+        }
+        if k.audits() {
+            let ok = k
+                .rec(self.tid)
+                .green
+                .as_ref()
+                .is_none_or(|g| g.canary_ok());
+            if !ok {
+                let name = k.rec(self.tid).name.clone();
+                k.poison(SimError::Panicked(format!(
+                    "stack audit: green stack canary overwritten on thread {name}"
+                )));
+            }
+        }
+        match k.pick_next() {
+            // Re-picked immediately (a fired sleeper landed later than us,
+            // or the poison drain chose us): keep running, no switch.
+            Some(t) if t == self.tid => drop(k),
+            Some(t) => {
+                let load = k
+                    .rec_mut(t)
+                    .green
+                    .as_mut()
+                    .expect("green mode threads all have a green context")
+                    .take_rsp();
+                let save = {
+                    let g = k
+                        .rec_mut(self.tid)
+                        .green
+                        .as_mut()
+                        .expect("green mode threads all have a green context");
+                    &mut g.rsp as *mut *mut u8
+                };
+                drop(k);
+                // `raw_switch` stores into `save` before any simulated code
+                // can run again, and nothing else touches the thread table
+                // in between: there is only one carrier OS thread.
+                unsafe { carrier::raw_switch(save, load) };
+            }
+            None => unreachable!("parked thread not found by the scheduler"),
+        }
     }
 
     /// Parks this thread until another thread calls [`Sim::wake`] on it.
@@ -912,29 +1401,24 @@ impl Sim {
     /// register-then-block race-free even when registration and blocking
     /// are separated by scheduling points.
     pub fn block(&self) {
-        let cell;
-        {
-            let mut k = self.engine.inner.kernel.lock();
-            self.flush_into(&mut k);
-            debug_assert_eq!(k.running, Some(self.tid), "block while not running");
-            if let Some(at) = k.rec_mut(self.tid).pending_wake.take() {
-                let c = k.rec(self.tid).clock.max(at);
-                k.rec_mut(self.tid).clock = c;
-                return;
-            }
-            k.emit_sched(
-                k.rec(self.tid).clock,
-                k.rec(self.tid).node,
-                self.tid,
-                SchedEventKind::Block,
-                None,
-            );
-            cell = Arc::clone(&k.rec(self.tid).cell);
-            k.rec_mut(self.tid).state = ThreadState::Blocked;
-            k.running = None;
-            k.schedule_next();
+        let mut k = self.engine.inner.kernel.lock();
+        self.flush_into(&mut k);
+        debug_assert_eq!(k.running, Some(self.tid), "block while not running");
+        if let Some(at) = k.rec_mut(self.tid).pending_wake.take() {
+            let c = k.rec(self.tid).clock.max(at);
+            k.rec_mut(self.tid).clock = c;
+            return;
         }
-        cell.wait();
+        k.emit_sched(
+            k.rec(self.tid).clock,
+            k.rec(self.tid).node,
+            self.tid,
+            SchedEventKind::Block,
+            None,
+        );
+        k.rec_mut(self.tid).state = ThreadState::Blocked;
+        k.running = None;
+        self.park_and_switch(k);
         self.check_poison();
     }
 
@@ -944,36 +1428,31 @@ impl Sim {
     ///
     /// A pending wake token is consumed immediately (returns `true`).
     pub fn block_deadline(&self, deadline: SimTime) -> bool {
-        let cell;
-        {
-            let mut k = self.engine.inner.kernel.lock();
-            self.flush_into(&mut k);
-            debug_assert_eq!(k.running, Some(self.tid), "block while not running");
-            if let Some(at) = k.rec_mut(self.tid).pending_wake.take() {
-                let c = k.rec(self.tid).clock.max(at);
-                k.rec_mut(self.tid).clock = c;
-                return true;
-            }
-            k.emit_sched(
-                k.rec(self.tid).clock,
-                k.rec(self.tid).node,
-                self.tid,
-                SchedEventKind::Block,
-                None,
-            );
-            cell = Arc::clone(&k.rec(self.tid).cell);
-            let gen = {
-                let rec = k.rec_mut(self.tid);
-                rec.state = ThreadState::Blocked;
-                rec.timed_out = false;
-                rec.sleep_gen
-            };
-            k.sleepers
-                .push(Reverse((deadline.as_nanos(), self.tid.0, gen)));
-            k.running = None;
-            k.schedule_next();
+        let mut k = self.engine.inner.kernel.lock();
+        self.flush_into(&mut k);
+        debug_assert_eq!(k.running, Some(self.tid), "block while not running");
+        if let Some(at) = k.rec_mut(self.tid).pending_wake.take() {
+            let c = k.rec(self.tid).clock.max(at);
+            k.rec_mut(self.tid).clock = c;
+            return true;
         }
-        cell.wait();
+        k.emit_sched(
+            k.rec(self.tid).clock,
+            k.rec(self.tid).node,
+            self.tid,
+            SchedEventKind::Block,
+            None,
+        );
+        let gen = {
+            let rec = k.rec_mut(self.tid);
+            rec.state = ThreadState::Blocked;
+            rec.timed_out = false;
+            rec.sleep_gen
+        };
+        k.sleepers
+            .push(Reverse((deadline.as_nanos(), self.tid.0, gen)));
+        k.running = None;
+        self.park_and_switch(k);
         self.check_poison();
         let k = self.engine.inner.kernel.lock();
         !k.rec(self.tid).timed_out
@@ -1058,27 +1537,22 @@ impl Sim {
     /// Blocks until `target` exits; on resume this thread's clock is at
     /// least the target's exit time.
     pub fn wait_exit(&self, target: Tid) {
-        let cell;
-        {
-            let mut k = self.engine.inner.kernel.lock();
-            self.flush_into(&mut k);
-            match k.rec(target).state {
-                ThreadState::Exited => {
-                    let t = k.rec(target).clock;
-                    let mine = k.rec(self.tid).clock.max(t);
-                    k.rec_mut(self.tid).clock = mine;
-                    return;
-                }
-                _ => {
-                    k.rec_mut(target).exit_waiters.push(self.tid);
-                    cell = Arc::clone(&k.rec(self.tid).cell);
-                    k.rec_mut(self.tid).state = ThreadState::Blocked;
-                    k.running = None;
-                    k.schedule_next();
-                }
+        let mut k = self.engine.inner.kernel.lock();
+        self.flush_into(&mut k);
+        match k.rec(target).state {
+            ThreadState::Exited => {
+                let t = k.rec(target).clock;
+                let mine = k.rec(self.tid).clock.max(t);
+                k.rec_mut(self.tid).clock = mine;
+                return;
+            }
+            _ => {
+                k.rec_mut(target).exit_waiters.push(self.tid);
+                k.rec_mut(self.tid).state = ThreadState::Blocked;
+                k.running = None;
+                self.park_and_switch(k);
             }
         }
-        cell.wait();
         self.check_poison();
     }
 
@@ -1457,5 +1931,232 @@ mod timed_block_tests {
             sim.wait_exit(child);
         })
         .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod green_mode_tests {
+    use super::*;
+    use std::str::FromStr;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    fn green_engine(mode: EngineMode, cpus: usize) -> (Engine, NodeId) {
+        let e = Engine::new();
+        e.set_mode(mode);
+        let n = e.add_node(cpus);
+        (e, n)
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in [
+            EngineMode::Sequential,
+            EngineMode::Parallel,
+            EngineMode::ParallelDeterministic,
+        ] {
+            assert_eq!(EngineMode::from_str(&mode.to_string()).unwrap(), mode);
+        }
+        assert_eq!(EngineMode::from_str("seq").unwrap(), EngineMode::Sequential);
+        assert_eq!(EngineMode::from_str("par").unwrap(), EngineMode::Parallel);
+        assert!(EngineMode::from_str("turbo").is_err());
+    }
+
+    #[test]
+    fn scope_algebra() {
+        let a = Scope::node(NodeId(3));
+        assert!(a.contains(NodeId(3)));
+        assert!(!a.contains(NodeId(4)));
+        assert!(a.with(NodeId(4)).contains(NodeId(4)));
+        assert!(!a.intersects(Scope::node(NodeId(4))));
+        assert!(a.intersects(Scope::ALL));
+        assert!(Scope::node(NodeId(64)).is_all());
+    }
+
+    #[test]
+    fn green_run_matches_sequential_results_and_stats() {
+        let run = |mode: EngineMode| {
+            let (e, n) = green_engine(mode, 2);
+            e.set_lookahead(Some(5_000));
+            let sum = Arc::new(AtomicU64::new(0));
+            let s2 = Arc::clone(&sum);
+            let end = e
+                .run(n, move |sim| {
+                    let mut kids = Vec::new();
+                    for i in 0..4u64 {
+                        let s3 = Arc::clone(&s2);
+                        kids.push(sim.spawn_on(sim.node(), SimTime::ZERO, "k", move |s| {
+                            for j in 0..50 {
+                                s.advance(13 + i * 7 + j);
+                                s.op_point(3);
+                            }
+                            s3.fetch_add(s.now().as_nanos(), Ordering::Relaxed);
+                        }));
+                    }
+                    for k in kids {
+                        sim.wait_exit(k);
+                    }
+                })
+                .unwrap();
+            (end, sum.load(Ordering::Relaxed), e.stats())
+        };
+        let seq = run(EngineMode::Sequential);
+        assert_eq!(seq, run(EngineMode::Parallel));
+        assert_eq!(seq, run(EngineMode::ParallelDeterministic));
+    }
+
+    #[test]
+    fn green_deadlock_detected_and_drained() {
+        for mode in [EngineMode::Parallel, EngineMode::ParallelDeterministic] {
+            let (e, n) = green_engine(mode, 2);
+            let err = e
+                .run(n, |sim| {
+                    let c = sim.spawn_on(sim.node(), SimTime::ZERO, "stuck", |s| s.block());
+                    sim.wait_exit(c);
+                })
+                .expect_err("should deadlock");
+            assert!(matches!(err, SimError::Deadlock(_)), "{mode}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn green_panic_reports_error_and_unwinds_peers() {
+        for mode in [EngineMode::Parallel, EngineMode::ParallelDeterministic] {
+            let (e, n) = green_engine(mode, 2);
+            let err = e
+                .run(n, |sim| {
+                    // A parked peer that must be drained after the poison.
+                    sim.spawn_on(sim.node(), SimTime::ZERO, "parked", |s| s.block());
+                    sim.advance(10);
+                    sim.sync_point();
+                    panic!("green boom");
+                })
+                .expect_err("should fail");
+            match err {
+                SimError::Panicked(m) => assert!(m.contains("green boom"), "{mode}: {m}"),
+                other => panic!("{mode}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn green_timed_blocks_and_wakes() {
+        let run = |mode: EngineMode| {
+            let (e, n) = green_engine(mode, 2);
+            let log = Arc::new(StdMutex::new(Vec::new()));
+            let l2 = Arc::clone(&log);
+            let end = e
+                .run(n, move |sim| {
+                    let l3 = Arc::clone(&l2);
+                    let c = sim.spawn_on(sim.node(), SimTime::ZERO, "sleeper", move |s| {
+                        let woken = s.block_deadline(SimTime::from_micros(30));
+                        l3.lock().unwrap().push((woken, s.now().as_nanos()));
+                    });
+                    sim.advance(50_000);
+                    sim.sync_point();
+                    sim.wait_exit(c);
+                })
+                .unwrap();
+            let observed = log.lock().unwrap().clone();
+            (end, observed)
+        };
+        let seq = run(EngineMode::Sequential);
+        assert_eq!(seq, run(EngineMode::Parallel));
+        assert_eq!(seq.1, vec![(false, 30_000)]);
+    }
+
+    #[test]
+    fn scope_audit_rejects_foreign_only_footprint() {
+        let e = Engine::new();
+        e.set_mode(EngineMode::ParallelDeterministic);
+        let n0 = e.add_node(1);
+        let _n1 = e.add_node(1);
+        let err = e
+            .run(n0, |sim| {
+                // Needs a competing earlier thread so the scoped point takes
+                // the slow path where the audit runs.
+                let c = sim.spawn_on(sim.node(), SimTime::ZERO, "early", |s| {
+                    s.advance(5);
+                    s.sync_point();
+                });
+                sim.advance(100);
+                sim.sync_point_scoped(Scope::node(NodeId(1))); // excludes own node 0
+                sim.wait_exit(c);
+            })
+            .expect_err("audit should fire");
+        match err {
+            SimError::Panicked(m) => assert!(m.contains("scope audit"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_telemetry_counts_disjoint_yields() {
+        let run = |lookahead: Option<u64>| {
+            let e = Engine::new();
+            e.set_mode(EngineMode::Parallel);
+            let n0 = e.add_node(1);
+            let n1 = e.add_node(1);
+            e.set_lookahead(lookahead);
+            e.run(n0, move |sim| {
+                let a = sim.spawn_on(n0, SimTime::ZERO, "a", |s| {
+                    for _ in 0..10 {
+                        s.advance(100);
+                        s.sync_point_scoped(Scope::node(NodeId(0)));
+                    }
+                });
+                let b = sim.spawn_on(n1, SimTime::ZERO, "b", |s| {
+                    for _ in 0..10 {
+                        s.advance(110);
+                        s.sync_point_scoped(Scope::node(NodeId(1)));
+                    }
+                });
+                sim.wait_exit(a);
+                sim.wait_exit(b);
+            })
+            .unwrap();
+            e.stats()
+        };
+        let off = run(None);
+        assert_eq!(off.window_admissible, 0);
+        let on = run(Some(1_000));
+        // Same schedule, same counters, except the telemetry: the two
+        // threads' footprints are disjoint, so their mutual yields count.
+        assert!(on.window_admissible > 0);
+        assert_eq!(off.context_switches, on.context_switches);
+        assert_eq!(off.sync_slow_path, on.sync_slow_path);
+    }
+
+    #[test]
+    fn ready_reallocs_flat_in_steady_state() {
+        let (e, n) = green_engine(EngineMode::Parallel, 2);
+        e.run(n, move |sim| {
+            let mut kids = Vec::new();
+            for _ in 0..8 {
+                kids.push(sim.spawn_on(sim.node(), SimTime::ZERO, "k", |s| {
+                    for _ in 0..200 {
+                        s.advance(10);
+                        s.sync_point();
+                    }
+                }));
+            }
+            for k in kids {
+                sim.wait_exit(k);
+            }
+        })
+        .unwrap();
+        let st = e.stats();
+        // 9 threads × hundreds of sync points each, but the shard only ever
+        // grows past the initial reserve... never: 9 < SHARD_RESERVE.
+        assert_eq!(st.ready_reallocs, 0);
+        assert!(st.sync_slow_path > 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine mode must be set before the first spawn")]
+    fn set_mode_after_spawn_panics() {
+        let (e, n) = green_engine(EngineMode::Sequential, 1);
+        e.run(n, |_| {}).unwrap();
+        e.set_mode(EngineMode::Parallel);
     }
 }

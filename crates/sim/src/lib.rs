@@ -38,13 +38,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod carrier;
 mod engine;
 mod rng;
 mod time;
 
 pub use engine::{
-    Engine, EngineStats, NodeId, SchedCause, SchedEvent, SchedEventKind, SchedHook, Sim, SimError,
-    Tid,
+    Engine, EngineMode, EngineStats, NodeId, SchedCause, SchedEvent, SchedEventKind, SchedHook,
+    Scope, Sim, SimError, Tid,
 };
 pub use rng::DetRng;
 pub use time::{dur, SimTime};

@@ -27,7 +27,7 @@ use std::fmt;
 
 use chaos::ChaosEngine;
 use memsim::{FaultKind, GAddr, PageNum, Prot, Scalar, PAGE_SIZE};
-use sim::{NodeId, Sim, SimTime, Tid};
+use sim::{NodeId, Scope, Sim, SimTime, Tid};
 use vmmc::{RegionId, VmmcError};
 
 use crate::api::SvmSystem;
@@ -280,9 +280,22 @@ impl SvmSystem {
     pub(crate) fn handle_fault(&self, sim: &Sim, page: PageNum, kind: FaultKind) {
         let node = sim.node();
         let t0 = sim.now();
+        // Declared footprint of the fault: the faulting node, the page's
+        // home and the directory master. A page without a home yet goes
+        // through placement, which updates the global first-touch
+        // directory — conservatively everything. The peek races ahead of
+        // the ordering point, but scopes are telemetry/audit only and this
+        // one always covers the executing node (see `sim::Scope`).
+        let scope = {
+            let st = self.state.lock();
+            match st.dir.get(&page.index()).map(|d| d.home) {
+                Some(h) => Scope::node(node).with(h).with(self.master),
+                None => Scope::ALL,
+            }
+        };
         // OS fault entry + protocol handler, ordered against other ops.
         sim.advance(self.cluster.mem.config().fault_overhead_ns);
-        sim.op_point(self.cfg.costs.fault_handler_ns);
+        sim.op_point_scoped(self.cfg.costs.fault_handler_ns, scope);
 
         // First-touch attribution happens at fault order (the paper's
         // placement policy binds on the touch, not on handler completion).

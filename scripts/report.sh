@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerate the observability artifacts at full size:
+# Regenerate every quantitative artifact at full size:
 #
 #   BENCH_obs_FFT.json    layer breakdown + metric snapshot, FFT m=12
 #   BENCH_obs_RADIX.json  layer breakdown + metric snapshot, RADIX 64K keys
@@ -8,23 +8,38 @@
 #                         recovery latencies per escalating fault level
 #   BENCH_protocol.json   protocol-traffic ablation: batched diffs x
 #                         stride prefetch x lock forwarding, full 2x2x2
-#                         grid with per-point message counts and the
-#                         critical-path blame of both corners
+#                         grid at 16 nodes with per-point message counts
+#                         and the critical-path blame of both corners
+#   BENCH_table3.json     paper Table 3: basic VMMC costs
+#   BENCH_table4.json     paper Table 4: CableS basic-event costs
+#   BENCH_table5.json     paper Table 5: pthreads/OpenMP API usage + op times
+#   BENCH_table6.json     paper Table 6: OpenMP SPLASH-2 speedups
+#   BENCH_fig5.json       paper Fig. 5: M4 vs M4-on-pthreads exec times
+#   BENCH_fig6.json       paper Fig. 6: misplaced-page percentages
 #   trace_fft.json        Chrome-trace timeline of the FFT run on 8 nodes
 #                         (load in chrome://tracing or ui.perfetto.dev;
 #                         causal edges render as Perfetto flow arrows)
 #
-# The run executes each kernel twice (bus off, then on) and asserts the
-# simulated result is bit-identical, so a successful exit also re-proves
-# the observability layer is free. The script fails (non-zero exit) if
-# any expected artifact is missing or empty afterwards — a bench that
-# silently stopped emitting is a broken report, not a quiet success.
+# The obs/protocol runs execute each kernel twice (bus off, then on) and
+# assert the simulated result is bit-identical, so a successful exit also
+# re-proves the observability layer is free. The script fails (non-zero
+# exit) if any expected artifact is missing or empty afterwards — a bench
+# that silently stopped emitting is a broken report, not a quiet success.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS:---offline}
 
-ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json trace_fft.json)
+# The full-size grids are what the green-thread parallel engine backend
+# exists for: every run is bit-identical to the sequential oracle (the
+# test suite enforces it), so the report uses the fast backend by
+# default. Override with CABLES_ENGINE_MODE=sequential to cross-check.
+export CABLES_ENGINE_MODE=${CABLES_ENGINE_MODE:-parallel}
+
+ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json
+           BENCH_chaos.json BENCH_protocol.json BENCH_table3.json
+           BENCH_table4.json BENCH_table5.json BENCH_table6.json
+           BENCH_fig5.json BENCH_fig6.json trace_fft.json)
 
 # Drop stale copies first so a bench that no longer writes its artifact
 # cannot pass the check below on a leftover file.
@@ -34,6 +49,12 @@ cargo bench $CARGO_FLAGS -p cables-bench --bench obs_report
 cargo bench $CARGO_FLAGS -p cables-bench --bench critpath
 cargo bench $CARGO_FLAGS -p cables-bench --bench chaos_soak
 cargo bench $CARGO_FLAGS -p cables-bench --bench protocol_opt
+cargo bench $CARGO_FLAGS -p cables-bench --bench table3
+cargo bench $CARGO_FLAGS -p cables-bench --bench table4
+cargo bench $CARGO_FLAGS -p cables-bench --bench table5
+cargo bench $CARGO_FLAGS -p cables-bench --bench table6
+cargo bench $CARGO_FLAGS -p cables-bench --bench fig5
+cargo bench $CARGO_FLAGS -p cables-bench --bench fig6
 
 status=0
 for f in "${ARTIFACTS[@]}"; do
@@ -78,11 +99,18 @@ for path in sorted(glob.glob("BENCH_*.json")):
                          f"{k['causal_edges']} causal edges"))
     elif name == "hotpath":
         for w in d["workloads"]:
+            par = (f", par {w['par_wall_ms']:.0f} ms ({w['par_speedup']:.2f}x)"
+                   if "par_wall_ms" in w else "")
             rows.append((f"{w['kernel']}/{w['mode']}",
                          f"wall {w['slow_wall_ms']:.0f} -> "
                          f"{w['fast_wall_ms']:.0f} ms "
-                         f"({w['speedup']:.2f}x), "
+                         f"({w['speedup']:.2f}x){par}, "
                          f"TLB {w['tlb_hit_pct']:.1f}%"))
+        for w in d.get("eight_node", []):
+            rows.append((f"{w['kernel']}@8n",
+                         f"parallel engine {w['seq_wall_ms']:.0f} -> "
+                         f"{w['par_wall_ms']:.0f} ms ({w['speedup']:.2f}x, "
+                         f"floor {w['floor']}x)"))
     elif name == "protocol":
         for k in d["kernels"]:
             g = {(p["batch_diffs"], p["prefetch"], p["lock_forwarding"]): p
@@ -92,6 +120,47 @@ for path in sorted(glob.glob("BENCH_*.json")):
                          f"fetches {off['remote_fetches']} -> {on['remote_fetches']}, "
                          f"diffs {off['diffs_sent']} -> {on['diffs_sent']}, "
                          f"time {ms(off['sim_time_ns'])} -> {ms(on['sim_time_ns'])}"))
+    elif name == "table3":
+        g = {r["op"]: r for r in d["rows"]}
+        send = g["1-word send (one-way lat)"]
+        bw = g["maximum ping-pong bandwidth"]
+        rows.append(("vmmc", f"{len(d['rows'])} ops; 1-word send "
+                     f"{send['value'] / 1e3:.1f} us (paper {send['paper']}), "
+                     f"bw {bw['value']:.0f} MB/s (paper {bw['paper']})"))
+    elif name == "table4":
+        g = {r["mechanism"]: r for r in d["rows"]}
+        rows.append(("mechanisms", f"{len(d['rows'])} rows; attach "
+                     f"{ms(g['attach node']['measured_ns'])}, GeNIMA barrier "
+                     f"{g['GeNIMA barrier']['measured_ns'] / 1e3:.0f} us, remote lock "
+                     f"{g['remote mutex lock']['measured_ns'] / 1e3:.0f} us"))
+    elif name == "table5":
+        for p in d["programs"]:
+            c = p["calls"]
+            lock = p["avg_ns"]["lock"]
+            lock = f"{lock / 1e3:.1f} us" if lock is not None else "-"
+            rows.append((p["program"], f"{c['create']} creates, {c['lock']} locks, "
+                         f"{c['barrier']} barriers; avg lock {lock}"))
+    elif name == "table6":
+        for p in d["programs"]:
+            ours = "/".join(f"{q['speedup']:.2f}" for q in p["points"])
+            paper = "/".join(f"{q['paper_speedup']:.2f}" for q in p["points"])
+            procs = "/".join(str(q["procs"]) for q in p["points"])
+            rows.append((p["program"], f"speedup @{procs}p: {ours} (paper {paper})"))
+    elif name == "fig5":
+        for a in d["apps"]:
+            top = max(r["procs"] for r in a["runs"])
+            cell = {}
+            for r in a["runs"]:
+                if r["procs"] == top:
+                    cell[r["mode"]] = "FAILED" if r["failed"] else ms(r["parallel_ns"])
+            rows.append((a["app"], f"@{top}p base {cell.get('Base', '?')}, "
+                         f"cables {cell.get('Cables', '?')}"))
+    elif name == "fig6":
+        for a in d["apps"]:
+            pts = a["points"]
+            rows.append((a["app"], f"misplaced {pts[0]['misplaced_pct']:.1f}% @"
+                         f"{pts[0]['procs']}p -> {pts[-1]['misplaced_pct']:.1f}% @"
+                         f"{pts[-1]['procs']}p"))
     else:  # future artifacts: stay visible even before a custom row
         rows.append(("-", f"keys: {', '.join(list(d)[:6])}"))
     for subject, headline in rows:

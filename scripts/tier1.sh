@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the gate every PR must keep green (see ROADMAP.md).
 #
-#   release build + the full test suite of every workspace crate.
+#   release build + the full test suite of every workspace crate, run
+#   once per engine backend: the sequential OS-thread oracle and the
+#   green-thread parallel backend with its determinism audits
+#   (CABLES_ENGINE_MODE=parallel_det). The two runs must both pass — the
+#   suite itself asserts the backends produce bit-identical results.
 #
 # Pass --smoke to additionally compile-and-run every bench target in its
 # `--test` smoke mode (tiny sizes, same code paths and determinism
@@ -14,8 +18,11 @@ CARGO_FLAGS=${CARGO_FLAGS:---offline}
 echo "==> cargo build --release"
 cargo build $CARGO_FLAGS --release
 
-echo "==> cargo test --workspace"
-cargo test $CARGO_FLAGS --workspace -q
+echo "==> cargo test --workspace (engine: sequential oracle)"
+CABLES_ENGINE_MODE=sequential cargo test $CARGO_FLAGS --workspace -q
+
+echo "==> cargo test --workspace (engine: parallel_det, audited green threads)"
+CABLES_ENGINE_MODE=parallel_det cargo test $CARGO_FLAGS --workspace -q
 
 if [[ "${1:-}" == "--smoke" ]]; then
     for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall obs_report critpath chaos_soak protocol_opt; do
@@ -25,7 +32,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     # The observability artifacts must be machine-readable JSON (python's
     # parser is the neutral referee; skip quietly if it is unavailable).
     if command -v python3 >/dev/null 2>&1; then
-        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json trace_fft.json; do
+        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_table3.json BENCH_table4.json BENCH_table5.json trace_fft.json; do
             echo "==> validate $f"
             python3 -m json.tool "$f" > /dev/null
         done

@@ -1,0 +1,357 @@
+//! Engine-backend equivalence tests: the green-thread parallel backends
+//! (`EngineMode::Parallel`, `EngineMode::ParallelDeterministic`) are
+//! wall-clock optimizations only — they must reproduce the sequential
+//! oracle's results **bit-identically**: the same simulated times, the
+//! same memory contents, the same obs snapshots and event streams, the
+//! same chaos replays, and the same engine counters. These tests mirror
+//! `tests/hotpath.rs`, which pins the fast path to the slow path the same
+//! way.
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use proptest::prelude::*;
+
+use cables_suite::apps::splash::{fft, radix};
+use cables_suite::apps::M4System;
+use cables_suite::chaos::{ChaosEngine, FaultPlan, WireFaults};
+use cables_suite::obs::{canonical_sort, chrome};
+use cables_suite::sim::{EngineMode, EngineStats};
+use cables_suite::svm::{Cluster, ClusterConfig, SvmConfig, SvmSystem};
+
+fn small_cluster(nodes: usize, cpus: usize, mode: EngineMode) -> Arc<Cluster> {
+    let mut cfg = ClusterConfig::small(nodes, cpus);
+    cfg.engine = mode;
+    Cluster::build(cfg)
+}
+
+/// Region size in u64 elements: 4 pages, so random ranges straddle page
+/// boundaries.
+const LEN: u64 = 2048;
+
+/// One random master-side operation over the shared region.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    WriteSlice { start: u64, len: u64 },
+    Fill { start: u64, len: u64, v: u64 },
+    ReadSlice { start: u64, len: u64 },
+}
+
+fn decode_ops(raw: &[(u8, u16, u16)], seed: u64) -> Vec<Op> {
+    raw.iter()
+        .map(|&(kind, a, b)| {
+            let start = a as u64 % LEN;
+            let len = 1 + b as u64 % (LEN - start);
+            match kind % 3 {
+                0 => Op::WriteSlice { start, len },
+                1 => Op::Fill {
+                    start,
+                    len,
+                    v: seed ^ (kind as u64) << 13,
+                },
+                _ => Op::ReadSlice { start, len },
+            }
+        })
+        .collect()
+}
+
+/// Everything a random-program run can observably produce.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    end_ns: u64,
+    memory: Vec<u64>,
+    checksum: u64,
+    touched_pages: u64,
+    misplaced_pages: u64,
+    faults: u64,
+    fetches: u64,
+    diffs: u64,
+    stats: EngineStats,
+}
+
+/// Runs the random two-thread lock/barrier program under `mode`.
+fn run_program(base: bool, ops: Vec<Op>, seed: u64, mode: EngineMode) -> Observed {
+    let cfg = if base {
+        SvmConfig::base()
+    } else {
+        SvmConfig::cables()
+    };
+    let cluster = small_cluster(2, 1, mode);
+    let sys = SvmSystem::new(Arc::clone(&cluster), cfg);
+    let s = Arc::clone(&sys);
+    let out: Arc<StdMutex<Option<(Vec<u64>, u64)>>> = Arc::new(StdMutex::new(None));
+    let out2 = Arc::clone(&out);
+    let end = cluster
+        .engine
+        .clone()
+        .run(cluster.nodes()[0], move |sim| {
+            let a = s.g_malloc(sim, LEN * 8);
+            let n = 2;
+            let s2 = Arc::clone(&s);
+            s2.clone().create(sim, move |ws| {
+                s2.lock(ws, 1);
+                for i in 0..8u64 {
+                    let w = seed.wrapping_mul(2 * i + 1).wrapping_add(i) % LEN;
+                    s2.write::<u64>(ws, a + w * 8, seed ^ (0xBB00 + i));
+                }
+                s2.unlock(ws, 1);
+                s2.barrier(ws, 9, n);
+            });
+            let mut checksum = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::WriteSlice { start, len } => {
+                        let data: Vec<u64> = (0..len)
+                            .map(|i| seed ^ (start + i).wrapping_mul(0x9E37))
+                            .collect();
+                        s.write_slice(sim, a + start * 8, &data);
+                    }
+                    Op::Fill { start, len, v } => {
+                        s.fill(sim, a + start * 8, v, len as usize);
+                    }
+                    Op::ReadSlice { start, len } => {
+                        let mut buf = vec![0u64; len as usize];
+                        s.read_slice(sim, a + start * 8, &mut buf);
+                        checksum = buf
+                            .iter()
+                            .fold(checksum, |c, &x| c.rotate_left(7).wrapping_add(x));
+                    }
+                }
+            }
+            s.lock(sim, 1);
+            s.unlock(sim, 1);
+            s.barrier(sim, 9, n);
+            let mut all = vec![0u64; LEN as usize];
+            s.read_slice(sim, a, &mut all);
+            *out2.lock().unwrap() = Some((all, checksum));
+            s.wait_for_end(sim);
+        })
+        .expect("parallel-engine program run");
+    let (memory, checksum) = out.lock().unwrap().take().expect("program produced output");
+    let placement = sys.placement_report();
+    let st = sys.total_stats();
+    Observed {
+        end_ns: end.as_nanos(),
+        memory,
+        checksum,
+        touched_pages: placement.touched_pages,
+        misplaced_pages: placement.misplaced_pages,
+        faults: st.read_faults + st.write_faults,
+        fetches: st.remote_fetches,
+        diffs: st.diffs_sent,
+        stats: cluster.engine.stats(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random bulk programs: every engine backend produces byte-identical
+    /// memory, identical virtual time, identical protocol counts and —
+    /// the strongest claim — identical [`EngineStats`], context switches
+    /// and fast/slow sync-path splits included.
+    #[test]
+    fn engine_modes_are_bit_identical(
+        raw in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..8),
+        seed in any::<u64>(),
+        base in any::<bool>(),
+    ) {
+        let ops = decode_ops(&raw, seed);
+        let seq = run_program(base, ops.clone(), seed, EngineMode::Sequential);
+        let par = run_program(base, ops.clone(), seed, EngineMode::Parallel);
+        let det = run_program(base, ops, seed, EngineMode::ParallelDeterministic);
+        prop_assert_eq!(&seq, &par);
+        prop_assert_eq!(&seq, &det);
+    }
+}
+
+/// One observed SPLASH run: virtual end time, Chrome-trace export,
+/// metrics snapshot, canonically sorted event stream and engine stats.
+fn splash_observe(
+    mode: EngineMode,
+    body: impl FnOnce(&cables_suite::apps::M4Ctx) + Send + 'static,
+) -> (u64, String, String, usize, EngineStats) {
+    let cluster = small_cluster(4, 2, mode);
+    let sys = M4System::cables(Arc::clone(&cluster));
+    sys.svm().set_obs(true);
+    let end = sys.run(body).expect("splash run");
+    let svm = sys.svm();
+    let sink = svm.obs();
+    let mut events = sink.events();
+    canonical_sort(&mut events);
+    (
+        end.as_nanos(),
+        chrome::export(&events),
+        sink.snapshot().to_json(),
+        events.len(),
+        cluster.engine.stats(),
+    )
+}
+
+/// FFT and RADIX produce bit-identical simulated results, obs snapshots
+/// and event streams under every engine backend.
+#[test]
+fn splash_kernels_identical_across_modes() {
+    let fft_body = || {
+        |ctx: &cables_suite::apps::M4Ctx| {
+            let p = fft::FftParams {
+                m: 8,
+                nprocs: 8,
+                verify: true,
+            };
+            let r = fft::fft(ctx, &p);
+            let err = r.max_error.expect("verify requested");
+            assert!(err < 1e-6, "FFT round-trip error {err}");
+        }
+    };
+    let seq = splash_observe(EngineMode::Sequential, fft_body());
+    for mode in [EngineMode::Parallel, EngineMode::ParallelDeterministic] {
+        let other = splash_observe(mode, fft_body());
+        assert_eq!(seq.0, other.0, "{mode}: FFT virtual end time changed");
+        assert_eq!(seq.1, other.1, "{mode}: FFT Chrome trace changed");
+        assert_eq!(seq.2, other.2, "{mode}: FFT metrics snapshot changed");
+        assert_eq!(seq.3, other.3, "{mode}: FFT event count changed");
+        assert_eq!(seq.4, other.4, "{mode}: FFT engine stats changed");
+    }
+    assert!(seq.3 > 0, "obs recorded nothing");
+
+    let radix_body = || {
+        |ctx: &cables_suite::apps::M4Ctx| {
+            let p = radix::RadixParams::test(8);
+            let r = radix::radix(ctx, &p);
+            assert!(r.sorted, "RADIX output not sorted");
+            assert_eq!(r.key_sum, radix::expected_key_sum(&p));
+        }
+    };
+    let seq = splash_observe(EngineMode::Sequential, radix_body());
+    for mode in [EngineMode::Parallel, EngineMode::ParallelDeterministic] {
+        let other = splash_observe(mode, radix_body());
+        assert_eq!(seq.0, other.0, "{mode}: RADIX virtual end time changed");
+        assert_eq!(seq.1, other.1, "{mode}: RADIX Chrome trace changed");
+        assert_eq!(seq.2, other.2, "{mode}: RADIX metrics snapshot changed");
+        assert_eq!(seq.4, other.4, "{mode}: RADIX engine stats changed");
+    }
+}
+
+/// A chaos-injected FFT (lossy wire + mid-run node crash) replays
+/// bit-identically under every backend: same virtual end time, same
+/// Chrome trace, same injected-fault counters.
+#[test]
+fn chaos_replay_identical_across_modes() {
+    let plan = || {
+        FaultPlan::new()
+            .wire(WireFaults {
+                drop_p: 0.05,
+                dup_p: 0.03,
+                jitter_ns: 2_000,
+                ..WireFaults::default()
+            })
+            .crash(2, 40_000_000)
+    };
+    let run = |mode: EngineMode| {
+        let cluster = small_cluster(4, 2, mode);
+        cluster.set_chaos(ChaosEngine::new(7, plan()));
+        let sys = M4System::cables(Arc::clone(&cluster));
+        sys.svm().set_obs(true);
+        let end = sys
+            .run(|ctx| {
+                let p = fft::FftParams {
+                    m: 8,
+                    nprocs: 8,
+                    verify: false,
+                };
+                fft::fft(ctx, &p);
+            })
+            .expect("chaos fft run");
+        let svm = sys.svm();
+        let sink = svm.obs();
+        let stats = cluster.chaos().expect("chaos attached").stats();
+        (
+            end.as_nanos(),
+            chrome::export(&sink.events()),
+            sink.snapshot().to_json(),
+            stats.wire_faults,
+            stats.retries,
+            stats.recoveries,
+            stats.crashes,
+        )
+    };
+    let seq = run(EngineMode::Sequential);
+    assert!(seq.3 > 0, "plan injected no wire faults");
+    assert_eq!(seq.6, 1, "the planned crash never fired");
+    for mode in [EngineMode::Parallel, EngineMode::ParallelDeterministic] {
+        assert_eq!(seq, run(mode), "{mode}: chaos replay diverged");
+    }
+}
+
+/// Deadlock freedom under node crash: crashing a node mid-run on the
+/// parallel backend must neither hang nor trip the deterministic audits —
+/// the survivors run to completion through the barrier recovery path,
+/// exactly as on the sequential backend.
+#[test]
+fn node_crash_is_deadlock_free_on_parallel_backend() {
+    // Calibrate the crash to mid-run so worker threads are actually live.
+    let clean = {
+        let cluster = small_cluster(4, 2, EngineMode::Parallel);
+        let sys = M4System::cables(Arc::clone(&cluster));
+        sys.run(|ctx| {
+            let p = fft::FftParams {
+                m: 8,
+                nprocs: 8,
+                verify: false,
+            };
+            fft::fft(ctx, &p);
+        })
+        .expect("clean run")
+        .as_nanos()
+    };
+    for mode in [EngineMode::Parallel, EngineMode::ParallelDeterministic] {
+        let cluster = small_cluster(4, 2, mode);
+        cluster.set_chaos(ChaosEngine::new(11, FaultPlan::new().crash(2, clean / 3)));
+        let sys = M4System::cables(Arc::clone(&cluster));
+        let end = sys
+            .run(|ctx| {
+                let p = fft::FftParams {
+                    m: 8,
+                    nprocs: 8,
+                    verify: false,
+                };
+                fft::fft(ctx, &p);
+            })
+            .expect("crashed run must still complete");
+        assert!(end.as_nanos() > 0, "{mode}: crashed run did not complete");
+        let stats = cluster.chaos().expect("chaos attached").stats();
+        assert_eq!(stats.crashes, 1, "{mode}: the planned crash never fired");
+        assert!(stats.recoveries >= 1, "{mode}: no recovery was recorded");
+    }
+}
+
+/// The lookahead window wired from the SAN config is pure telemetry: it
+/// must count admissible yields without perturbing any result.
+#[test]
+fn lookahead_window_is_telemetry_only() {
+    let run = |lookahead: Option<u64>| {
+        let cluster = small_cluster(4, 2, EngineMode::Parallel);
+        cluster.engine.set_lookahead(lookahead);
+        let sys = M4System::cables(Arc::clone(&cluster));
+        let end = sys
+            .run(|ctx| {
+                let p = fft::FftParams {
+                    m: 8,
+                    nprocs: 8,
+                    verify: false,
+                };
+                fft::fft(ctx, &p);
+            })
+            .expect("fft run");
+        (end.as_nanos(), cluster.engine.stats())
+    };
+    let off = run(None);
+    let on = run(Some(7_800));
+    assert_eq!(off.0, on.0, "lookahead changed the virtual end time");
+    assert_eq!(
+        off.1.context_switches, on.1.context_switches,
+        "lookahead changed the schedule"
+    );
+    assert_eq!(off.1.window_admissible, 0);
+}
