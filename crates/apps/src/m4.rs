@@ -156,13 +156,13 @@ impl M4System {
     where
         F: FnOnce(&M4Ctx) + Send + 'static,
     {
-        match &self.inner {
+        let res = match &self.inner {
             Inner::Base(svm) => {
                 let sys = Arc::clone(self);
                 let svm2 = Arc::clone(svm);
                 let master = svm.cluster().nodes()[0];
                 let engine = svm.cluster().engine.clone();
-                let res = engine.run(master, move |sim| {
+                engine.run(master, move |sim| {
                     let ctx = M4Ctx {
                         sys,
                         sim,
@@ -170,8 +170,7 @@ impl M4System {
                     };
                     main(&ctx);
                     svm2.wait_for_end(sim);
-                });
-                res
+                })
             }
             Inner::Cables(rt) => {
                 let sys = Arc::clone(self);
@@ -185,7 +184,11 @@ impl M4System {
                     0
                 })
             }
-        }
+        };
+        // Surface the engine's scheduling telemetry in the obs snapshot
+        // (no-op when observability is off).
+        self.svm().publish_engine_telemetry();
+        res
     }
 
     fn cables_mutex(&self, rt: &CablesRt, id: u64) -> cables::Mutex {

@@ -7,12 +7,13 @@
 //! 5. the home-migration policy extension (the paper ships mechanisms
 //!    only) on a producer-migrates workload.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 use apps::splash::{lu, ocean, radix, volrend};
 use apps::{M4Ctx, M4Mode, M4System};
 use cables::CablesConfig;
-use cables_bench::{cluster_for, fmt_ns, header, run_app, smoke_mode, AppId};
+use cables_bench::{cluster_for, fmt_ns, header, run_app, smoke_mode, write_artifact, AppId};
 use svm::Cluster;
 
 /// Runs an app body under a CableS config and returns
@@ -79,6 +80,9 @@ fn main() {
     // OCEAN (CI compile-and-run check, like criterion's --test).
     let smoke = smoke_mode();
     let procs = if smoke { 4 } else { 16 };
+    // The BENCH_ablations.json artifact, built section by section.
+    let mut aj = String::from("{\n");
+    let _ = write!(aj, "  \"bench\": \"ablations\",\n  \"smoke\": {smoke},\n  \"procs\": {procs},");
 
     // --- 1. Mapping granularity: 64 KB vs 4 KB. ---
     println!("1) home-binding granularity ({procs} procs, CableS):");
@@ -95,7 +99,8 @@ fn main() {
             ("LU", AppId::Lu),
         ]
     };
-    for &(name, app) in gran_apps {
+    aj.push_str("\n  \"granularity\": [");
+    for (i, &(name, app)) in gran_apps.iter().enumerate() {
         let nt = run_app(M4Mode::Cables, app, procs, None);
         let mut pg_cfg = CablesConfig::paper();
         pg_cfg.svm.home_granularity_pages = 1;
@@ -108,7 +113,19 @@ fn main() {
             nt.placement.misplaced_pct(),
             pg_mis
         );
+        let _ = write!(
+            aj,
+            "{}\n    {{\"kernel\": \"{}\", \"nt_parallel_ns\": {}, \"pg_parallel_ns\": {}, \
+             \"nt_misplaced_pct\": {:.2}, \"pg_misplaced_pct\": {:.2}}}",
+            if i > 0 { "," } else { "" },
+            name,
+            nt.parallel_ns.unwrap_or(0),
+            pg_ns,
+            nt.placement.misplaced_pct(),
+            pg_mis
+        );
     }
+    aj.push_str("\n  ],");
     println!("   -> page-granular binding removes all misplacement (the paper's");
     println!("      NT limitation is the sole source of CableS's parallel overhead)");
     println!();
@@ -118,10 +135,14 @@ fn main() {
     //        it to CableS, whose misplaced single-writer pages then stop
     //        paying release fences. ---
     println!("2) single-writer write-through (CableS counterfactual, OCEAN, {procs} procs):");
-    for (label, wt) in [
-        ("absent (paper CableS)", false),
-        ("granted (counterfactual)", true),
-    ] {
+    aj.push_str("\n  \"write_through\": [");
+    for (i, (label, mode, wt)) in [
+        ("absent (paper CableS)", "absent", false),
+        ("granted (counterfactual)", "granted", true),
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let mut cfg = CablesConfig::paper();
         cfg.svm.write_through_single_writer = wt;
         let p = if smoke {
@@ -133,7 +154,13 @@ fn main() {
             ocean::ocean(ctx, &p);
         });
         println!("   {:<26} parallel time {}", label, fmt_ns(ns));
+        let _ = write!(
+            aj,
+            "{}\n    {{\"mode\": \"{mode}\", \"parallel_ns\": {ns}}}",
+            if i > 0 { "," } else { "" }
+        );
     }
+    aj.push_str("\n  ],");
     println!("   -> in this model the fence saving is minor: the OCEAN gap is");
     println!("      dominated by misplaced-page diff traffic (ablation 1) plus the");
     println!("      base system's registration-failure ceiling (Fig. 5c)");
@@ -141,7 +168,8 @@ fn main() {
 
     // --- 3. Registration pressure: double mapping vs per-run regions. ---
     println!("3) NIC registration pressure (OCEAN, {procs} procs):");
-    for mode in [M4Mode::Base, M4Mode::Cables] {
+    aj.push_str("\n  \"nic_pressure\": [");
+    for (i, mode) in [M4Mode::Base, M4Mode::Cables].into_iter().enumerate() {
         let out = run_app(mode, AppId::Ocean, procs, None);
         println!(
             "   {:<8} max regions on any NIC: {:>5}   ({})",
@@ -153,7 +181,14 @@ fn main() {
                 "one region per placement run"
             }
         );
+        let _ = write!(
+            aj,
+            "{}\n    {{\"mode\": \"{mode:?}\", \"max_nic_regions\": {}}}",
+            if i > 0 { "," } else { "" },
+            out.max_nic_regions
+        );
     }
+    aj.push_str("\n  ],");
     println!();
 
     // --- 4. Barrier construction: the CableS pthread_barrier extension
@@ -162,7 +197,8 @@ fn main() {
     println!("4) barrier construction, native extension vs mutex+cond:");
     println!("   {:<8} {:>14} {:>16} {:>8}", "nodes", "native", "mutex+cond", "ratio");
     let node_sizes: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
-    for &nodes in node_sizes {
+    aj.push_str("\n  \"barriers\": [");
+    for (bi, &nodes) in node_sizes.iter().enumerate() {
         let cluster = Cluster::build(svm::ClusterConfig::small(nodes, 1));
         let cfg = CablesConfig {
             max_threads_per_node: 1,
@@ -210,7 +246,13 @@ fn main() {
             fmt_ns(mcb_ns),
             mcb_ns as f64 / native_ns.max(1) as f64
         );
+        let _ = write!(
+            aj,
+            "{}\n    {{\"nodes\": {nodes}, \"native_ns\": {native_ns}, \"mutex_cond_ns\": {mcb_ns}}}",
+            if bi > 0 { "," } else { "" }
+        );
     }
+    aj.push_str("\n  ],");
     println!("   -> the point-to-point pthreads construction centralizes on one");
     println!("      node and degrades with cluster size (paper Table 4: 70us vs 13ms)");
     println!();
@@ -219,7 +261,10 @@ fn main() {
     //        mechanisms, no policy). A worker on node 1 repeatedly
     //        updates a segment first-touched by the master. ---
     println!("5) home-migration policy (extension; sole-remote-differ streaks):");
-    for (label, threshold) in [("off (paper)", None), ("migrate after 3", Some(3u32))] {
+    aj.push_str("\n  \"migration\": [");
+    for (mi, (label, threshold)) in
+        [("off (paper)", None), ("migrate after 3", Some(3u32))].into_iter().enumerate()
+    {
         let cluster = Cluster::build(svm::ClusterConfig::small(2, 1));
         let mut scfg = svm::SvmConfig::cables();
         scfg.migration_threshold = threshold;
@@ -253,8 +298,21 @@ fn main() {
             st.diff_bytes,
             st.migrations
         );
+        let _ = write!(
+            aj,
+            "{}\n    {{\"mode\": \"{}\", \"total_ns\": {}, \"diffs_sent\": {}, \
+             \"diff_bytes\": {}, \"migrations\": {}}}",
+            if mi > 0 { "," } else { "" },
+            if threshold.is_some() { "migrate_after_3" } else { "off" },
+            end.as_nanos(),
+            st.diffs_sent,
+            st.diff_bytes,
+            st.migrations
+        );
     }
+    aj.push_str("\n  ]\n}\n");
     println!("   -> migrating the segment to its sole writer eliminates the");
     println!("      per-release diff traffic (the policy the paper leaves open)");
     println!();
+    write_artifact("BENCH_ablations.json", &aj);
 }

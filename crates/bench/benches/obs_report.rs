@@ -3,10 +3,13 @@
 //!
 //! - `BENCH_obs_<kernel>.json` — simulated time broken down by layer
 //!   (san / vmmc / proto / sync / rt / sched) per node, plus the full
-//!   metric snapshot (kind latencies, page activity, gauges);
-//! - `trace_fft.json` — a Chrome-trace / Perfetto timeline of the FFT run
-//!   on an 8-node cluster, one process per node, one track per simulated
-//!   thread plus the NIC lane.
+//!   metric snapshot (kind latencies, page activity, gauges) and the
+//!   per-thread stall profile (`obs::stall`);
+//! - `target/artifacts/trace_fft.json` — a Chrome-trace / Perfetto
+//!   timeline of the FFT run on an 8-node cluster, one process per node,
+//!   one track per simulated thread plus the NIC lane;
+//! - `target/artifacts/stall_<kernel>.collapsed` — collapsed-stack stall
+//!   export (`node;thread;bucket value`) for flamegraph tooling.
 //!
 //! Every run executes twice — observability off, then on — and asserts the
 //! final virtual time is bit-identical (recording charges no simulated
@@ -20,8 +23,8 @@ use std::sync::Arc;
 
 use apps::splash::{fft, radix};
 use apps::{M4Ctx, M4System};
-use cables_bench::{cluster_for, header, smoke_mode};
-use obs::{chrome, report, Layer, MetricsSnapshot};
+use cables_bench::{cluster_for, header, smoke_mode, write_aux_artifact};
+use obs::{chrome, report, stall, Layer, MetricsSnapshot};
 use svm::Cluster;
 
 struct Workload {
@@ -71,8 +74,8 @@ fn run_once(w: &Workload, observe: bool, smoke: bool) -> ObsRun {
 }
 
 /// The `BENCH_obs_<kernel>.json` document: run identity, per-layer totals,
-/// and the embedded metric snapshot.
-fn artifact_json(w: &Workload, smoke: bool, run: &ObsRun) -> String {
+/// the embedded metric snapshot, and the per-thread stall profile.
+fn artifact_json(w: &Workload, smoke: bool, run: &ObsRun, stall: &stall::StallProfile) -> String {
     let mut j = String::from("{\n");
     let _ = write!(
         j,
@@ -89,6 +92,8 @@ fn artifact_json(w: &Workload, smoke: bool, run: &ObsRun) -> String {
     // The snapshot serializer ends with a newline; trim it so the wrapper
     // stays tidy.
     j.push_str(run.snapshot.to_json().trim_end());
+    j.push_str(",\n  \"stall\": ");
+    j.push_str(stall.to_json().trim_end());
     j.push_str("\n}\n");
     j
 }
@@ -137,7 +142,28 @@ fn main() {
 
         println!("{}", report::full_report(w.name, &on.snapshot));
 
-        let artifact = artifact_json(w, smoke, &on);
+        // Per-thread stall profile: the bucket totals must partition each
+        // thread's recorded lifetime exactly (the obs::stall invariant).
+        let slice_ns = (on.total_ns / 64).max(1);
+        let profile = stall::analyze(&on.events, on.snapshot.dropped_events, slice_ns)
+            .expect("stall profile");
+        for t in &profile.threads {
+            assert_eq!(
+                t.buckets.iter().sum::<u64>(),
+                t.lifetime_ns(),
+                "{}: stall buckets do not partition thread n{}/t{}",
+                w.name,
+                t.node,
+                t.track
+            );
+        }
+        println!("{}", profile.render(w.name));
+        write_aux_artifact(
+            &format!("stall_{}.collapsed", w.name),
+            &profile.collapsed(),
+        );
+
+        let artifact = artifact_json(w, smoke, &on, &profile);
         obs::json::validate(&artifact).expect("artifact JSON is well-formed");
         let path = repo_root_path(&format!("BENCH_obs_{}.json", w.name));
         std::fs::write(&path, &artifact).expect("write BENCH_obs json");
@@ -154,10 +180,9 @@ fn main() {
                     "FFT trace is missing the node-{n} process"
                 );
             }
-            let path = repo_root_path("trace_fft.json");
-            std::fs::write(&path, &trace).expect("write trace_fft.json");
+            write_aux_artifact("trace_fft.json", &trace);
             println!(
-                "Chrome trace written to trace_fft.json ({} events; load in chrome://tracing or ui.perfetto.dev)",
+                "Chrome trace: {} events; load target/artifacts/trace_fft.json in chrome://tracing or ui.perfetto.dev",
                 on.events.len()
             );
         }

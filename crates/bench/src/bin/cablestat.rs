@@ -1,0 +1,319 @@
+//! `cablestat` — snapshot pretty-printer, stall-table renderer, and
+//! differential analyzer for the `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! cablestat print FILE            pretty-print the snapshot(s) in FILE
+//!                                 (paper-style tables + stall profile)
+//! cablestat diff A B [OPTS]       structured delta between two artifacts
+//!     --abs N       absolute significance floor (default 0)
+//!     --rel PCT     relative significance floor, percent (default 0)
+//!     --all         print every changed leaf, not just significant ones
+//!     --gate        exit 1 when any regression survives the thresholds
+//!     --json        emit the delta as JSON instead of a table
+//! cablestat check FILE...         validate artifacts against the obs
+//!                                 JSON grammar (exit 1 on the first bad)
+//! cablestat inflate FILE OUT KEY FACTOR
+//!                                 copy FILE to OUT with every numeric
+//!                                 leaf named KEY multiplied by FACTOR
+//!                                 (perfgate's self-test regression
+//!                                 injector)
+//! ```
+//!
+//! Exit codes: 0 ok, 1 gated regression / invalid artifact, 2 usage.
+
+use std::process::ExitCode;
+
+use obs::diff::{diff, Thresholds};
+use obs::json::{parse, validate, Value};
+use obs::{report, MetricsSnapshot};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str);
+    match cmd {
+        Some("print") => cmd_print(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("inflate") => cmd_inflate(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: cablestat print FILE\n       cablestat diff A B [--abs N] [--rel PCT] [--all] [--gate] [--json]\n       cablestat check FILE...\n       cablestat inflate FILE OUT KEY FACTOR"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    validate(&text).map_err(|e| format!("{path}: invalid JSON: {e:?}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Finds every snapshot-shaped subtree (an object with the
+/// `MetricsSnapshot::to_json` fields) and returns it with a breadcrumb
+/// label, so both raw snapshots and `BENCH_obs_*.json` wrappers print.
+fn find_snapshots<'a>(label: &str, v: &'a Value, out: &mut Vec<(String, &'a Value)>) {
+    let looks_like_snapshot = v.get("dropped_events").is_some()
+        && v.get("nodes").is_some()
+        && v.get("kinds").is_some()
+        && v.get("hists").is_some();
+    if looks_like_snapshot {
+        out.push((label.to_string(), v));
+        return;
+    }
+    match v {
+        Value::Obj(kvs) => {
+            for (k, sub) in kvs {
+                let l = if label.is_empty() { k.clone() } else { format!("{label}.{k}") };
+                find_snapshots(&l, sub, out);
+            }
+        }
+        Value::Arr(xs) => {
+            for (i, sub) in xs.iter().enumerate() {
+                let id = sub
+                    .get("kernel")
+                    .and_then(|x| x.as_str())
+                    .map(str::to_string)
+                    .unwrap_or_else(|| i.to_string());
+                find_snapshots(&format!("{label}[{id}]"), sub, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Finds every stall-profile-shaped subtree (`obs::stall::StallProfile`
+/// JSON: totals + threads with bucket fields).
+fn find_stalls<'a>(label: &str, v: &'a Value, out: &mut Vec<(String, &'a Value)>) {
+    if v.get("totals").is_some() && v.get("threads").is_some() && v.get("slice_ns").is_some() {
+        out.push((label.to_string(), v));
+        return;
+    }
+    match v {
+        Value::Obj(kvs) => {
+            for (k, sub) in kvs {
+                let l = if label.is_empty() { k.clone() } else { format!("{label}.{k}") };
+                find_stalls(&l, sub, out);
+            }
+        }
+        Value::Arr(xs) => {
+            for (i, sub) in xs.iter().enumerate() {
+                let id = sub
+                    .get("kernel")
+                    .and_then(|x| x.as_str())
+                    .map(str::to_string)
+                    .unwrap_or_else(|| i.to_string());
+                find_stalls(&format!("{label}[{id}]"), sub, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn render_stall_value(title: &str, v: &Value) -> Option<String> {
+    use std::fmt::Write as _;
+    let threads = v.get("threads")?.as_arr()?;
+    let buckets: Vec<&str> = v.get("totals")?.as_obj()?.iter().map(|(k, _)| k.as_str()).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title}: per-thread stall profile ===");
+    let _ = write!(out, "{:<10} {:>12}", "thread", "lifetime");
+    for b in &buckets {
+        let short: String = b.chars().take(6).collect();
+        let _ = write!(out, " {:>6}", short);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(23 + 7 * buckets.len()));
+    let mut row = |label: &str, src: &Value, life: u64| {
+        let _ = write!(out, "{:<10} {:>12}", label, life);
+        for b in &buckets {
+            let v = src.get(b).and_then(|x| x.as_u64()).unwrap_or(0);
+            let pct = if life == 0 { 0.0 } else { 100.0 * v as f64 / life as f64 };
+            let _ = write!(out, " {:>5.1}%", pct);
+        }
+        let _ = writeln!(out);
+    };
+    for t in threads {
+        let node = t.get("node").and_then(|x| x.as_u64()).unwrap_or(0);
+        let track = t.get("track").and_then(|x| x.as_u64()).unwrap_or(0);
+        let s = t.get("start_ns").and_then(|x| x.as_u64()).unwrap_or(0);
+        let e = t.get("end_ns").and_then(|x| x.as_u64()).unwrap_or(0);
+        row(&format!("n{node}/t{track}"), t, e.saturating_sub(s));
+    }
+    let life = v.get("lifetime_ns").and_then(|x| x.as_u64()).unwrap_or(0);
+    row("total", v.get("totals")?, life);
+    Some(out)
+}
+
+fn cmd_print(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("cablestat print: missing FILE");
+        return ExitCode::from(2);
+    };
+    let v = match load(path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cablestat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut snaps = Vec::new();
+    find_snapshots("", &v, &mut snaps);
+    let mut printed = false;
+    for (label, sv) in &snaps {
+        match MetricsSnapshot::from_value(sv) {
+            Ok(s) => {
+                let title = if label.is_empty() { path.as_str() } else { label.as_str() };
+                println!("{}", report::full_report(title, &s));
+                printed = true;
+            }
+            Err(e) => eprintln!("cablestat: {path}: snapshot at `{label}`: {e}"),
+        }
+    }
+    let mut stalls = Vec::new();
+    find_stalls("", &v, &mut stalls);
+    for (label, sv) in &stalls {
+        let title = if label.is_empty() { path.as_str() } else { label.as_str() };
+        if let Some(t) = render_stall_value(title, sv) {
+            println!("{t}");
+            printed = true;
+        }
+    }
+    if !printed {
+        // Not a snapshot-bearing artifact: show the top-level scalars so
+        // `print` is still useful on e.g. BENCH_hotpath.json.
+        println!("{path}: no metrics snapshot found; top-level fields:");
+        if let Some(kvs) = v.as_obj() {
+            for (k, x) in kvs {
+                match x {
+                    Value::Arr(a) => println!("  {k}: [{} element(s)]", a.len()),
+                    Value::Obj(o) => println!("  {k}: {{{} field(s)}}", o.len()),
+                    other => println!("  {k}: {}", other.to_json()),
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut th = Thresholds::default();
+    let (mut all, mut gate, mut as_json) = (false, false, false);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--abs" | "--rel" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(val) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("cablestat diff: {flag} needs a number");
+                    return ExitCode::from(2);
+                };
+                if flag == "--abs" {
+                    th.abs = val;
+                } else {
+                    th.rel_pct = val;
+                }
+            }
+            "--all" => all = true,
+            "--gate" => gate = true,
+            "--json" => as_json = true,
+            f => files.push(f.to_string()),
+        }
+        i += 1;
+    }
+    let [a_path, b_path] = files.as_slice() else {
+        eprintln!("cablestat diff: need exactly two files");
+        return ExitCode::from(2);
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("cablestat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let d = diff(&a, &b, &th);
+    if as_json {
+        print!("{}", d.to_json());
+    } else {
+        print!("{}", d.render(&format!("{a_path} -> {b_path}"), all));
+    }
+    let regressions = d.regressions().count();
+    if gate && regressions > 0 {
+        eprintln!(
+            "cablestat: GATE FAILED — {regressions} regression(s) beyond abs>{} rel>{}%",
+            th.abs, th.rel_pct
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("cablestat check: missing FILE(s)");
+        return ExitCode::from(2);
+    }
+    for path in args {
+        match load(path) {
+            Ok(_) => println!("ok      {path}"),
+            Err(e) => {
+                eprintln!("INVALID {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn inflate(v: &mut Value, key: &str, factor: f64) -> u64 {
+    match v {
+        Value::Obj(kvs) => {
+            let mut n = 0;
+            for (k, sub) in kvs {
+                if k == key {
+                    if let Value::Num(x) = sub {
+                        *x = (*x * factor).round();
+                        n += 1;
+                        continue;
+                    }
+                }
+                n += inflate(sub, key, factor);
+            }
+            n
+        }
+        Value::Arr(xs) => xs.iter_mut().map(|x| inflate(x, key, factor)).sum(),
+        _ => 0,
+    }
+}
+
+fn cmd_inflate(args: &[String]) -> ExitCode {
+    let [src, dst, key, factor] = args else {
+        eprintln!("cablestat inflate: need FILE OUT KEY FACTOR");
+        return ExitCode::from(2);
+    };
+    let Ok(factor) = factor.parse::<f64>() else {
+        eprintln!("cablestat inflate: FACTOR must be a number");
+        return ExitCode::from(2);
+    };
+    let mut v = match load(src) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cablestat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = inflate(&mut v, key, factor);
+    if n == 0 {
+        eprintln!("cablestat inflate: no numeric leaf named `{key}` in {src}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(dst, v.to_json()) {
+        eprintln!("cablestat: write {dst}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("inflated {n} `{key}` leaf(s) by {factor}x: {src} -> {dst}");
+    ExitCode::SUCCESS
+}

@@ -387,6 +387,23 @@ pub fn write_artifact(name: &str, json: &str) {
     println!("results written to {name}");
 }
 
+/// The repository root (two levels up from this crate's manifest).
+pub fn repo_root() -> String {
+    format!("{}/../..", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Writes a secondary export (traces, collapsed stacks — anything that is
+/// not a root-level `BENCH_*.json`) into `target/artifacts/`, creating the
+/// directory on first use, and returns the full path.
+pub fn write_aux_artifact(name: &str, contents: &str) -> String {
+    let dir = format!("{}/target/artifacts", repo_root());
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+    let path = format!("{dir}/{name}");
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {name}: {e}"));
+    println!("aux artifact written to target/artifacts/{name}");
+    path
+}
+
 /// Prints a standard bench header.
 pub fn header(title: &str, paper_ref: &str) {
     println!();

@@ -288,6 +288,15 @@ pub enum Event {
         /// Payload bytes forwarded.
         bytes: u64,
     },
+    /// A fault satisfied by an already-prefetched copy: no remote fetch,
+    /// only the tail of the streaming install (if any) plus protection
+    /// work. Emitted as a span nested inside the enclosing
+    /// [`Event::FaultSpan`], so the stall profiler can split
+    /// prefetch-masked stall from full page-fault stall.
+    PrefetchMasked {
+        /// The page the fault was masked on.
+        page: u64,
+    },
 
     // ---- SAN spans ----
     /// A message send (`dur` = send start to remote arrival).
@@ -533,6 +542,7 @@ impl Event {
             Event::DiffBatch { .. } => "proto.diff_batch",
             Event::Prefetch { .. } => "proto.prefetch",
             Event::LockForward { .. } => "proto.lock_forward",
+            Event::PrefetchMasked { .. } => "proto.prefetch_masked",
             Event::SanSend { .. } => "san.send",
             Event::SanFetch { .. } => "san.fetch",
             Event::SanNotify { .. } => "san.notify",
@@ -604,7 +614,7 @@ impl Event {
             Event::Diff { page, bytes } => {
                 let _ = write!(out, "\"page\":{page},\"bytes\":{bytes}");
             }
-            Event::Invalidate { page } => {
+            Event::Invalidate { page } | Event::PrefetchMasked { page } => {
                 let _ = write!(out, "\"page\":{page}");
             }
             Event::DiffBatch { home, pages, bytes } => {

@@ -1,9 +1,10 @@
-//! A tiny recursive-descent JSON validator.
+//! A tiny recursive-descent JSON validator and value parser.
 //!
 //! The workspace is offline (`serde` is a marker shim, there is no
 //! `serde_json`), but the exporters emit JSON artifacts that CI must prove
-//! well-formed. This validator accepts exactly RFC-8259 JSON; it does not
-//! build a value tree, it only checks syntax.
+//! well-formed. [`validate`] accepts exactly RFC-8259 JSON without
+//! building a value tree; [`parse`] builds a [`Value`] tree for the
+//! consumers that need one (`obs::diff`, the `cablestat` CLI).
 
 /// Validates that `s` is one well-formed JSON value (with nothing but
 /// whitespace after it).
@@ -21,6 +22,170 @@ pub fn validate(s: &str) -> Result<(), String> {
         return Err(format!("trailing data at byte {}", p.i));
     }
     Ok(())
+}
+
+/// A parsed JSON value.
+///
+/// Object members keep their document order (a `Vec` of pairs, not a
+/// map), so re-serializing a parsed document is deterministic and diffs
+/// walk both documents in a stable order. Numbers are `f64` — every
+/// quantity the artifacts carry (simulated nanoseconds, counts) is well
+/// inside the 2^53 exact-integer range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, members in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (`None` for other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value back to compact deterministic JSON. Integral
+    /// numbers print without a fraction, so a parse→write round trip of
+    /// the integer-only artifacts is lossless.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < (1u64 << 53) as f64 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Arr(v) => {
+                out.push('[');
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    e.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Value::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses one JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    let v = p.build()?;
+    p.ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(v)
 }
 
 struct Parser<'a> {
@@ -50,6 +215,115 @@ impl Parser<'_> {
         } else {
             self.err(&format!("expected '{}'", c as char))
         }
+    }
+
+    /// Parses one value, building the tree ([`parse`]'s workhorse).
+    fn build(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.eat(b'{')?;
+                self.ws();
+                let mut m = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Value::Obj(m));
+                }
+                loop {
+                    self.ws();
+                    let k = self.build_string()?;
+                    self.ws();
+                    self.eat(b':')?;
+                    self.ws();
+                    let v = self.build()?;
+                    m.push((k, v));
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Value::Obj(m));
+                        }
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                self.ws();
+                let mut v = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Value::Arr(v));
+                }
+                loop {
+                    self.ws();
+                    v.push(self.build()?);
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Value::Arr(v));
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(self.build_string()?)),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                self.number()?;
+                let text = std::str::from_utf8(&self.b[start..self.i])
+                    .map_err(|_| format!("non-utf8 number at byte {start}"))?;
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| format!("unparseable number at byte {start}"))
+            }
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    /// Validates and decodes one string literal.
+    fn build_string(&mut self) -> Result<String, String> {
+        let start = self.i;
+        self.string()?;
+        let raw = std::str::from_utf8(&self.b[start + 1..self.i - 1])
+            .map_err(|_| format!("non-utf8 string at byte {start}"))?;
+        if !raw.contains('\\') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut it = raw.chars();
+        while let Some(c) = it.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match it.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (&mut it).take(4).collect();
+                    let cp = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape in string at byte {start}"))?;
+                    // Surrogate halves (already validated as hex) decode to
+                    // the replacement character; the artifacts never emit
+                    // them.
+                    out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                }
+                _ => return Err(format!("bad escape in string at byte {start}")),
+            }
+        }
+        Ok(out)
     }
 
     fn value(&mut self) -> Result<(), String> {
@@ -209,6 +483,28 @@ mod tests {
             "  [1]\n",
         ] {
             validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse("{\"a\": [1, 2.5, {\"b\": false}], \"c\": null, \"d\": \"x\\ny\"}").unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        assert_eq!(v.get("d").and_then(Value::as_str), Some("x\ny"));
+        let a = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].get("b").and_then(Value::as_bool), Some(false));
+        // Round trip is deterministic and stays valid.
+        let j = v.to_json();
+        assert_eq!(parse(&j).unwrap(), v);
+        validate(&j).unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["{", "[1,]", "{\"a\"}", "nul", "[1] x"] {
+            assert!(parse(bad).is_err(), "{bad:?} parsed");
         }
     }
 

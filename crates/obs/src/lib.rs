@@ -52,11 +52,13 @@
 
 pub mod chrome;
 pub mod critpath;
+pub mod diff;
 mod event;
 pub mod json;
 mod metrics;
 pub mod report;
 pub mod sharing;
+pub mod stall;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 

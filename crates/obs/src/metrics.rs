@@ -272,6 +272,118 @@ impl MetricsSnapshot {
         j.push_str("\n  }\n}\n");
         j
     }
+
+    /// Reconstructs a snapshot from a parsed [`crate::json::Value`] tree
+    /// with the [`MetricsSnapshot::to_json`] shape — the `cablestat` CLI's
+    /// loader. Lossy only where the export is: the serialized `sharers`
+    /// count cannot recover *which* nodes shared a page, so `nodes_mask`
+    /// is rebuilt with that many low bits set (`sharers()` round-trips).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing or mistyped field.
+    pub fn from_value(v: &crate::json::Value) -> Result<MetricsSnapshot, String> {
+        let need = |o: Option<u64>, what: &str| o.ok_or_else(|| format!("missing {what}"));
+        let obj = v.as_obj().ok_or("snapshot is not an object")?;
+        let _ = obj;
+        let dropped_events = need(v.get("dropped_events").and_then(|x| x.as_u64()), "dropped_events")?;
+        let mut nodes = Vec::new();
+        for (i, n) in v
+            .get("nodes")
+            .and_then(|x| x.as_arr())
+            .ok_or("missing nodes")?
+            .iter()
+            .enumerate()
+        {
+            let node = need(n.get("node").and_then(|x| x.as_u64()), "node id")? as u32;
+            let mut m = NodeMetrics::new(node);
+            for l in Layer::ALL {
+                m.layer_ns[l.index()] = need(
+                    n.get("layer_ns").and_then(|x| x.get(l.name())).and_then(|x| x.as_u64()),
+                    &format!("nodes[{i}].layer_ns.{}", l.name()),
+                )?;
+                m.layer_events[l.index()] = need(
+                    n.get("layer_events").and_then(|x| x.get(l.name())).and_then(|x| x.as_u64()),
+                    &format!("nodes[{i}].layer_events.{}", l.name()),
+                )?;
+            }
+            nodes.push(m);
+        }
+        let mut kinds = Vec::new();
+        for k in v
+            .get("kinds")
+            .and_then(|x| x.as_arr())
+            .ok_or("missing kinds")?
+        {
+            kinds.push(KindAgg {
+                name: k
+                    .get("name")
+                    .and_then(|x| x.as_str())
+                    .ok_or("kind without name")?
+                    .to_string(),
+                count: need(k.get("count").and_then(|x| x.as_u64()), "kind count")?,
+                total_ns: need(k.get("total_ns").and_then(|x| x.as_u64()), "kind total_ns")?,
+                min_ns: need(k.get("min_ns").and_then(|x| x.as_u64()), "kind min_ns")?,
+                max_ns: need(k.get("max_ns").and_then(|x| x.as_u64()), "kind max_ns")?,
+            });
+        }
+        let mut hists = Vec::new();
+        for l in Layer::ALL {
+            let b = v
+                .get("hists")
+                .and_then(|x| x.get(l.name()))
+                .and_then(|x| x.get("buckets"))
+                .and_then(|x| x.as_arr())
+                .ok_or_else(|| format!("missing hists.{}.buckets", l.name()))?;
+            if b.len() != HIST_BUCKETS {
+                return Err(format!("hists.{} has {} buckets", l.name(), b.len()));
+            }
+            let mut h = Histogram::default();
+            for (i, x) in b.iter().enumerate() {
+                h.buckets[i] = need(x.as_u64(), "hist bucket")?;
+            }
+            hists.push(h);
+        }
+        let mut pages = Vec::new();
+        for p in v
+            .get("pages")
+            .and_then(|x| x.as_arr())
+            .ok_or("missing pages")?
+        {
+            let g = |k: &str| need(p.get(k).and_then(|x| x.as_u64()), &format!("page {k}"));
+            let sharers = g("sharers")?;
+            pages.push(PageMetrics {
+                page: g("page")?,
+                faults: g("faults")?,
+                fetches: g("fetches")?,
+                diffs: g("diffs")?,
+                invals: g("invals")?,
+                migrates: g("migrates")?,
+                nodes_mask: if sharers >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << sharers) - 1
+                },
+                handoffs: g("handoffs")?,
+            });
+        }
+        let mut gauges = Vec::new();
+        for (name, x) in v
+            .get("gauges")
+            .and_then(|x| x.as_obj())
+            .ok_or("missing gauges")?
+        {
+            gauges.push((name.clone(), need(x.as_u64(), "gauge value")?));
+        }
+        Ok(MetricsSnapshot {
+            dropped_events,
+            nodes,
+            kinds,
+            hists,
+            pages,
+            gauges,
+        })
+    }
 }
 
 /// Mutable registry state, owned by the sink (behind its mutex).

@@ -137,16 +137,37 @@ pub fn sharing_table(title: &str, s: &MetricsSnapshot, events: &[crate::EventRec
     crate::sharing::analyze(s, events).render(title, 10)
 }
 
+/// Renders the named gauges (sync high-water marks, `engine.*` scheduling
+/// telemetry published by `SvmSystem::publish_engine_telemetry`). Empty
+/// string when the snapshot carries no gauges.
+pub fn gauge_table(s: &MetricsSnapshot) -> String {
+    if s.gauges.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<32} {:>14}", "gauge", "value");
+    let _ = writeln!(out, "{}", "-".repeat(47));
+    for (name, v) in &s.gauges {
+        let _ = writeln!(out, "{:<32} {:>14}", name, v);
+    }
+    out
+}
+
 /// The full report: latency table + percentiles + layer breakdown + hot
-/// pages.
+/// pages + gauges (engine telemetry and sync high-water marks).
 pub fn full_report(title: &str, s: &MetricsSnapshot) -> String {
-    format!(
+    let mut rep = format!(
         "=== {title}: latency breakdown (Table-3 style) ===\n{}\n=== {title}: latency percentiles (interpolated, per layer) ===\n{}\n=== {title}: per-node layer decomposition (Fig-5/6 style) ===\n{}\n=== {title}: hottest pages ===\n{}",
         latency_table(s),
         percentile_table(s),
         layer_breakdown(s),
         hot_pages(s, 10)
-    )
+    );
+    let gauges = gauge_table(s);
+    if !gauges.is_empty() {
+        rep.push_str(&format!("\n=== {title}: gauges (engine + sync) ===\n{gauges}"));
+    }
+    rep
 }
 
 #[cfg(test)]

@@ -111,6 +111,25 @@ impl SvmSystem {
         s
     }
 
+    /// Publishes the engine's scheduling telemetry into the obs gauge
+    /// registry (`engine.*` names), so snapshots and the paper-style
+    /// reporter surface parallel-engine headroom without grepping engine
+    /// internals. No-op when observability is off; the gauges are
+    /// deterministic across engine backends (`tests/parallel_engine.rs`
+    /// pins `EngineStats` equality), so snapshot equality across modes is
+    /// preserved.
+    pub fn publish_engine_telemetry(&self) {
+        if !self.cluster.obs.on() {
+            return;
+        }
+        let s = self.engine_stats();
+        let o = &self.cluster.obs;
+        o.gauge_set("engine.window_admissible", s.window_admissible);
+        o.gauge_set("engine.ready_reallocs", s.ready_reallocs);
+        o.gauge_set("engine.context_switches", s.context_switches);
+        o.gauge_set("engine.sync_fast_path", s.sync_fast_path);
+    }
+
     /// Enables or disables the cluster-wide observability layer (event
     /// bus + metric registries, see the `obs` crate). Like
     /// [`SvmSystem::set_fast_path`], toggling never changes simulated

@@ -954,10 +954,13 @@ impl SvmSystem {
         // A write upgrade on a current clean copy needs no data transfer:
         // only the protection changes (and dirty tracking starts).
         if copy_current && kind == FaultKind::Write && have_frame {
+            let t_masked = sim.now();
+            let mut masked = false;
             let mut st = self.state.lock();
             let np = &mut st.nodes[node.0 as usize];
             if let Some(install) = np.prefetched.remove(&page.index()) {
                 np.stats.prefetch_hits += 1;
+                masked = true;
                 drop(st);
                 // Wait out the tail of the streaming batch if the bytes
                 // have not landed yet.
@@ -984,6 +987,21 @@ impl SvmSystem {
                 .set_prot(node, page, Prot::ReadWrite)
                 .expect("copy mapped");
             sim.advance(self.cluster.mem.config().protect_ns);
+            if masked {
+                if let Some(o) = self.obs_if_on() {
+                    // Nested inside the enclosing FaultSpan: the stall
+                    // profiler splits prefetch-masked stall out of the
+                    // page-fault bucket from this span.
+                    o.span(
+                        obs::Layer::Proto,
+                        node,
+                        sim.tid().0,
+                        t_masked,
+                        sim.now().saturating_since(t_masked),
+                        obs::Event::PrefetchMasked { page: page.index() },
+                    );
+                }
+            }
             return;
         }
 
@@ -993,6 +1011,7 @@ impl SvmSystem {
         // readable protection directly — so the branch is gated to keep
         // the baseline path literally unchanged.)
         if copy_current && kind == FaultKind::Read && have_frame && self.cfg.prefetch_degree > 0 {
+            let t_masked = sim.now();
             let install = {
                 let mut st = self.state.lock();
                 let np = &mut st.nodes[node.0 as usize];
@@ -1002,6 +1021,7 @@ impl SvmSystem {
                 }
                 install
             };
+            let masked = install.is_some();
             if let Some(t) = install {
                 // Wait out the tail of the streaming batch if the bytes
                 // have not landed yet.
@@ -1012,6 +1032,21 @@ impl SvmSystem {
                 .set_prot(node, page, Prot::Read)
                 .expect("copy mapped");
             sim.advance(self.cluster.mem.config().protect_ns);
+            if masked {
+                if let Some(o) = self.obs_if_on() {
+                    // Nested inside the enclosing FaultSpan: the stall
+                    // profiler splits prefetch-masked stall out of the
+                    // page-fault bucket from this span.
+                    o.span(
+                        obs::Layer::Proto,
+                        node,
+                        sim.tid().0,
+                        t_masked,
+                        sim.now().saturating_since(t_masked),
+                        obs::Event::PrefetchMasked { page: page.index() },
+                    );
+                }
+            }
             return;
         }
 

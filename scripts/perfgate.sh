@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Performance gate: regenerate the smoke-mode BENCH artifacts and diff
+# them against the committed snapshots in baselines/ with
+# `cablestat diff --gate`. The simulator is deterministic, so a clean
+# tree reproduces every baseline bit-for-bit; a metric that moves beyond
+# the tolerances in its regressing direction (see obs::diff) fails the
+# gate. Intentional changes are re-baselined with --rebase and the
+# refreshed baselines/ committed alongside the change.
+#
+#   scripts/perfgate.sh              regenerate (smoke) + gate
+#   scripts/perfgate.sh --selftest   additionally prove the gate trips on
+#                                    an injected 1.5x sim_time_ns
+#                                    regression before gating for real
+#   scripts/perfgate.sh --rebase     refresh baselines/ from a fresh
+#                                    smoke run (then commit them)
+#   scripts/perfgate.sh --no-regen   gate the artifacts already on disk
+#                                    (tier1 --smoke just produced them)
+#
+# Tolerances: PERFGATE_ABS (absolute units, default 0) and PERFGATE_REL
+# (percent, default 2.0). A delta must exceed BOTH to be significant,
+# and only significant deltas in the worse direction gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+ABS=${PERFGATE_ABS:-0}
+REL=${PERFGATE_REL:-2.0}
+
+BENCHES=(obs_report critpath protocol_opt ablations)
+ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json
+           BENCH_protocol.json BENCH_ablations.json)
+
+regen=1 selftest=0 rebase=0
+for arg in "$@"; do
+    case "$arg" in
+        --no-regen) regen=0 ;;
+        --selftest) selftest=1 ;;
+        --rebase)   rebase=1 ;;
+        *) echo "perfgate: unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> build cablestat"
+cargo build $CARGO_FLAGS --release -p cables-bench --bin cablestat
+CABLESTAT=target/release/cablestat
+
+if (( regen )); then
+    for b in "${BENCHES[@]}"; do
+        echo "==> regenerate (smoke): cargo bench --bench $b -- --test"
+        cargo bench $CARGO_FLAGS -p cables-bench --bench "$b" -- --test > /dev/null
+    done
+fi
+
+# Baselines are smoke-mode snapshots; refuse to gate full-size artifacts
+# (e.g. left behind by scripts/report.sh) against them.
+for a in "${ARTIFACTS[@]}"; do
+    if [[ ! -s "$a" ]]; then
+        echo "perfgate: missing artifact $a (run without --no-regen)" >&2
+        exit 1
+    fi
+    if ! grep -q '"smoke": true' "$a"; then
+        echo "perfgate: $a is full-size; the gate compares smoke runs (re-run without --no-regen)" >&2
+        exit 1
+    fi
+done
+
+if (( rebase )); then
+    mkdir -p baselines
+    for a in "${ARTIFACTS[@]}"; do
+        cp "$a" "baselines/$a"
+        echo "perfgate: baselines/$a refreshed"
+    done
+    echo "perfgate: rebase done — review and commit baselines/"
+    exit 0
+fi
+
+if (( selftest )); then
+    echo "==> selftest: the gate must trip on an injected 1.5x sim_time_ns regression"
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    "$CABLESTAT" inflate BENCH_obs_FFT.json "$tmp" sim_time_ns 1.5
+    if "$CABLESTAT" diff baselines/BENCH_obs_FFT.json "$tmp" \
+            --abs "$ABS" --rel "$REL" --gate > /dev/null; then
+        echo "perfgate: SELFTEST FAILED — the injected regression passed the gate" >&2
+        exit 1
+    fi
+    echo "perfgate: selftest OK (injected regression caught)"
+fi
+
+status=0
+for a in "${ARTIFACTS[@]}"; do
+    base="baselines/$a"
+    if [[ ! -s "$base" ]]; then
+        echo "perfgate: missing baseline $base (scripts/perfgate.sh --rebase, then commit)" >&2
+        status=1
+        continue
+    fi
+    echo "==> gate: $base vs $a (abs>$ABS rel>$REL%)"
+    "$CABLESTAT" diff "$base" "$a" --abs "$ABS" --rel "$REL" --gate || status=1
+done
+
+if (( status )); then
+    echo "perfgate: FAILED — regression(s) beyond tolerance; if intentional," >&2
+    echo "perfgate: refresh with scripts/perfgate.sh --rebase and commit baselines/" >&2
+else
+    echo "perfgate: OK"
+fi
+exit $status

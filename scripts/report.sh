@@ -16,9 +16,15 @@
 #   BENCH_table6.json     paper Table 6: OpenMP SPLASH-2 speedups
 #   BENCH_fig5.json       paper Fig. 5: M4 vs M4-on-pthreads exec times
 #   BENCH_fig6.json       paper Fig. 6: misplaced-page percentages
-#   trace_fft.json        Chrome-trace timeline of the FFT run on 8 nodes
+#   BENCH_ablations.json  design-space ablations: sharing granularity,
+#                         write-through, NIC pressure, barrier builds,
+#                         home migration
+#   target/artifacts/trace_fft.json
+#                         Chrome-trace timeline of the FFT run on 8 nodes
 #                         (load in chrome://tracing or ui.perfetto.dev;
 #                         causal edges render as Perfetto flow arrows)
+#   target/artifacts/stall_{FFT,RADIX}.collapsed
+#                         collapsed-stack stall exports for flamegraphs
 #
 # The obs/protocol runs execute each kernel twice (bus off, then on) and
 # assert the simulated result is bit-identical, so a successful exit also
@@ -39,7 +45,8 @@ export CABLES_ENGINE_MODE=${CABLES_ENGINE_MODE:-parallel}
 ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json
            BENCH_chaos.json BENCH_protocol.json BENCH_table3.json
            BENCH_table4.json BENCH_table5.json BENCH_table6.json
-           BENCH_fig5.json BENCH_fig6.json trace_fft.json)
+           BENCH_fig5.json BENCH_fig6.json BENCH_ablations.json
+           target/artifacts/trace_fft.json)
 
 # Drop stale copies first so a bench that no longer writes its artifact
 # cannot pass the check below on a leftover file.
@@ -55,6 +62,7 @@ cargo bench $CARGO_FLAGS -p cables-bench --bench table5
 cargo bench $CARGO_FLAGS -p cables-bench --bench table6
 cargo bench $CARGO_FLAGS -p cables-bench --bench fig5
 cargo bench $CARGO_FLAGS -p cables-bench --bench fig6
+cargo bench $CARGO_FLAGS -p cables-bench --bench ablations
 
 status=0
 for f in "${ARTIFACTS[@]}"; do
@@ -155,6 +163,21 @@ for path in sorted(glob.glob("BENCH_*.json")):
                     cell[r["mode"]] = "FAILED" if r["failed"] else ms(r["parallel_ns"])
             rows.append((a["app"], f"@{top}p base {cell.get('Base', '?')}, "
                          f"cables {cell.get('Cables', '?')}"))
+    elif name == "ablations":
+        for g in d["granularity"]:
+            rows.append((g["kernel"],
+                         f"node-track {ms(g['nt_parallel_ns'])} "
+                         f"({g['nt_misplaced_pct']:.0f}% misplaced) vs "
+                         f"page {ms(g['pg_parallel_ns'])} "
+                         f"({g['pg_misplaced_pct']:.0f}%)"))
+        mig = {m["mode"]: m for m in d["migration"]}
+        off, on = mig["off"], mig["migrate_after_3"]
+        rows.append(("migration", f"diffs {off['diffs_sent']} -> "
+                     f"{on['diffs_sent']}, time {ms(off['total_ns'])} -> "
+                     f"{ms(on['total_ns'])}"))
+        nic = {m["mode"]: m for m in d["nic_pressure"]}
+        rows.append(("nic", f"max regions Base {nic['Base']['max_nic_regions']}"
+                     f" -> Cables {nic['Cables']['max_nic_regions']}"))
     elif name == "fig6":
         for a in d["apps"]:
             pts = a["points"]

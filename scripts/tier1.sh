@@ -29,10 +29,16 @@ if [[ "${1:-}" == "--smoke" ]]; then
         echo "==> cargo bench --bench $bench -- --test"
         cargo bench $CARGO_FLAGS -p cables-bench --bench "$bench" -- --test
     done
-    # The observability artifacts must be machine-readable JSON (python's
-    # parser is the neutral referee; skip quietly if it is unavailable).
+    # Every BENCH artifact must parse against the repo's own JSON
+    # grammar (obs::json, via cablestat) — the same validator the diff
+    # gate relies on.
+    echo "==> cablestat check BENCH_*.json"
+    ./target/release/cablestat check BENCH_*.json target/artifacts/trace_fft.json
+    # The observability artifacts must also be machine-readable by an
+    # independent parser (python is the neutral referee; skip quietly if
+    # it is unavailable).
     if command -v python3 >/dev/null 2>&1; then
-        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_table3.json BENCH_table4.json BENCH_table5.json trace_fft.json; do
+        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_ablations.json BENCH_table3.json BENCH_table4.json BENCH_table5.json target/artifacts/trace_fft.json; do
             echo "==> validate $f"
             python3 -m json.tool "$f" > /dev/null
         done
@@ -66,9 +72,13 @@ PYEOF
     fi
     # Causal edges must survive export: the trace carries Perfetto flow
     # events (ph "s"/"f" pairs) linking cause to effect across lanes.
-    echo "==> check flow events in trace_fft.json"
-    grep -q '"ph":"s"' trace_fft.json
-    grep -q '"ph":"f"' trace_fft.json
+    echo "==> check flow events in target/artifacts/trace_fft.json"
+    grep -q '"ph":"s"' target/artifacts/trace_fft.json
+    grep -q '"ph":"f"' target/artifacts/trace_fft.json
+    # Performance gate: the smoke artifacts the loop above just produced
+    # are compared against the committed baselines/, after the gate
+    # proves it trips on an injected regression.
+    ./scripts/perfgate.sh --no-regen --selftest
 fi
 
 echo "tier1: OK"
