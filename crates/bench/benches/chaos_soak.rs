@@ -23,8 +23,10 @@ use std::sync::{Arc, Mutex as StdMutex};
 
 use apps::splash::{fft, radix};
 use apps::{M4Ctx, M4System};
-use cables_bench::{cluster_for, fmt_ns, header, smoke_mode};
+use cables_bench::{cluster_for, fmt_ns, header, smoke_mode, StreamExporter};
 use chaos::{ChaosEngine, ChaosStats, FaultPlan, ResourceFaults, WireFaults};
+use obs::series;
+use obs::stream::parse_stream;
 use svm::Cluster;
 
 /// The node sacrificed by the crash level (never 0: the master survives).
@@ -133,12 +135,31 @@ struct LevelOutcome {
 }
 
 fn run_level(w: &Workload, plan: Option<FaultPlan>, seed: u64, smoke: bool) -> LevelOutcome {
+    run_level_streamed(w, plan, seed, smoke, None).0
+}
+
+/// [`run_level`] with an optional live metric stream: `stream` names the
+/// stream kernel and carries the window width; the series + exporter run
+/// for the whole level (observability is inert, so the level's simulated
+/// time is unchanged).
+fn run_level_streamed(
+    w: &Workload,
+    plan: Option<FaultPlan>,
+    seed: u64,
+    smoke: bool,
+    stream: Option<(&str, u64)>,
+) -> (LevelOutcome, Option<series::SeriesSummary>) {
     let cluster = Cluster::build(cluster_for(w.procs));
     let attached = plan.is_some();
     if let Some(plan) = plan {
         cluster.set_chaos(ChaosEngine::new(seed, plan));
     }
     let sys = M4System::cables(Arc::clone(&cluster));
+    let exporter = stream.map(|(name, sample_ns)| {
+        sys.svm().set_obs(true);
+        let ring = sys.svm().obs().series_start(sample_ns);
+        StreamExporter::start(name, sample_ns, ring)
+    });
     let body = w.body;
     let err_slot = Arc::new(StdMutex::new(None));
     let err2 = Arc::clone(&err_slot);
@@ -146,7 +167,18 @@ fn run_level(w: &Workload, plan: Option<FaultPlan>, seed: u64, smoke: bool) -> L
         *err2.lock().unwrap() = body(ctx, smoke);
     });
     let max_error = *err_slot.lock().unwrap();
-    LevelOutcome {
+    let summary = exporter.map(|e| {
+        let svm = sys.svm();
+        let sink = svm.obs();
+        let summary = sink.series_finish().expect("series was running");
+        let sim_ns = result.as_ref().map(|t| t.as_nanos()).unwrap_or(0);
+        let export = e.finish(&summary, sim_ns, &sink.snapshot());
+        let text = std::fs::read_to_string(&export.path).expect("read stream back");
+        let s = parse_stream(&text).expect("chaos stream grammar");
+        s.verify_fold().expect("chaos stream folds to final snapshot");
+        summary
+    });
+    let outcome = LevelOutcome {
         total_ns: result.ok().map(|t| t.as_nanos()),
         max_error,
         stats: if attached {
@@ -158,7 +190,8 @@ fn run_level(w: &Workload, plan: Option<FaultPlan>, seed: u64, smoke: bool) -> L
             .cables_rt()
             .map(|rt| rt.stats().nodes_detached)
             .unwrap_or(0),
-    }
+    };
+    (outcome, summary)
 }
 
 fn main() {
@@ -208,8 +241,30 @@ fn main() {
         let mut completed = 0usize;
         for (li, level) in LEVELS.iter().enumerate() {
             let seed = 0xC4B1E5 ^ (wi as u64) << 8 ^ li as u64;
-            let out = run_level(w, Some((level.plan)(crash_at)), seed, smoke);
+            // The FFT crash level runs with the live metric stream on:
+            // the windowed series around the crash instant is the §3.4
+            // degraded-regime evidence (EXPERIMENTS.md), and doubles as
+            // proof that streaming survives a mid-run node loss.
+            let stream = (level.crashes && w.name == "FFT")
+                .then(|| ("CHAOS_FFT", (clean_ns / 24).max(1)));
+            let (out, stream_summary) =
+                run_level_streamed(w, Some((level.plan)(crash_at)), seed, smoke, stream);
             let s = &out.stats;
+            if let Some(sum) = &stream_summary {
+                let text = std::fs::read_to_string(format!(
+                    "{}/../../target/artifacts/stream_CHAOS_FFT.ndjson",
+                    env!("CARGO_MANIFEST_DIR")
+                ))
+                .expect("read chaos stream");
+                let frames = parse_stream(&text).expect("chaos stream").frames;
+                println!(
+                    "  crash-level metric stream: {} frame(s), {}ns windows, crash at {} -> target/artifacts/stream_CHAOS_FFT.ndjson",
+                    sum.frames,
+                    sum.sample_ns,
+                    fmt_ns(crash_at)
+                );
+                print!("{}", obs::report::window_table(&series::windowed_table(&frames)));
+            }
 
             if level.name == "clean" {
                 assert_eq!(

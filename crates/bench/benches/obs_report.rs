@@ -3,17 +3,27 @@
 //!
 //! - `BENCH_obs_<kernel>.json` — simulated time broken down by layer
 //!   (san / vmmc / proto / sync / rt / sched) per node, plus the full
-//!   metric snapshot (kind latencies, page activity, gauges) and the
-//!   per-thread stall profile (`obs::stall`);
+//!   metric snapshot (kind latencies, page activity, gauges), the
+//!   per-thread stall profile (`obs::stall`), the windowed metric series
+//!   (`obs::series`), and the top-10 page-sharing ranking
+//!   (`obs::sharing`);
+//! - `target/artifacts/stream_<kernel>.ndjson` — the online metric
+//!   series, streamed *during* the run by a drain thread (watch a live
+//!   run with `cablestat tail --follow stream_FFT.ndjson`);
+//! - `BENCH_obs_stream.json` — streaming-path accounting per kernel
+//!   (frames, overflow merges, fold exactness), perfgate-tracked;
 //! - `target/artifacts/trace_fft.json` — a Chrome-trace / Perfetto
 //!   timeline of the FFT run on an 8-node cluster, one process per node,
 //!   one track per simulated thread plus the NIC lane;
 //! - `target/artifacts/stall_<kernel>.collapsed` — collapsed-stack stall
 //!   export (`node;thread;bucket value`) for flamegraph tooling.
 //!
-//! Every run executes twice — observability off, then on — and asserts the
-//! final virtual time is bit-identical (recording charges no simulated
-//! time). Both JSON artifacts are validated before they are written.
+//! Every run executes twice — observability off, then on *with the
+//! streaming series enabled* — and asserts the final virtual time is
+//! bit-identical (recording and streaming charge no simulated time).
+//! Every stream is parsed back and its frames must fold byte-exactly to
+//! the embedded final snapshot. Both JSON artifacts are validated before
+//! they are written.
 //!
 //! Run with `--test` for the CI smoke mode (tiny sizes, same assertions,
 //! same artifacts).
@@ -23,7 +33,12 @@ use std::sync::Arc;
 
 use apps::splash::{fft, radix};
 use apps::{M4Ctx, M4System};
-use cables_bench::{cluster_for, header, smoke_mode, write_aux_artifact};
+use cables_bench::{
+    cluster_for, header, smoke_mode, write_artifact, write_aux_artifact, StreamExport,
+    StreamExporter,
+};
+use obs::series::{self, SeriesSummary};
+use obs::stream::parse_stream;
 use obs::{chrome, report, stall, Layer, MetricsSnapshot};
 use svm::Cluster;
 
@@ -58,24 +73,49 @@ struct ObsRun {
     events: Vec<obs::EventRecord>,
 }
 
-fn run_once(w: &Workload, observe: bool, smoke: bool) -> ObsRun {
+/// Runs one workload; `stream_sample_ns` additionally turns on the online
+/// metric series and exports it live to `stream_<kernel>.ndjson`.
+fn run_once(
+    w: &Workload,
+    observe: bool,
+    smoke: bool,
+    stream_sample_ns: Option<u64>,
+) -> (ObsRun, Option<(SeriesSummary, StreamExport)>) {
     let cluster = Cluster::build(cluster_for(w.procs));
     let sys = M4System::cables(Arc::clone(&cluster));
     sys.svm().set_obs(observe);
+    let exporter = stream_sample_ns.map(|sample_ns| {
+        let ring = sys.svm().obs().series_start(sample_ns);
+        StreamExporter::start(w.name, sample_ns, ring)
+    });
     let body = w.body;
     let end = sys.run(move |ctx| body(ctx, smoke)).expect("workload run");
     let svm = sys.svm();
     let sink = svm.obs();
-    ObsRun {
+    let run = ObsRun {
         total_ns: end.as_nanos(),
         snapshot: sink.snapshot(),
         events: sink.events(),
-    }
+    };
+    let streamed = exporter.map(|e| {
+        let summary = sink.series_finish().expect("series was running");
+        let export = e.finish(&summary, run.total_ns, &run.snapshot);
+        (summary, export)
+    });
+    (run, streamed)
 }
 
 /// The `BENCH_obs_<kernel>.json` document: run identity, per-layer totals,
-/// the embedded metric snapshot, and the per-thread stall profile.
-fn artifact_json(w: &Workload, smoke: bool, run: &ObsRun, stall: &stall::StallProfile) -> String {
+/// the embedded metric snapshot, the per-thread stall profile, the
+/// windowed series, and the top-10 sharing ranking.
+fn artifact_json(
+    w: &Workload,
+    smoke: bool,
+    run: &ObsRun,
+    stall: &stall::StallProfile,
+    series_json: &str,
+    sharing_json: &str,
+) -> String {
     let mut j = String::from("{\n");
     let _ = write!(
         j,
@@ -94,6 +134,10 @@ fn artifact_json(w: &Workload, smoke: bool, run: &ObsRun, stall: &stall::StallPr
     j.push_str(run.snapshot.to_json().trim_end());
     j.push_str(",\n  \"stall\": ");
     j.push_str(stall.to_json().trim_end());
+    j.push_str(",\n  \"series\": ");
+    j.push_str(series_json.trim_end());
+    j.push_str(",\n  \"sharing\": ");
+    j.push_str(sharing_json.trim_end());
     j.push_str("\n}\n");
     j
 }
@@ -102,10 +146,20 @@ fn repo_root_path(name: &str) -> String {
     format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), name)
 }
 
+/// One kernel's row in `BENCH_obs_stream.json`.
+struct StreamRow {
+    kernel: &'static str,
+    sample_ns: u64,
+    frames: u64,
+    overflow_merges: u64,
+    windows: usize,
+    sim_time_ns: u64,
+}
+
 fn main() {
     let smoke = smoke_mode();
     header(
-        "obs_report: instrumented kernels, layer breakdown + Chrome trace",
+        "obs_report: instrumented kernels, layer breakdown + live stream + Chrome trace",
         "no paper artifact; the observability layer's own report",
     );
     let workloads = [
@@ -120,16 +174,24 @@ fn main() {
             body: radix_body,
         },
     ];
+    let mut stream_rows: Vec<StreamRow> = Vec::new();
 
     for w in &workloads {
-        let off = run_once(w, false, smoke);
-        let on = run_once(w, true, smoke);
+        let (off, _) = run_once(w, false, smoke, None);
+        // ~48 windows per run unless CABLES_OBS_SAMPLE_NS pins the width;
+        // derived from the (deterministic) uninstrumented run time so the
+        // frame count is stable run-to-run.
+        let sample_ns =
+            series::sample_ns_from_env().unwrap_or_else(|| (off.total_ns / 48).max(1));
+        let (on, streamed) = run_once(w, true, smoke, Some(sample_ns));
+        let (summary, export) = streamed.expect("streaming run");
 
         // The observability layer must be free when disabled and inert
-        // when enabled: identical virtual time either way.
+        // when enabled: identical virtual time either way — with the
+        // streaming series running, not just plain recording.
         assert_eq!(
             off.total_ns, on.total_ns,
-            "{}: enabling observability changed the simulated result",
+            "{}: enabling observability + streaming changed the simulated result",
             w.name
         );
         assert!(off.events.is_empty(), "{}: disabled sink recorded", w.name);
@@ -140,7 +202,24 @@ fn main() {
             w.name
         );
 
-        println!("{}", report::full_report(w.name, &on.snapshot));
+        println!("{}", report::full_report_with_events(w.name, &on.snapshot, &on.events));
+
+        // Parse the stream back: grammar-valid, frames fold byte-exactly
+        // to the embedded final snapshot.
+        let text = std::fs::read_to_string(&export.path).expect("read stream back");
+        let stream = parse_stream(&text)
+            .unwrap_or_else(|e| panic!("{}: stream grammar: {e}", w.name));
+        stream
+            .verify_fold()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(stream.frames.len() as u64, summary.frames);
+        let rows = series::windowed_table(&stream.frames);
+        println!("=== {}: windowed metric series ({}ns windows) ===", w.name, sample_ns);
+        print!("{}", report::window_table(&rows));
+        println!(
+            "stream: {} frame(s), {} overflow merge(s), fold exact -> target/artifacts/stream_{}.ndjson\n",
+            summary.frames, summary.overflow_merges, w.name
+        );
 
         // Per-thread stall profile: the bucket totals must partition each
         // thread's recorded lifetime exactly (the obs::stall invariant).
@@ -163,11 +242,27 @@ fn main() {
             &profile.collapsed(),
         );
 
-        let artifact = artifact_json(w, smoke, &on, &profile);
+        let series_json = format!(
+            "{{\"sample_ns\": {}, \"frames\": {}, \"overflow_merges\": {}, \"windows\": {}}}",
+            summary.sample_ns,
+            summary.frames,
+            summary.overflow_merges,
+            series::window_table_json(&rows)
+        );
+        let sharing = obs::sharing::analyze(&on.snapshot, &on.events).top(10);
+        let artifact = artifact_json(w, smoke, &on, &profile, &series_json, &sharing.to_json());
         obs::json::validate(&artifact).expect("artifact JSON is well-formed");
         let path = repo_root_path(&format!("BENCH_obs_{}.json", w.name));
         std::fs::write(&path, &artifact).expect("write BENCH_obs json");
         println!("layer breakdown written to BENCH_obs_{}.json", w.name);
+        stream_rows.push(StreamRow {
+            kernel: w.name,
+            sample_ns,
+            frames: summary.frames,
+            overflow_merges: summary.overflow_merges,
+            windows: rows.len(),
+            sim_time_ns: on.total_ns,
+        });
 
         if w.name == "FFT" {
             let trace = chrome::export(&on.events);
@@ -189,6 +284,22 @@ fn main() {
         println!();
     }
 
+    let mut sj = format!(
+        "{{\n  \"bench\": \"obs_stream\",\n  \"smoke\": {smoke},\n  \"kernels\": ["
+    );
+    for (i, r) in stream_rows.iter().enumerate() {
+        if i > 0 {
+            sj.push(',');
+        }
+        let _ = write!(
+            sj,
+            "\n    {{\"kernel\": \"{}\", \"sample_ns\": {}, \"frames\": {}, \"overflow_merges\": {}, \"windows\": {}, \"fold_exact\": true, \"sim_time_ns\": {}}}",
+            r.kernel, r.sample_ns, r.frames, r.overflow_merges, r.windows, r.sim_time_ns
+        );
+    }
+    sj.push_str("\n  ]\n}\n");
+    write_artifact("BENCH_obs_stream.json", &sj);
+
     println!("determinism: every kernel produced identical SimTime with the");
-    println!("observability layer on and off.");
+    println!("observability layer (and the streaming series) on and off.");
 }

@@ -1,5 +1,6 @@
-//! `cablestat` — snapshot pretty-printer, stall-table renderer, and
-//! differential analyzer for the `BENCH_*.json` artifacts.
+//! `cablestat` — snapshot pretty-printer, stall-table renderer,
+//! differential analyzer, and streaming-telemetry toolbox for the
+//! `BENCH_*.json` / `stream_*.ndjson` artifacts.
 //!
 //! ```text
 //! cablestat print FILE            pretty-print the snapshot(s) in FILE
@@ -10,8 +11,28 @@
 //!     --all         print every changed leaf, not just significant ones
 //!     --gate        exit 1 when any regression survives the thresholds
 //!     --json        emit the delta as JSON instead of a table
+//! cablestat explain A B [OPTS]    root-cause a failing diff: join each
+//!                                 regressed metric against stall-bucket,
+//!                                 critpath, kind, and page deltas
+//!     --abs/--rel   as for diff
+//!     --top N       findings/causes per finding to show (default 5)
+//!     --streams X Y baseline + candidate NDJSON series for time-window
+//!                   attribution
+//!     --json        emit the report as JSON
+//! cablestat tail STREAM [OPTS]    render an NDJSON metric series
+//!                                 (stall mix, protocol counters/sec,
+//!                                 per-window latency percentiles)
+//!     --follow      keep reading until the end line appears (live runs)
+//! cablestat series STREAM [OPTS]  fold a stream into the windowed table
+//!                                 and verify frames re-sum exactly to
+//!                                 the embedded final snapshot (exit 1 on
+//!                                 divergence)
+//!     --json        emit the windowed table as JSON
 //! cablestat check FILE...         validate artifacts against the obs
-//!                                 JSON grammar (exit 1 on the first bad)
+//!                                 JSON grammar; `.ndjson` files are also
+//!                                 checked against the stream grammar and
+//!                                 fold-verified; parse failures report
+//!                                 line:column (exit 1 on the first bad)
 //! cablestat inflate FILE OUT KEY FACTOR
 //!                                 copy FILE to OUT with every numeric
 //!                                 leaf named KEY multiplied by FACTOR
@@ -19,35 +40,119 @@
 //!                                 injector)
 //! ```
 //!
-//! Exit codes: 0 ok, 1 gated regression / invalid artifact, 2 usage.
+//! Every subcommand accepts `--dir DIR`: relative FILE arguments that do
+//! not resolve as given are looked up under DIR (default `.`; `tail` and
+//! `series` default to `target/artifacts`, where the exporters write).
+//!
+//! Artifacts that predate the `cablestat` binary draw a staleness
+//! warning — a `BENCH_*.json` older than the tool that should have
+//! regenerated it usually means a forgotten bench run.
+//!
+//! Exit codes: 0 ok, 1 gated regression / invalid artifact / fold
+//! divergence, 2 usage.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use obs::diff::{diff, Thresholds};
-use obs::json::{parse, validate, Value};
+use obs::explain::explain_diff;
+use obs::json::{line_col, parse, validate, Value};
+use obs::series::windowed_table;
+use obs::stream::{parse_stream, Stream};
 use obs::{report, MetricsSnapshot};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = take_dir_flag(&mut args);
     let cmd = args.first().map(String::as_str);
     match cmd {
-        Some("print") => cmd_print(&args[1..]),
-        Some("diff") => cmd_diff(&args[1..]),
-        Some("check") => cmd_check(&args[1..]),
-        Some("inflate") => cmd_inflate(&args[1..]),
+        Some("print") => cmd_print(&args[1..], dir.as_deref().unwrap_or(".")),
+        Some("diff") => cmd_diff(&args[1..], dir.as_deref().unwrap_or(".")),
+        Some("explain") => cmd_explain(&args[1..], dir.as_deref().unwrap_or(".")),
+        Some("tail") => cmd_tail(&args[1..], dir.as_deref().unwrap_or("target/artifacts")),
+        Some("series") => cmd_series(&args[1..], dir.as_deref().unwrap_or("target/artifacts")),
+        Some("check") => cmd_check(&args[1..], dir.as_deref().unwrap_or(".")),
+        Some("inflate") => cmd_inflate(&args[1..], dir.as_deref().unwrap_or(".")),
         _ => {
             eprintln!(
-                "usage: cablestat print FILE\n       cablestat diff A B [--abs N] [--rel PCT] [--all] [--gate] [--json]\n       cablestat check FILE...\n       cablestat inflate FILE OUT KEY FACTOR"
+                "usage: cablestat print FILE\n       cablestat diff A B [--abs N] [--rel PCT] [--all] [--gate] [--json]\n       cablestat explain A B [--abs N] [--rel PCT] [--top N] [--streams X Y] [--json]\n       cablestat tail STREAM [--follow]\n       cablestat series STREAM [--json]\n       cablestat check FILE...\n       cablestat inflate FILE OUT KEY FACTOR\n       (all subcommands: --dir DIR to resolve relative FILEs)"
             );
             ExitCode::from(2)
         }
     }
 }
 
-fn load(path: &str) -> Result<Value, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    validate(&text).map_err(|e| format!("{path}: invalid JSON: {e:?}"))?;
-    parse(&text).map_err(|e| format!("{path}: {e}"))
+/// Pulls `--dir DIR` out of the argument list (position-independent).
+fn take_dir_flag(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--dir")?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let dir = args.remove(i + 1);
+    args.remove(i);
+    Some(dir)
+}
+
+/// Resolves FILE against `--dir`: paths that exist as given (or are
+/// absolute) win; otherwise the file is looked up under the directory.
+fn resolve(dir: &str, path: &str) -> PathBuf {
+    let p = Path::new(path);
+    if p.is_absolute() || p.exists() || dir == "." {
+        return p.to_path_buf();
+    }
+    Path::new(dir).join(p)
+}
+
+/// Warns when a generated artifact is older than this binary: the tool
+/// that regenerates `BENCH_*` / `stream_*` artifacts was rebuilt after
+/// the artifact was written, so the artifact may describe old code.
+fn warn_if_stale(path: &Path) {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if !(name.starts_with("BENCH_") || name.starts_with("stream_")) {
+        return;
+    }
+    // Committed baselines are historical by design.
+    if path.components().any(|c| c.as_os_str() == "baselines") {
+        return;
+    }
+    let (Ok(artifact), Ok(exe)) = (
+        path.metadata().and_then(|m| m.modified()),
+        std::env::current_exe().and_then(|e| e.metadata()).and_then(|m| m.modified()),
+    ) else {
+        return;
+    };
+    if artifact < exe {
+        eprintln!(
+            "cablestat: warning: {} predates this binary — regenerate it (scripts/perfgate.sh or the owning bench)",
+            path.display()
+        );
+    }
+}
+
+/// Reads + validates + parses one artifact; parse errors are reported as
+/// `path:line:col`.
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    warn_if_stale(path);
+    validate(&text).map_err(|e| located(path, &text, &e))?;
+    parse(&text).map_err(|e| located(path, &text, &e))
+}
+
+/// Rewrites a `... at byte N` parser error as `path:line:col: error`.
+fn located(path: &Path, text: &str, err: &str) -> String {
+    if let Some(byte) = err.rsplit(' ').next().and_then(|n| n.parse::<usize>().ok()) {
+        if err.contains("byte") {
+            let (line, col) = line_col(text, byte);
+            return format!("{}:{line}:{col}: {err}", path.display());
+        }
+    }
+    format!("{}: {err}", path.display())
+}
+
+fn load_stream(path: &Path) -> Result<Stream, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    warn_if_stale(path);
+    parse_stream(&text).map_err(|e| format!("{}:{e}", path.display()))
 }
 
 /// Finds every snapshot-shaped subtree (an object with the
@@ -145,12 +250,13 @@ fn render_stall_value(title: &str, v: &Value) -> Option<String> {
     Some(out)
 }
 
-fn cmd_print(args: &[String]) -> ExitCode {
+fn cmd_print(args: &[String], dir: &str) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!("cablestat print: missing FILE");
         return ExitCode::from(2);
     };
-    let v = match load(path) {
+    let path = resolve(dir, path);
+    let v = match load(&path) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("cablestat: {e}");
@@ -163,18 +269,26 @@ fn cmd_print(args: &[String]) -> ExitCode {
     for (label, sv) in &snaps {
         match MetricsSnapshot::from_value(sv) {
             Ok(s) => {
-                let title = if label.is_empty() { path.as_str() } else { label.as_str() };
-                println!("{}", report::full_report(title, &s));
+                let title = if label.is_empty() {
+                    path.display().to_string()
+                } else {
+                    label.clone()
+                };
+                println!("{}", report::full_report(&title, &s));
                 printed = true;
             }
-            Err(e) => eprintln!("cablestat: {path}: snapshot at `{label}`: {e}"),
+            Err(e) => eprintln!("cablestat: {}: snapshot at `{label}`: {e}", path.display()),
         }
     }
     let mut stalls = Vec::new();
     find_stalls("", &v, &mut stalls);
     for (label, sv) in &stalls {
-        let title = if label.is_empty() { path.as_str() } else { label.as_str() };
-        if let Some(t) = render_stall_value(title, sv) {
+        let title = if label.is_empty() {
+            path.display().to_string()
+        } else {
+            label.clone()
+        };
+        if let Some(t) = render_stall_value(&title, sv) {
             println!("{t}");
             printed = true;
         }
@@ -182,7 +296,7 @@ fn cmd_print(args: &[String]) -> ExitCode {
     if !printed {
         // Not a snapshot-bearing artifact: show the top-level scalars so
         // `print` is still useful on e.g. BENCH_hotpath.json.
-        println!("{path}: no metrics snapshot found; top-level fields:");
+        println!("{}: no metrics snapshot found; top-level fields:", path.display());
         if let Some(kvs) = v.as_obj() {
             for (k, x) in kvs {
                 match x {
@@ -196,38 +310,65 @@ fn cmd_print(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_diff(args: &[String]) -> ExitCode {
+/// Parses `--abs N` / `--rel PCT` into thresholds; unknown arguments are
+/// handed back for the caller's own flags, file operands in order.
+fn parse_diff_args<'a>(
+    args: &'a [String],
+    th: &mut Thresholds,
+) -> Result<(Vec<&'a str>, Vec<&'a str>), String> {
     let mut files = Vec::new();
-    let mut th = Thresholds::default();
-    let (mut all, mut gate, mut as_json) = (false, false, false);
+    let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--abs" | "--rel" => {
-                let flag = args[i].clone();
+                let flag = args[i].as_str();
                 i += 1;
-                let Some(val) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
-                    eprintln!("cablestat diff: {flag} needs a number");
-                    return ExitCode::from(2);
-                };
+                let val = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| format!("{flag} needs a number"))?;
                 if flag == "--abs" {
                     th.abs = val;
                 } else {
                     th.rel_pct = val;
                 }
             }
+            f if f.starts_with("--") => rest.push(f),
+            f => files.push(f),
+        }
+        i += 1;
+    }
+    Ok((files, rest))
+}
+
+fn cmd_diff(args: &[String], dir: &str) -> ExitCode {
+    let mut th = Thresholds::default();
+    let (files, flags) = match parse_diff_args(args, &mut th) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cablestat diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (mut all, mut gate, mut as_json) = (false, false, false);
+    for f in flags {
+        match f {
             "--all" => all = true,
             "--gate" => gate = true,
             "--json" => as_json = true,
-            f => files.push(f.to_string()),
+            other => {
+                eprintln!("cablestat diff: unknown flag {other}");
+                return ExitCode::from(2);
+            }
         }
-        i += 1;
     }
     let [a_path, b_path] = files.as_slice() else {
         eprintln!("cablestat diff: need exactly two files");
         return ExitCode::from(2);
     };
-    let (a, b) = match (load(a_path), load(b_path)) {
+    let (a_path, b_path) = (resolve(dir, a_path), resolve(dir, b_path));
+    let (a, b) = match (load(&a_path), load(&b_path)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("cablestat: {e}");
@@ -238,7 +379,10 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     if as_json {
         print!("{}", d.to_json());
     } else {
-        print!("{}", d.render(&format!("{a_path} -> {b_path}"), all));
+        print!(
+            "{}",
+            d.render(&format!("{} -> {}", a_path.display(), b_path.display()), all)
+        );
     }
     let regressions = d.regressions().count();
     if gate && regressions > 0 {
@@ -251,14 +395,274 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_check(args: &[String]) -> ExitCode {
+fn cmd_explain(args: &[String], dir: &str) -> ExitCode {
+    let mut th = Thresholds::default();
+    // Consume value-taking flags before the generic split.
+    let mut args = args.to_vec();
+    let mut top = 5usize;
+    let mut streams: Option<(String, String)> = None;
+    let mut as_json = false;
+    if let Some(i) = args.iter().position(|a| a == "--top") {
+        let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+            eprintln!("cablestat explain: --top needs a count");
+            return ExitCode::from(2);
+        };
+        top = v.max(1);
+        args.drain(i..=i + 1);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--streams") {
+        if i + 2 >= args.len() {
+            eprintln!("cablestat explain: --streams needs two files");
+            return ExitCode::from(2);
+        }
+        streams = Some((args[i + 1].clone(), args[i + 2].clone()));
+        args.drain(i..=i + 2);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        as_json = true;
+        args.remove(i);
+    }
+    let (files, flags) = match parse_diff_args(&args, &mut th) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cablestat explain: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(f) = flags.first() {
+        eprintln!("cablestat explain: unknown flag {f}");
+        return ExitCode::from(2);
+    }
+    let [a_path, b_path] = files.as_slice() else {
+        eprintln!("cablestat explain: need exactly two files");
+        return ExitCode::from(2);
+    };
+    let (a_path, b_path) = (resolve(dir, a_path), resolve(dir, b_path));
+    let (a, b) = match (load(&a_path), load(&b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("cablestat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed_streams = match &streams {
+        Some((x, y)) => {
+            let sx = resolve("target/artifacts", x);
+            let sy = resolve("target/artifacts", y);
+            match (load_stream(&sx), load_stream(&sy)) {
+                (Ok(sx), Ok(sy)) => Some((sx, sy)),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("cablestat: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let d = diff(&a, &b, &th);
+    let e = explain_diff(
+        &d,
+        &th,
+        parsed_streams.as_ref().map(|(x, y)| (x, y)),
+        top,
+    );
+    if as_json {
+        print!("{}", e.to_json());
+    } else {
+        print!(
+            "{}",
+            e.render(&format!("{} -> {}", a_path.display(), b_path.display()))
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Renders the last `n` frames of a stream as table rows (header
+/// included when `with_header`).
+fn render_rows(s: &Stream, from: usize, with_header: bool) -> String {
+    let rows = windowed_table(&s.frames[from..]);
+    let table = report::window_table(&rows);
+    if with_header {
+        table
+    } else {
+        table.lines().skip(2).map(|l| format!("{l}\n")).collect()
+    }
+}
+
+fn stream_summary(s: &Stream) -> String {
+    match &s.end {
+        Some(e) => format!(
+            "end: sim_time {}ns, {} frame(s), {} overflow merge(s), fold {}",
+            e.sim_time_ns,
+            e.frames,
+            e.overflow_merges,
+            match s.verify_fold() {
+                Ok(()) => "exact".to_string(),
+                Err(err) => format!("DIVERGED ({err})"),
+            }
+        ),
+        None => format!("(live stream: {} frame(s), no end line yet)", s.frames.len()),
+    }
+}
+
+fn cmd_tail(args: &[String], dir: &str) -> ExitCode {
+    let mut follow = false;
+    let mut file = None;
+    for a in args {
+        match a.as_str() {
+            "--follow" | "-f" => follow = true,
+            f if f.starts_with("--") => {
+                eprintln!("cablestat tail: unknown flag {f}");
+                return ExitCode::from(2);
+            }
+            f => file = Some(f.to_string()),
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("cablestat tail: missing STREAM");
+        return ExitCode::from(2);
+    };
+    let path = resolve(dir, &file);
+    let mut shown = 0usize;
+    let mut header_printed = false;
+    loop {
+        // Complete lines only: a live exporter may be mid-write on the
+        // last one.
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if follow => {
+                eprintln!("cablestat tail: {}: {e} (waiting)", path.display());
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                continue;
+            }
+            Err(e) => {
+                eprintln!("cablestat: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let complete = match text.rfind('\n') {
+            Some(i) => &text[..=i],
+            None => "",
+        };
+        let s = match parse_stream(complete) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cablestat: {}:{e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if !header_printed {
+            println!(
+                "stream {} (kernel {}, sample {}ns)",
+                path.display(),
+                s.header.kernel,
+                s.header.sample_ns
+            );
+            header_printed = true;
+        }
+        if s.frames.len() > shown {
+            print!("{}", render_rows(&s, shown, shown == 0));
+            shown = s.frames.len();
+        }
+        if s.end.is_some() || !follow {
+            println!("{}", stream_summary(&s));
+            return if matches!(&s.end, Some(_)) && s.verify_fold().is_err() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+fn cmd_series(args: &[String], dir: &str) -> ExitCode {
+    let mut as_json = false;
+    let mut file = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => as_json = true,
+            f if f.starts_with("--") => {
+                eprintln!("cablestat series: unknown flag {f}");
+                return ExitCode::from(2);
+            }
+            f => file = Some(f.to_string()),
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("cablestat series: missing STREAM");
+        return ExitCode::from(2);
+    };
+    let path = resolve(dir, &file);
+    let s = match load_stream(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cablestat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fold_ok = match &s.end {
+        Some(_) => s.verify_fold().is_ok(),
+        None => true,
+    };
+    if as_json {
+        let rows = windowed_table(&s.frames);
+        println!(
+            "{{\n  \"kernel\": \"{}\",\n  \"sample_ns\": {},\n  \"frames\": {},\n  \"fold_exact\": {},\n  \"windows\": {}\n}}",
+            s.header.kernel,
+            s.header.sample_ns,
+            s.frames.len(),
+            fold_ok,
+            obs::series::window_table_json(&rows)
+        );
+    } else {
+        println!(
+            "stream {} (kernel {}, sample {}ns)",
+            path.display(),
+            s.header.kernel,
+            s.header.sample_ns
+        );
+        print!("{}", render_rows(&s, 0, true));
+        println!("{}", stream_summary(&s));
+    }
+    if !fold_ok {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(args: &[String], dir: &str) -> ExitCode {
     if args.is_empty() {
         eprintln!("cablestat check: missing FILE(s)");
         return ExitCode::from(2);
     }
     for path in args {
-        match load(path) {
-            Ok(_) => println!("ok      {path}"),
+        let p = resolve(dir, path);
+        if path.ends_with(".ndjson") {
+            match load_stream(&p) {
+                Ok(s) => {
+                    if let Some(_) = &s.end {
+                        if let Err(e) = s.verify_fold() {
+                            eprintln!("INVALID {}: {e}", p.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    println!(
+                        "ok      {} ({} frame(s){})",
+                        p.display(),
+                        s.frames.len(),
+                        if s.end.is_some() { ", fold exact" } else { ", live" }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("INVALID {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
+        match load(&p) {
+            Ok(_) => println!("ok      {}", p.display()),
             Err(e) => {
                 eprintln!("INVALID {e}");
                 return ExitCode::FAILURE;
@@ -289,7 +693,7 @@ fn inflate(v: &mut Value, key: &str, factor: f64) -> u64 {
     }
 }
 
-fn cmd_inflate(args: &[String]) -> ExitCode {
+fn cmd_inflate(args: &[String], dir: &str) -> ExitCode {
     let [src, dst, key, factor] = args else {
         eprintln!("cablestat inflate: need FILE OUT KEY FACTOR");
         return ExitCode::from(2);
@@ -298,7 +702,8 @@ fn cmd_inflate(args: &[String]) -> ExitCode {
         eprintln!("cablestat inflate: FACTOR must be a number");
         return ExitCode::from(2);
     };
-    let mut v = match load(src) {
+    let src = resolve(dir, src);
+    let mut v = match load(&src) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("cablestat: {e}");
@@ -307,13 +712,16 @@ fn cmd_inflate(args: &[String]) -> ExitCode {
     };
     let n = inflate(&mut v, key, factor);
     if n == 0 {
-        eprintln!("cablestat inflate: no numeric leaf named `{key}` in {src}");
+        eprintln!("cablestat inflate: no numeric leaf named `{key}` in {}", src.display());
         return ExitCode::FAILURE;
     }
     if let Err(e) = std::fs::write(dst, v.to_json()) {
         eprintln!("cablestat: write {dst}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("inflated {n} `{key}` leaf(s) by {factor}x: {src} -> {dst}");
+    println!(
+        "inflated {n} `{key}` leaf(s) by {factor}x: {} -> {dst}",
+        src.display()
+    );
     ExitCode::SUCCESS
 }

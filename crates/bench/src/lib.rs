@@ -404,6 +404,103 @@ pub fn write_aux_artifact(name: &str, contents: &str) -> String {
     path
 }
 
+/// Streaming NDJSON exporter: a wall-clock thread that drains a series
+/// [`FrameRing`](obs::stream::FrameRing) into
+/// `target/artifacts/stream_<kernel>.ndjson` *while the run executes*, so
+/// `cablestat tail --follow` can watch a live run. Wall-clock timing never
+/// leaks into the file: content is the frame order, which is a pure
+/// function of the simulated program.
+pub struct StreamExporter {
+    path: String,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<(std::fs::File, u64)>,
+}
+
+/// What [`StreamExporter::finish`] wrote.
+#[derive(Debug, Clone)]
+pub struct StreamExport {
+    /// Full path of the `.ndjson` file.
+    pub path: String,
+    /// Frame lines written (must equal the series' frame count).
+    pub frames: u64,
+}
+
+impl StreamExporter {
+    /// Opens `target/artifacts/stream_<kernel>.ndjson`, writes the header
+    /// line, and starts the drain thread.
+    pub fn start(kernel: &str, sample_ns: u64, ring: Arc<obs::stream::FrameRing>) -> StreamExporter {
+        use std::io::Write as _;
+        let dir = format!("{}/target/artifacts", repo_root());
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {dir}: {e}"));
+        let path = format!("{dir}/stream_{kernel}.ndjson");
+        let mut file = std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+        writeln!(file, "{}", obs::stream::header_line(kernel, sample_ns))
+            .expect("write stream header");
+        file.flush().expect("flush stream header");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut written = 0u64;
+            loop {
+                // Observe the stop flag BEFORE draining: series_finish()
+                // pushes the flush frame first, so one more sweep after
+                // the flag is set catches everything.
+                let stopping = stop2.load(std::sync::atomic::Ordering::Acquire);
+                let mut idle = true;
+                while let Some(f) = ring.pop() {
+                    writeln!(file, "{}", obs::stream::frame_line(&f))
+                        .expect("write stream frame");
+                    written += 1;
+                    idle = false;
+                }
+                if !idle {
+                    file.flush().expect("flush stream frames");
+                }
+                if stopping {
+                    return (file, written);
+                }
+                if idle {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        });
+        StreamExporter { path, stop, handle }
+    }
+
+    /// Stops the drain thread (after the owning sink's `series_finish`),
+    /// appends any leftover frame plus the end line, and closes the file.
+    pub fn finish(
+        self,
+        summary: &obs::series::SeriesSummary,
+        sim_time_ns: u64,
+        snapshot: &obs::MetricsSnapshot,
+    ) -> StreamExport {
+        use std::io::Write as _;
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        let (mut file, mut written) = self.handle.join().expect("stream exporter thread");
+        if let Some(f) = &summary.leftover {
+            writeln!(file, "{}", obs::stream::frame_line(f)).expect("write leftover frame");
+            written += 1;
+        }
+        writeln!(
+            file,
+            "{}",
+            obs::stream::end_line(sim_time_ns, summary.frames, summary.overflow_merges, snapshot)
+        )
+        .expect("write stream end");
+        file.flush().expect("flush stream end");
+        assert_eq!(
+            written, summary.frames,
+            "stream exporter lost frames ({written} written, {} produced)",
+            summary.frames
+        );
+        StreamExport {
+            path: self.path,
+            frames: written,
+        }
+    }
+}
+
 /// Prints a standard bench header.
 pub fn header(title: &str, paper_ref: &str) {
     println!();

@@ -14,7 +14,7 @@
 /// Returns a message with the byte offset of the first syntax error.
 pub fn validate(s: &str) -> Result<(), String> {
     let b = s.as_bytes();
-    let mut p = Parser { b, i: 0 };
+    let mut p = Parser { b, i: 0, depth: 0 };
     p.ws();
     p.value()?;
     p.ws();
@@ -22,6 +22,22 @@ pub fn validate(s: &str) -> Result<(), String> {
         return Err(format!("trailing data at byte {}", p.i));
     }
     Ok(())
+}
+
+/// Maximum container nesting depth either parser accepts. The artifacts
+/// nest a handful of levels; the bound exists so adversarial or corrupt
+/// input (`[[[[…`) fails with an error instead of exhausting the stack —
+/// both [`validate`] and [`parse`] recurse per nesting level.
+pub const MAX_DEPTH: usize = 128;
+
+/// Converts a byte offset in `s` (as reported in [`validate`]/[`parse`]
+/// errors) to 1-based `(line, column)`, for human-addressable error
+/// reporting (`cablestat check`).
+pub fn line_col(s: &str, byte: usize) -> (usize, usize) {
+    let upto = &s.as_bytes()[..byte.min(s.len())];
+    let line = upto.iter().filter(|&&c| c == b'\n').count() + 1;
+    let col = upto.len() - upto.iter().rposition(|&c| c == b'\n').map_or(0, |p| p + 1) + 1;
+    (line, col)
 }
 
 /// A parsed JSON value.
@@ -178,7 +194,7 @@ impl Value {
 /// Returns a message with the byte offset of the first syntax error.
 pub fn parse(s: &str) -> Result<Value, String> {
     let b = s.as_bytes();
-    let mut p = Parser { b, i: 0 };
+    let mut p = Parser { b, i: 0, depth: 0 };
     p.ws();
     let v = p.build()?;
     p.ws();
@@ -191,6 +207,7 @@ pub fn parse(s: &str) -> Result<Value, String> {
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -198,6 +215,14 @@ impl Parser<'_> {
         while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
             self.i += 1;
         }
+    }
+
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err(&format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        Ok(())
     }
 
     fn err<T>(&self, what: &str) -> Result<T, String> {
@@ -221,11 +246,13 @@ impl Parser<'_> {
     fn build(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'{') => {
+                self.descend()?;
                 self.eat(b'{')?;
                 self.ws();
                 let mut m = Vec::new();
                 if self.peek() == Some(b'}') {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(m));
                 }
                 loop {
@@ -241,6 +268,7 @@ impl Parser<'_> {
                         Some(b',') => self.i += 1,
                         Some(b'}') => {
                             self.i += 1;
+                            self.depth -= 1;
                             return Ok(Value::Obj(m));
                         }
                         _ => return self.err("expected ',' or '}'"),
@@ -248,11 +276,13 @@ impl Parser<'_> {
                 }
             }
             Some(b'[') => {
+                self.descend()?;
                 self.eat(b'[')?;
                 self.ws();
                 let mut v = Vec::new();
                 if self.peek() == Some(b']') {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(v));
                 }
                 loop {
@@ -263,6 +293,7 @@ impl Parser<'_> {
                         Some(b',') => self.i += 1,
                         Some(b']') => {
                             self.i += 1;
+                            self.depth -= 1;
                             return Ok(Value::Arr(v));
                         }
                         _ => return self.err("expected ',' or ']'"),
@@ -349,10 +380,12 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<(), String> {
+        self.descend()?;
         self.eat(b'{')?;
         self.ws();
         if self.peek() == Some(b'}') {
             self.i += 1;
+            self.depth -= 1;
             return Ok(());
         }
         loop {
@@ -367,6 +400,7 @@ impl Parser<'_> {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(());
                 }
                 _ => return self.err("expected ',' or '}'"),
@@ -375,10 +409,12 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<(), String> {
+        self.descend()?;
         self.eat(b'[')?;
         self.ws();
         if self.peek() == Some(b']') {
             self.i += 1;
+            self.depth -= 1;
             return Ok(());
         }
         loop {
@@ -389,6 +425,7 @@ impl Parser<'_> {
                 Some(b',') => self.i += 1,
                 Some(b']') => {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(());
                 }
                 _ => return self.err("expected ',' or ']'"),
@@ -524,5 +561,76 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn rejects_truncations_of_a_valid_document() {
+        // Fuzz-style: every proper prefix of a valid document must be
+        // rejected by both entry points (never panic, never accept).
+        let doc = "{\"a\": [1, 2.5e-3, {\"b\": [false, \"x\\u00e9\\n\"]}], \"c\": null}";
+        validate(doc).unwrap();
+        for cut in 1..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let t = &doc[..cut];
+            assert!(validate(t).is_err(), "prefix {t:?} accepted");
+            assert!(parse(t).is_err(), "prefix {t:?} parsed");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // One level under the cap parses; one over fails with a depth
+        // error, not a stack overflow.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        validate(&ok).unwrap();
+        parse(&ok).unwrap();
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(validate(&deep).unwrap_err().contains("nesting"));
+        assert!(parse(&deep).unwrap_err().contains("nesting"));
+        // A pathological unclosed ramp must also fail cleanly.
+        let ramp = "[{\"k\":".repeat(50_000);
+        assert!(validate(&ramp).is_err());
+        assert!(parse(&ramp).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_document_order_and_get_is_first_wins() {
+        // RFC 8259 leaves duplicate-key semantics to the consumer; ours
+        // is documented: members keep document order, `get` returns the
+        // first match. Pin it so a refactor can't silently flip it.
+        let v = parse("{\"k\": 1, \"k\": 2, \"j\": 3}").unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_u64), Some(1));
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj.len(), 3);
+        assert_eq!(obj[1].1.as_u64(), Some(2));
+        assert_eq!(v.to_json(), "{\"k\":1,\"k\":2,\"j\":3}");
+    }
+
+    #[test]
+    fn bad_escapes_are_rejected_with_offsets() {
+        for bad in [
+            "\"\\x\"",       // unknown escape
+            "\"\\u12\"",     // truncated \u
+            "\"\\u12g4\"",   // non-hex \u
+            "\"\\\"",        // escape then EOF
+            "\"abc",         // unterminated
+            "{\"a\\q\": 1}", // bad escape in a key
+        ] {
+            let e = validate(bad).unwrap_err();
+            assert!(e.contains("byte"), "{bad:?}: error {e:?} has no offset");
+            assert!(parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn line_col_addresses_offsets() {
+        let doc = "{\n  \"a\": 1,\n  \"b\": oops\n}";
+        let e = validate(doc).unwrap_err();
+        let byte: usize = e.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(line_col(doc, byte), (3, 8));
+        assert_eq!(line_col(doc, 0), (1, 1));
+        assert_eq!(line_col(doc, doc.len() + 99), (4, 2));
     }
 }

@@ -54,13 +54,17 @@ pub mod chrome;
 pub mod critpath;
 pub mod diff;
 mod event;
+pub mod explain;
 pub mod json;
 mod metrics;
 pub mod report;
+pub mod series;
 pub mod sharing;
 pub mod stall;
+pub mod stream;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sim::{NodeId, SimTime};
@@ -69,6 +73,8 @@ pub use event::{canonical_sort, EdgeKind, Event, EventRecord, Layer, SchedKind, 
 pub use metrics::{Histogram, KindAgg, MetricsSnapshot, NodeMetrics, PageMetrics, HIST_BUCKETS};
 
 use metrics::Registry;
+use series::{SeriesState, SeriesSummary};
+use stream::FrameRing;
 
 /// Default event-buffer capacity (records beyond this are dropped and
 /// counted, never silently discarded).
@@ -77,6 +83,7 @@ pub const DEFAULT_CAP: usize = 1 << 20;
 struct SinkInner {
     events: Vec<EventRecord>,
     registry: Registry,
+    series: Option<SeriesState>,
 }
 
 /// The shared observability sink: one per cluster, reachable from every
@@ -97,6 +104,11 @@ pub struct ObsSink {
     proto_trace: AtomicBool,
     cap: usize,
     dropped: AtomicU64,
+    /// Series window width in simulated ns; 0 = no series running. The
+    /// hot-path streaming check is one relaxed load of this.
+    sample_ns: AtomicU64,
+    /// Next window boundary (pre-lock fast check for [`ObsSink::series_tick`]).
+    next_boundary: AtomicU64,
     inner: Mutex<SinkInner>,
 }
 
@@ -129,9 +141,12 @@ impl ObsSink {
             proto_trace: AtomicBool::new(false),
             cap,
             dropped: AtomicU64::new(0),
+            sample_ns: AtomicU64::new(0),
+            next_boundary: AtomicU64::new(u64::MAX),
             inner: Mutex::new(SinkInner {
                 events: Vec::new(),
                 registry: Registry::new(),
+                series: None,
             }),
         }
     }
@@ -185,6 +200,16 @@ impl ObsSink {
         }
         let mut g = self.inner.lock();
         if full {
+            if self.sample_ns.load(Ordering::Relaxed) != 0 {
+                // Streaming: cut the window *before* aggregating, so this
+                // event lands in the window containing its completion,
+                // then charge it to the live stall mix.
+                let end_ns = at.as_nanos().saturating_add(dur_ns);
+                self.series_roll_locked(&mut g, end_ns);
+                if let Some(st) = g.series.as_mut() {
+                    st.classify(node.0, track, at.as_nanos(), dur_ns, &event);
+                }
+            }
             g.registry.aggregate(layer, node.0, dur_ns, &event);
         }
         if g.events.len() >= self.cap {
@@ -296,12 +321,87 @@ impl ObsSink {
     }
 
     /// Discards all recorded events and metrics and resets the dropped
-    /// counter (the toggles are left as they are).
+    /// counter (the toggles are left as they are). An active series is
+    /// abandoned (its ring keeps whatever frames were already cut).
     pub fn clear(&self) {
         let mut g = self.inner.lock();
         g.events.clear();
         g.registry.clear();
+        g.series = None;
+        self.sample_ns.store(0, Ordering::Relaxed);
+        self.next_boundary.store(u64::MAX, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Starts an online metric series with the default ring capacity
+    /// (see [`series`] for the delta grammar). Frames cover everything
+    /// recorded since the sink was created/cleared, so the fold of the
+    /// stream reproduces [`ObsSink::snapshot`] exactly. Returns the ring
+    /// the exporter drains. Replaces any series already running.
+    pub fn series_start(&self, sample_ns: u64) -> Arc<FrameRing> {
+        self.series_start_with(sample_ns, series::DEFAULT_RING_CAP)
+    }
+
+    /// [`ObsSink::series_start`] with an explicit ring capacity (frames;
+    /// a full ring carries frames forward by merging windows, never by
+    /// dropping data).
+    pub fn series_start_with(&self, sample_ns: u64, ring_cap: usize) -> Arc<FrameRing> {
+        assert!(sample_ns > 0, "sample_ns must be positive");
+        let ring = Arc::new(FrameRing::with_capacity(ring_cap));
+        let mut g = self.inner.lock();
+        g.series = Some(SeriesState::new(sample_ns, ring.clone()));
+        self.sample_ns.store(sample_ns, Ordering::Relaxed);
+        self.next_boundary.store(sample_ns, Ordering::Relaxed);
+        ring
+    }
+
+    /// Whether a series is running (one relaxed load).
+    #[inline]
+    pub fn series_on(&self) -> bool {
+        self.sample_ns.load(Ordering::Relaxed) != 0
+    }
+
+    /// Advances the series clock to `now`: cuts the pending window(s) if
+    /// `now` crossed a boundary. Cheap when no series is running or the
+    /// boundary is far (two relaxed loads, no lock) — instrumented code
+    /// calls this from places that *don't* record events, bounding how
+    /// stale a live `cablestat tail` view can get.
+    #[inline]
+    pub fn series_tick(&self, now: SimTime) {
+        if self.sample_ns.load(Ordering::Relaxed) == 0
+            || now.as_nanos() < self.next_boundary.load(Ordering::Relaxed)
+        {
+            return;
+        }
+        let mut g = self.inner.lock();
+        self.series_roll_locked(&mut g, now.as_nanos());
+    }
+
+    /// Flushes the final partial window and stops the series, returning
+    /// its accounting (or `None` if no series was running). The exporter
+    /// drains the ring, appends [`SeriesSummary::leftover`] if present,
+    /// and writes the end line.
+    pub fn series_finish(&self) -> Option<SeriesSummary> {
+        let mut g = self.inner.lock();
+        let st = g.series.take()?;
+        self.sample_ns.store(0, Ordering::Relaxed);
+        self.next_boundary.store(u64::MAX, Ordering::Relaxed);
+        let cur = g.registry.snapshot(self.dropped.load(Ordering::Relaxed));
+        Some(st.finish(cur))
+    }
+
+    /// Cuts windows up to (but excluding) the one containing `now_ns`.
+    /// Caller holds the sink lock and has checked the fast path.
+    fn series_roll_locked(&self, g: &mut SinkInner, now_ns: u64) {
+        let SinkInner { registry, series, .. } = g;
+        let Some(st) = series.as_mut() else { return };
+        if now_ns < st.next_boundary() {
+            return;
+        }
+        let boundary = now_ns - now_ns % st.sample_ns;
+        let cur = registry.snapshot(self.dropped.load(Ordering::Relaxed));
+        st.roll(cur, boundary);
+        self.next_boundary.store(st.next_boundary(), Ordering::Relaxed);
     }
 }
 
@@ -386,6 +486,56 @@ mod tests {
         assert_eq!(snap.dropped_events, 3);
         // Metrics still saw all five events.
         assert_eq!(snap.nodes[0].layer_events[Layer::Proto.index()], 5);
+    }
+
+    #[test]
+    fn series_frames_fold_back_to_the_snapshot() {
+        let sink = ObsSink::new();
+        sink.set_enabled(true);
+        let ring = sink.series_start(100);
+        // Three windows of activity with an empty window (200..300) in
+        // between; window boundaries are cut by later completions.
+        for (at, dur, page) in [(10, 20, 1), (120, 30, 2), (310, 5, 3), (350, 0, 1)] {
+            sink.span(
+                Layer::Proto,
+                NodeId(0),
+                1,
+                SimTime::from_nanos(at),
+                dur,
+                Event::Fault { page, write: false },
+            );
+        }
+        sink.gauge_set("g", 7);
+        let summary = sink.series_finish().expect("series was running");
+        assert!(summary.leftover.is_none());
+        assert!(!sink.series_on());
+        let frames = ring.drain();
+        assert_eq!(frames.len() as u64, summary.frames);
+        assert_eq!(frames.len(), 3, "empty window emits no frame");
+        assert!(frames.windows(2).all(|w| w[0].end_ns <= w[1].start_ns));
+        assert_eq!(series::fold(frames.iter()), sink.snapshot());
+        // Streaming never perturbs what was recorded.
+        assert_eq!(sink.events().len(), 4);
+    }
+
+    #[test]
+    fn series_tick_cuts_windows_without_events() {
+        let sink = ObsSink::new();
+        sink.set_enabled(true);
+        let ring = sink.series_start(100);
+        sink.instant(
+            Layer::Proto,
+            NodeId(0),
+            1,
+            SimTime::from_nanos(10),
+            Event::Fault { page: 1, write: true },
+        );
+        assert!(ring.is_empty(), "window still open");
+        sink.series_tick(SimTime::from_nanos(250));
+        let frames = ring.drain();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].end_ns, 200);
+        sink.series_finish();
     }
 
     #[test]

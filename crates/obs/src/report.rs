@@ -153,6 +153,59 @@ pub fn gauge_table(s: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders windowed series rows (one line per [`crate::series`] frame):
+/// protocol counter deltas, the dominant stall buckets, and the window's
+/// SAN latency percentiles. The terminal shape of `cablestat series` and
+/// `cablestat tail`.
+pub fn window_table(rows: &[crate::series::WindowRow]) -> String {
+    use crate::stall::Bucket;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}  {:<34} {:>8} {:>8} {:>8}",
+        "window", "events", "flt", "ftch", "diff", "inv", "stall mix", "san p50", "p95", "p99"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(126));
+    for r in rows {
+        let total: u64 = r.stall_ns.iter().sum();
+        let mut mix: Vec<(u64, Bucket)> = Bucket::ALL
+            .iter()
+            .map(|&b| (r.stall_ns[b as usize], b))
+            .filter(|&(v, _)| v > 0)
+            .collect();
+        mix.sort_by_key(|&(v, b)| (std::cmp::Reverse(v), b as usize));
+        let mix_s = if total == 0 {
+            "-".to_string()
+        } else {
+            mix.iter()
+                .take(3)
+                .map(|&(v, b)| format!("{} {:.0}%", b.name(), 100.0 * v as f64 / total as f64))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let merged = if r.merged > 0 {
+            format!(" (+{} merged)", r.merged)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}  {:<34} {:>8} {:>8} {:>8}",
+            format!("[{}..{}){merged}", fmt_ns(r.start_ns), fmt_ns(r.end_ns)),
+            r.events,
+            r.faults,
+            r.fetches,
+            r.diffs,
+            r.invals,
+            mix_s,
+            fmt_ns(r.san_p[0]),
+            fmt_ns(r.san_p[1]),
+            fmt_ns(r.san_p[2])
+        );
+    }
+    out
+}
+
 /// The full report: latency table + percentiles + layer breakdown + hot
 /// pages + gauges (engine telemetry and sync high-water marks).
 pub fn full_report(title: &str, s: &MetricsSnapshot) -> String {
@@ -167,6 +220,19 @@ pub fn full_report(title: &str, s: &MetricsSnapshot) -> String {
     if !gauges.is_empty() {
         rep.push_str(&format!("\n=== {title}: gauges (engine + sync) ===\n{gauges}"));
     }
+    rep
+}
+
+/// [`full_report`] plus the page-sharing ranking (which needs the event
+/// buffer for diff-byte volumes and fetch-wait attribution).
+pub fn full_report_with_events(
+    title: &str,
+    s: &MetricsSnapshot,
+    events: &[crate::EventRecord],
+) -> String {
+    let mut rep = full_report(title, s);
+    rep.push('\n');
+    rep.push_str(&sharing_table(title, s, events));
     rep
 }
 

@@ -107,6 +107,17 @@ pub fn analyze(snapshot: &MetricsSnapshot, events: &[EventRecord]) -> SharingRep
 }
 
 impl SharingReport {
+    /// A copy keeping only the `top` most-shared pages; the totals still
+    /// cover every page (the `BENCH_obs_*.json` embedding — full page
+    /// lists belong in the snapshot, not the ranking).
+    pub fn top(&self, top: usize) -> SharingReport {
+        SharingReport {
+            pages: self.pages.iter().take(top).copied().collect(),
+            total_diff_bytes: self.total_diff_bytes,
+            total_fetch_wait_ns: self.total_fetch_wait_ns,
+        }
+    }
+
     /// Renders the sharing table, at most `top` rows.
     pub fn render(&self, title: &str, top: usize) -> String {
         let mut out = String::new();

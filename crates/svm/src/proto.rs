@@ -280,6 +280,11 @@ impl SvmSystem {
     pub(crate) fn handle_fault(&self, sim: &Sim, page: PageNum, kind: FaultKind) {
         let node = sim.node();
         let t0 = sim.now();
+        // Advance the streaming-series clock at fault entry (no-op unless
+        // a series is running; recording charges no simulated time).
+        if let Some(o) = self.obs_if_on() {
+            o.series_tick(t0);
+        }
         // Declared footprint of the fault: the faulting node, the page's
         // home and the directory master. A page without a home yet goes
         // through placement, which updates the global first-touch

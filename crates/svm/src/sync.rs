@@ -38,6 +38,12 @@ impl SvmSystem {
     pub fn lock(&self, sim: &Sim, id: u64) {
         self.crash_check(sim);
         let t0 = sim.now();
+        // Advance the streaming-series clock at sync entry so live
+        // windows keep cutting through long quiet stretches (no-op
+        // unless a series is running; never charges simulated time).
+        if let Some(o) = self.obs_if_on() {
+            o.series_tick(t0);
+        }
         sim.op_point(self.cfg.costs.lock_local_ns);
         let node = sim.node();
 
@@ -242,6 +248,11 @@ impl SvmSystem {
         assert!(n > 0, "barrier over zero threads");
         self.crash_check(sim);
         let t0 = sim.now();
+        // See `lock`: keep the metric-series windows moving at sync
+        // entry; zero simulated cost, no-op when no series runs.
+        if let Some(o) = self.obs_if_on() {
+            o.series_tick(t0);
+        }
         self.release(sim);
         sim.op_point(self.cfg.costs.lock_local_ns);
         let node = sim.node();

@@ -10,11 +10,17 @@
 #   scripts/perfgate.sh              regenerate (smoke) + gate
 #   scripts/perfgate.sh --selftest   additionally prove the gate trips on
 #                                    an injected 1.5x sim_time_ns
-#                                    regression before gating for real
+#                                    regression — and that
+#                                    `cablestat explain` attributes it to
+#                                    the inflated stall bucket — before
+#                                    gating for real
 #   scripts/perfgate.sh --rebase     refresh baselines/ from a fresh
 #                                    smoke run (then commit them)
 #   scripts/perfgate.sh --no-regen   gate the artifacts already on disk
 #                                    (tier1 --smoke just produced them)
+#
+# When the real gate fails, `cablestat explain` runs automatically on
+# each regressed artifact and prints the ranked root-cause report.
 #
 # Tolerances: PERFGATE_ABS (absolute units, default 0) and PERFGATE_REL
 # (percent, default 2.0). A delta must exceed BOTH to be significant,
@@ -27,8 +33,8 @@ ABS=${PERFGATE_ABS:-0}
 REL=${PERFGATE_REL:-2.0}
 
 BENCHES=(obs_report critpath protocol_opt ablations)
-ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json
-           BENCH_protocol.json BENCH_ablations.json)
+ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json
+           BENCH_critpath.json BENCH_protocol.json BENCH_ablations.json)
 
 regen=1 selftest=0 rebase=0
 for arg in "$@"; do
@@ -78,13 +84,24 @@ if (( selftest )); then
     echo "==> selftest: the gate must trip on an injected 1.5x sim_time_ns regression"
     tmp=$(mktemp)
     trap 'rm -f "$tmp"' EXIT
+    # Inflate the run time AND the barrier_wait stall bucket: the gate
+    # must trip on the former, and explain must blame the latter.
     "$CABLESTAT" inflate BENCH_obs_FFT.json "$tmp" sim_time_ns 1.5
+    "$CABLESTAT" inflate "$tmp" "$tmp" barrier_wait 1.5
     if "$CABLESTAT" diff baselines/BENCH_obs_FFT.json "$tmp" \
             --abs "$ABS" --rel "$REL" --gate > /dev/null; then
         echo "perfgate: SELFTEST FAILED — the injected regression passed the gate" >&2
         exit 1
     fi
-    echo "perfgate: selftest OK (injected regression caught)"
+    echo "==> selftest: explain must attribute the regression to the inflated stall bucket"
+    if ! "$CABLESTAT" explain baselines/BENCH_obs_FFT.json "$tmp" \
+            --abs "$ABS" --rel "$REL" \
+            | grep -A1 '^#[0-9]* sim_time_ns:' | grep 'stall' | grep -q 'barrier_wait'; then
+        echo "perfgate: SELFTEST FAILED — explain did not blame barrier_wait for the injected regression" >&2
+        "$CABLESTAT" explain baselines/BENCH_obs_FFT.json "$tmp" --abs "$ABS" --rel "$REL" >&2 || true
+        exit 1
+    fi
+    echo "perfgate: selftest OK (injected regression caught and attributed)"
 fi
 
 status=0
@@ -96,7 +113,11 @@ for a in "${ARTIFACTS[@]}"; do
         continue
     fi
     echo "==> gate: $base vs $a (abs>$ABS rel>$REL%)"
-    "$CABLESTAT" diff "$base" "$a" --abs "$ABS" --rel "$REL" --gate || status=1
+    if ! "$CABLESTAT" diff "$base" "$a" --abs "$ABS" --rel "$REL" --gate; then
+        status=1
+        echo "==> root cause: cablestat explain $base $a"
+        "$CABLESTAT" explain "$base" "$a" --abs "$ABS" --rel "$REL" || true
+    fi
 done
 
 if (( status )); then

@@ -25,6 +25,10 @@
 #                         causal edges render as Perfetto flow arrows)
 #   target/artifacts/stall_{FFT,RADIX}.collapsed
 #                         collapsed-stack stall exports for flamegraphs
+#   BENCH_obs_stream.json + target/artifacts/stream_*.ndjson
+#                         live NDJSON metric streams captured during the
+#                         obs and chaos runs, plus their fold summary
+#                         (replay with `cablestat tail` / `series`)
 #
 # The obs/protocol runs execute each kernel twice (bus off, then on) and
 # assert the simulated result is bit-identical, so a successful exit also
@@ -42,11 +46,14 @@ CARGO_FLAGS=${CARGO_FLAGS:---offline}
 # default. Override with CABLES_ENGINE_MODE=sequential to cross-check.
 export CABLES_ENGINE_MODE=${CABLES_ENGINE_MODE:-parallel}
 
-ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json
-           BENCH_chaos.json BENCH_protocol.json BENCH_table3.json
-           BENCH_table4.json BENCH_table5.json BENCH_table6.json
-           BENCH_fig5.json BENCH_fig6.json BENCH_ablations.json
-           target/artifacts/trace_fft.json)
+ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json
+           BENCH_chaos.json BENCH_protocol.json BENCH_critpath.json
+           BENCH_table3.json BENCH_table4.json BENCH_table5.json
+           BENCH_table6.json BENCH_fig5.json BENCH_fig6.json
+           BENCH_ablations.json target/artifacts/trace_fft.json
+           target/artifacts/stream_FFT.ndjson
+           target/artifacts/stream_RADIX.ndjson
+           target/artifacts/stream_CHAOS_FFT.ndjson)
 
 # Drop stale copies first so a bench that no longer writes its artifact
 # cannot pass the check below on a leftover file.

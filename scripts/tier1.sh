@@ -31,14 +31,24 @@ if [[ "${1:-}" == "--smoke" ]]; then
     done
     # Every BENCH artifact must parse against the repo's own JSON
     # grammar (obs::json, via cablestat) — the same validator the diff
-    # gate relies on.
-    echo "==> cablestat check BENCH_*.json"
+    # gate relies on. The NDJSON metric streams the obs_report and
+    # chaos_soak smokes just produced are held to the stream grammar too,
+    # including the frames-fold-to-final-snapshot exactness check.
+    echo "==> cablestat check BENCH_*.json + stream_*.ndjson"
     ./target/release/cablestat check BENCH_*.json target/artifacts/trace_fft.json
+    ./target/release/cablestat check --dir target/artifacts \
+        stream_FFT.ndjson stream_RADIX.ndjson stream_CHAOS_FFT.ndjson
+    # The stream tooling itself: `series` must fold + verify each stream
+    # (exit 1 on divergence), `tail` must render a completed stream.
+    echo "==> cablestat series / tail smoke"
+    ./target/release/cablestat series stream_FFT.ndjson > /dev/null
+    ./target/release/cablestat series stream_CHAOS_FFT.ndjson --json > /dev/null
+    ./target/release/cablestat tail stream_RADIX.ndjson > /dev/null
     # The observability artifacts must also be machine-readable by an
     # independent parser (python is the neutral referee; skip quietly if
     # it is unavailable).
     if command -v python3 >/dev/null 2>&1; then
-        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_ablations.json BENCH_table3.json BENCH_table4.json BENCH_table5.json target/artifacts/trace_fft.json; do
+        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_ablations.json BENCH_table3.json BENCH_table4.json BENCH_table5.json target/artifacts/trace_fft.json; do
             echo "==> validate $f"
             python3 -m json.tool "$f" > /dev/null
         done

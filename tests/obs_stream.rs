@@ -1,0 +1,296 @@
+//! Streaming-telemetry properties: the online metric series
+//! (`obs::series`) must be *exact* — frames re-sum to the final
+//! snapshot, field for field — and *inert* — enabling the stream never
+//! moves a simulated result. Both are checked on arbitrary event soups
+//! (proptest), on tiny rings that force overflow carry-merges, through a
+//! full NDJSON serialize/parse round trip, and on a real instrumented
+//! FFT run.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cables_suite::apps::splash::fft;
+use cables_suite::apps::M4System;
+use cables_suite::obs::series::{self, DeltaFrame, SeriesSummary};
+use cables_suite::obs::stream::{end_line, frame_line, header_line, parse_stream};
+use cables_suite::obs::{Event, Layer, ObsSink};
+use cables_suite::sim::{NodeId, SimTime};
+use cables_suite::svm::{Cluster, ClusterConfig};
+
+/// One soup entry: which event, where, when, how long.
+#[derive(Debug, Clone, Copy)]
+struct Soup {
+    kind: u8,
+    node: u32,
+    track: u64,
+    at: u64,
+    dur: u64,
+}
+
+fn soup_strategy() -> impl Strategy<Value = Vec<Soup>> {
+    prop::collection::vec(
+        (0u8..6, 0u32..4, 0u64..3, 0u64..20_000, 0u64..800).prop_map(
+            |(kind, node, track, at, dur)| Soup {
+                kind,
+                node,
+                track,
+                at,
+                dur,
+            },
+        ),
+        1..120,
+    )
+}
+
+/// Feeds one soup entry to the sink (mixes layers, pages, sync kinds —
+/// every delta-grammar field class gets exercised).
+fn feed(sink: &ObsSink, s: Soup) {
+    let at = SimTime::from_nanos(s.at);
+    let node = NodeId(s.node);
+    match s.kind {
+        0 => sink.span(
+            Layer::Proto,
+            node,
+            s.track,
+            at,
+            s.dur,
+            Event::FaultSpan {
+                page: (s.at % 7) as u64,
+                write: s.dur % 2 == 0,
+            },
+        ),
+        1 => sink.instant(
+            Layer::Proto,
+            node,
+            s.track,
+            at,
+            Event::Fault {
+                page: (s.at % 7) as u64,
+                write: true,
+            },
+        ),
+        2 => sink.span(
+            Layer::San,
+            node,
+            s.track,
+            at,
+            s.dur,
+            Event::SanSend {
+                to: (s.node + 1) % 4,
+                bytes: s.dur + 1,
+            },
+        ),
+        3 => sink.span(
+            Layer::Sync,
+            node,
+            s.track,
+            at,
+            s.dur,
+            Event::BarrierWait { id: 9 },
+        ),
+        4 => sink.instant(
+            Layer::Proto,
+            node,
+            s.track,
+            at,
+            Event::Diff {
+                page: (s.at % 5) as u64,
+                bytes: s.dur,
+            },
+        ),
+        _ => sink.span(
+            Layer::Sync,
+            node,
+            s.track,
+            at,
+            s.dur,
+            Event::LockWait { id: 3 },
+        ),
+    }
+}
+
+/// Runs a soup through a streaming sink, returning the drained frames
+/// (ring order + leftover), the series summary, and the final snapshot.
+fn stream_soup(
+    soup: &[Soup],
+    sample_ns: u64,
+    ring_cap: usize,
+) -> (Vec<DeltaFrame>, SeriesSummary, cables_suite::obs::MetricsSnapshot) {
+    let sink = ObsSink::new();
+    sink.set_enabled(true);
+    let ring = sink.series_start_with(sample_ns, ring_cap);
+    for &s in soup {
+        feed(&sink, s);
+    }
+    let summary = sink.series_finish().expect("series was running");
+    let mut frames = ring.drain();
+    if let Some(f) = &summary.leftover {
+        frames.push(f.clone());
+    }
+    (frames, summary, sink.snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exactness invariant: for ANY event soup and ANY window width,
+    /// folding the streamed delta frames reproduces the final snapshot
+    /// field-for-field — counters, gauges, histogram buckets, page masks.
+    #[test]
+    fn frames_fold_back_exactly(soup in soup_strategy(), sample_ns in 1u64..5_000) {
+        let (frames, summary, snapshot) = stream_soup(&soup, sample_ns, series::DEFAULT_RING_CAP);
+        prop_assert_eq!(frames.len() as u64, summary.frames);
+        prop_assert_eq!(series::fold(frames.iter()), snapshot);
+        // Window accounting: monotone, non-overlapping, dense seqs.
+        for (i, f) in frames.iter().enumerate() {
+            prop_assert_eq!(f.seq, i as u64);
+            prop_assert!(f.start_ns < f.end_ns);
+            if i > 0 {
+                prop_assert!(f.start_ns >= frames[i - 1].end_ns);
+            }
+        }
+    }
+
+    /// Same invariant under ring starvation: a 2-slot ring forces
+    /// overflow carry-merges, which must widen windows — never drop data.
+    #[test]
+    fn overflow_merges_lose_nothing(soup in soup_strategy()) {
+        let (frames, summary, snapshot) = stream_soup(&soup, 50, 2);
+        prop_assert_eq!(series::fold(frames.iter()), snapshot);
+        // Every window that failed a push was either folded into a later
+        // frame (its `merged` counter) or flushed verbatim at finish; the
+        // fold above proves no data vanished either way.
+        prop_assert!(
+            frames.iter().map(|f| f.merged).sum::<u64>() <= summary.overflow_merges,
+            "more merges recorded in frames than push failures"
+        );
+    }
+
+    /// NDJSON round trip: serialize header + frames + end, parse back,
+    /// and the stream must verify (frames fold to the embedded snapshot)
+    /// and reproduce the original frames exactly.
+    #[test]
+    fn ndjson_roundtrip_is_exact(soup in soup_strategy(), sample_ns in 1u64..5_000) {
+        let (frames, summary, snapshot) = stream_soup(&soup, sample_ns, series::DEFAULT_RING_CAP);
+        let mut text = header_line("SOUP", sample_ns);
+        text.push('\n');
+        for f in &frames {
+            text.push_str(&frame_line(f));
+            text.push('\n');
+        }
+        text.push_str(&end_line(
+            summary.final_end_ns,
+            summary.frames,
+            summary.overflow_merges,
+            &snapshot,
+        ));
+        text.push('\n');
+        let parsed = parse_stream(&text).expect("stream grammar");
+        parsed.verify_fold().expect("frames fold to embedded snapshot");
+        prop_assert_eq!(parsed.frames, frames);
+        prop_assert_eq!(parsed.header.sample_ns, sample_ns);
+        prop_assert_eq!(parsed.end.expect("end line").overflow_merges, summary.overflow_merges);
+    }
+}
+
+/// One FFT run; with `stream` the online series runs at a 1ms window.
+/// Returns the end time and (when streamed) the frames + final snapshot.
+fn fft_run(
+    stream: bool,
+) -> (
+    u64,
+    Option<(Vec<DeltaFrame>, SeriesSummary, cables_suite::obs::MetricsSnapshot)>,
+) {
+    let cluster = Cluster::build(ClusterConfig::small(4, 2));
+    let sys = M4System::cables(Arc::clone(&cluster));
+    sys.svm().set_obs(true);
+    let ring = stream.then(|| sys.svm().obs().series_start(1_000_000));
+    let end = sys
+        .run(|ctx| {
+            let p = fft::FftParams {
+                m: 8,
+                nprocs: 8,
+                verify: false,
+            };
+            fft::fft(ctx, &p);
+        })
+        .expect("fft run");
+    let streamed = ring.map(|ring| {
+        let svm = sys.svm();
+        let sink = svm.obs();
+        let summary = sink.series_finish().expect("series was running");
+        let mut frames = ring.drain();
+        if let Some(f) = &summary.leftover {
+            frames.push(f.clone());
+        }
+        (frames, summary, sink.snapshot())
+    });
+    (end.as_nanos(), streamed)
+}
+
+/// Streaming must be bit-inert on a real instrumented kernel (same
+/// simulated end time as plain recording) and exact (frames fold to the
+/// run's final snapshot).
+#[test]
+fn streaming_is_inert_and_exact_on_fft() {
+    let (t_plain, _) = fft_run(false);
+    let (t_streamed, streamed) = fft_run(true);
+    assert_eq!(
+        t_plain, t_streamed,
+        "enabling the streaming series changed the simulated result"
+    );
+    let (frames, summary, snapshot) = streamed.expect("streamed run");
+    assert!(!frames.is_empty(), "instrumented FFT produced no frames");
+    assert_eq!(frames.len() as u64, summary.frames);
+    assert_eq!(series::fold(frames.iter()), snapshot);
+    // The windowed table covers the whole run and sees protocol traffic.
+    let rows = series::windowed_table(&frames);
+    assert_eq!(rows.len(), frames.len());
+    assert!(
+        rows.iter().any(|r| r.faults > 0),
+        "no window saw a page fault"
+    );
+}
+
+/// `series_finish` without `series_start` is a no-op, and a fresh series
+/// after `clear` starts from an empty baseline.
+#[test]
+fn series_lifecycle_edges() {
+    let sink = ObsSink::new();
+    sink.set_enabled(true);
+    assert!(sink.series_finish().is_none());
+    let ring = sink.series_start(100);
+    feed(
+        &sink,
+        Soup {
+            kind: 0,
+            node: 0,
+            track: 0,
+            at: 10,
+            dur: 5,
+        },
+    );
+    sink.clear();
+    // The cleared series is gone: no summary, no frames.
+    assert!(sink.series_finish().is_none());
+    assert!(ring.drain().is_empty());
+    // A new series folds only post-clear traffic.
+    let ring = sink.series_start(100);
+    feed(
+        &sink,
+        Soup {
+            kind: 2,
+            node: 1,
+            track: 0,
+            at: 50,
+            dur: 7,
+        },
+    );
+    let summary = sink.series_finish().expect("series was running");
+    let mut frames = ring.drain();
+    if let Some(f) = &summary.leftover {
+        frames.push(f.clone());
+    }
+    assert_eq!(series::fold(frames.iter()), sink.snapshot());
+}
