@@ -21,6 +21,7 @@
 pub mod m4;
 pub mod ompapps;
 pub mod pthreads;
+pub mod service;
 pub mod splash;
 pub mod util;
 

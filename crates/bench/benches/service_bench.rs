@@ -1,0 +1,388 @@
+//! Service sweep: the CableS-hosted sharded KV store under real traffic.
+//!
+//! Sweeps the deterministic traffic generator's arrival patterns
+//! (uniform, bursty, hot-key zipfian) across node counts, measures
+//! request latency percentiles straight from the `service` layer's log2
+//! histogram and throughput from the serving window, then stresses the
+//! deployment with a chaos node crash under live traffic (recovery
+//! visible in the windowed percentile series streamed to
+//! `stream_service.ndjson`) and a lock-data-forwarding ablation.
+//! Produces `BENCH_service.json`.
+//!
+//! Asserted invariants:
+//!
+//! - every fault-free cell serves all requests through the worker pools
+//!   (no crash fallbacks, no retries) and emits exactly one request span
+//!   per request;
+//! - replaying a cell from the same `TrafficConfig` is bit-identical
+//!   (same digest, same simulated times, same percentiles);
+//! - the crash cell answers every request, detaches the dead node, and
+//!   the windowed series shows completions resuming after the crash;
+//! - lock-data forwarding fires (`lock_forwards > 0`) when enabled and
+//!   stays exactly zero when disabled, with identical response digests.
+//!
+//! Run with `--test` for the CI smoke mode (fewer requests, same
+//! assertions, same artifact).
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use apps::service::{run_service, ServiceOutcome, ServiceParams};
+use cables::{CablesConfig, CablesRt};
+use cables_bench::{cluster_for, fmt_ns, header, smoke_mode, StreamExporter};
+use chaos::{ChaosEngine, FaultPlan};
+use obs::series;
+use obs::stream::parse_stream;
+use obs::Layer;
+use svm::{Cluster, SvmConfig};
+use traffic::{schedule, Schedule, TrafficConfig};
+
+/// The node sacrificed by the crash cell (never 0: the master survives).
+const CRASH_NODE: u32 = 2;
+
+fn params() -> ServiceParams {
+    ServiceParams {
+        shards: 4,
+        workers_per_shard: 2,
+        locks_per_shard: 8,
+        queue_cap: 64,
+        proc_ns: 500,
+        timeout_ns: 2_000_000,
+    }
+}
+
+struct CellOut {
+    sim_ns: u64,
+    outcome: ServiceOutcome,
+    /// Request-latency percentiles [p50, p95, p99] from the service hist.
+    p: [u64; 3],
+    /// Request spans recorded (must equal the request count fault-free).
+    svc_count: u64,
+    lock_forwards: u64,
+    nodes_detached: u64,
+    crashes: u64,
+    windows: Vec<series::WindowRow>,
+}
+
+/// Runs one service cell: `sched` on `procs` processors under `cfg`,
+/// optionally with a chaos plan attached and a live metric stream.
+fn run_cell(
+    sched: &Schedule,
+    procs: usize,
+    cfg: CablesConfig,
+    chaos: Option<(u64, FaultPlan)>,
+    stream: Option<(&str, u64)>,
+) -> CellOut {
+    let cluster = Cluster::build(cluster_for(procs));
+    let has_chaos = chaos.is_some();
+    if let Some((seed, plan)) = chaos {
+        cluster.set_chaos(ChaosEngine::new(seed, plan));
+    }
+    let rt = CablesRt::new(Arc::clone(&cluster), cfg);
+    rt.svm().set_obs(true);
+    let exporter = stream.map(|(name, sample_ns)| {
+        let ring = rt.svm().obs().series_start(sample_ns);
+        StreamExporter::start(name, sample_ns, ring)
+    });
+    let out = Arc::new(StdMutex::new(None));
+    let o2 = Arc::clone(&out);
+    let s = sched.clone();
+    let p = params();
+    let end = rt
+        .run(move |pth| {
+            *o2.lock().unwrap() = Some(run_service(pth, &s, p));
+            0
+        })
+        .expect("service run");
+    let outcome = out.lock().unwrap().take().expect("service outcome");
+    let svm = rt.svm();
+    let sink = svm.obs();
+    let windows = if let Some(e) = exporter {
+        let summary = sink.series_finish().expect("series was running");
+        let export = e.finish(&summary, end.as_nanos(), &sink.snapshot());
+        let text = std::fs::read_to_string(&export.path).expect("read stream back");
+        let s = parse_stream(&text).expect("service stream grammar");
+        s.verify_fold().expect("service stream folds to final snapshot");
+        series::windowed_table(&s.frames)
+    } else {
+        Vec::new()
+    };
+    let snap = sink.snapshot();
+    let h = &snap.hists[Layer::Service.index()];
+    CellOut {
+        sim_ns: end.as_nanos(),
+        outcome,
+        p: [h.percentile(50.0), h.percentile(95.0), h.percentile(99.0)],
+        svc_count: h.count(),
+        lock_forwards: svm.total_stats().lock_forwards,
+        nodes_detached: rt.stats().nodes_detached,
+        crashes: if has_chaos {
+            cluster.chaos().expect("chaos attached").stats().crashes
+        } else {
+            0
+        },
+        windows,
+    }
+}
+
+fn throughput_rps(requests: u32, serve_ns: u64) -> f64 {
+    requests as f64 / (serve_ns.max(1) as f64 / 1e9)
+}
+
+fn cell_json(
+    pattern: &str,
+    driver: &str,
+    nodes: usize,
+    sched: &Schedule,
+    c: &CellOut,
+) -> String {
+    format!(
+        "{{\"pattern\": \"{pattern}\", \"driver\": \"{driver}\", \"nodes\": {nodes}, \
+         \"requests\": {}, \"schedule_fingerprint\": {}, \"sim_time_ns\": {}, \
+         \"serve_ns\": {}, \"throughput_rps\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \
+         \"p99_ns\": {}, \"served\": {}, \"direct_served\": {}, \"retries\": {}, \
+         \"digest\": {}}}",
+        sched.requests.len(),
+        sched.fingerprint(),
+        c.sim_ns,
+        c.outcome.serve_ns,
+        throughput_rps(sched.requests.len() as u32, c.outcome.serve_ns),
+        c.p[0],
+        c.p[1],
+        c.p[2],
+        c.outcome.served,
+        c.outcome.direct_served,
+        c.outcome.retries,
+        c.outcome.digest,
+    )
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    header(
+        "service: sharded KV store under generated traffic",
+        "no paper artifact; the paper's pthreads API carrying a request-driven service",
+    );
+    let nreq: u32 = if smoke { 120 } else { 600 };
+    let keys: u64 = if smoke { 128 } else { 512 };
+    let rate: u64 = 2_000_000;
+
+    let patterns: Vec<(&str, Schedule)> = vec![
+        ("uniform", schedule(&TrafficConfig::uniform(11, nreq, keys, rate))),
+        ("bursty", schedule(&TrafficConfig::bursty(12, nreq, keys, rate))),
+        ("zipfian", schedule(&TrafficConfig::zipfian(13, nreq, keys, rate))),
+    ];
+    let closed = schedule(&TrafficConfig::zipfian(14, nreq, keys, rate).closed_loop(4, 2_000));
+    // 2-way SMP nodes: 4 procs = 2 nodes, 8 procs = 4 nodes.
+    let node_counts = [2usize, 4usize];
+
+    let mut artifact = String::from("{\n  \"bench\": \"service\",\n");
+    let _ = write!(artifact, "  \"smoke\": {smoke},\n  \"cells\": [");
+    let mut first = true;
+
+    println!(
+        "{:<10} {:<7} {:>5} {:>6} {:>12} {:>10} {:>10} {:>10}",
+        "pattern", "driver", "nodes", "reqs", "rps", "p50", "p95", "p99"
+    );
+    for &nodes in &node_counts {
+        let procs = nodes * 2;
+        for (name, sched) in &patterns {
+            let c = run_cell(sched, procs, CablesConfig::paper(), None, None);
+            assert_eq!(
+                c.outcome.served as usize,
+                sched.requests.len(),
+                "{name}@{nodes}: workers must serve every request"
+            );
+            assert_eq!(c.outcome.direct_served, 0, "{name}@{nodes}: no crash fallbacks");
+            assert_eq!(c.outcome.retries, 0, "{name}@{nodes}: no retries");
+            assert_eq!(
+                c.svc_count as usize,
+                sched.requests.len(),
+                "{name}@{nodes}: one request span per request"
+            );
+            println!(
+                "{:<10} {:<7} {:>5} {:>6} {:>12.0} {:>10} {:>10} {:>10}",
+                name,
+                "open",
+                nodes,
+                sched.requests.len(),
+                throughput_rps(nreq, c.outcome.serve_ns),
+                fmt_ns(c.p[0]),
+                fmt_ns(c.p[1]),
+                fmt_ns(c.p[2]),
+            );
+            if !first {
+                artifact.push(',');
+            }
+            first = false;
+            let _ = write!(artifact, "\n    {}", cell_json(name, "open", nodes, sched, &c));
+        }
+    }
+    // One closed-loop cell: clients block on their response condvars, so
+    // the span includes the full issue-to-response round trip.
+    {
+        let c = run_cell(&closed, 8, CablesConfig::paper(), None, None);
+        assert_eq!(c.outcome.served as usize, closed.requests.len());
+        assert_eq!(c.outcome.retries, 0);
+        assert_eq!(c.svc_count as usize, closed.requests.len());
+        println!(
+            "{:<10} {:<7} {:>5} {:>6} {:>12.0} {:>10} {:>10} {:>10}",
+            "zipfian",
+            "closed",
+            4,
+            closed.requests.len(),
+            throughput_rps(nreq, c.outcome.serve_ns),
+            fmt_ns(c.p[0]),
+            fmt_ns(c.p[1]),
+            fmt_ns(c.p[2]),
+        );
+        artifact.push(',');
+        let _ = write!(artifact, "\n    {}", cell_json("zipfian", "closed", 4, &closed, &c));
+    }
+    artifact.push_str("\n  ],\n");
+
+    // ---- Replay: the same config must reproduce bit-identically ----
+    let (rname, rsched) = &patterns[0];
+    let a = run_cell(rsched, 8, CablesConfig::paper(), None, None);
+    let b = run_cell(rsched, 8, CablesConfig::paper(), None, None);
+    assert_eq!(a.sim_ns, b.sim_ns, "replay changed the simulated end time");
+    assert_eq!(a.outcome, b.outcome, "replay changed the service outcome");
+    assert_eq!(a.p, b.p, "replay changed the latency percentiles");
+    println!(
+        "\nreplay: {rname}@4 nodes reruns bit-identically \
+         (digest {:#018x}, end {})",
+        a.outcome.digest,
+        fmt_ns(a.sim_ns)
+    );
+    let _ = write!(
+        artifact,
+        "  \"replay\": {{\"pattern\": \"{rname}\", \"nodes\": 4, \"identical\": true, \
+         \"digest\": {}}},\n",
+        a.outcome.digest
+    );
+
+    // ---- Chaos: node crash mid-serving, live stream running ----
+    // Calibrate the crash instant from a clean reference: mid-way through
+    // the serving window, well past attach.
+    let chaos_sched = schedule(&TrafficConfig::uniform(
+        21,
+        nreq * 2,
+        keys,
+        rate,
+    ));
+    let reference = run_cell(&chaos_sched, 8, CablesConfig::paper(), None, None);
+    let serve_start = reference.sim_ns - reference.outcome.serve_ns;
+    let crash_at = serve_start + reference.outcome.serve_ns / 2;
+    let sample_ns = (reference.outcome.serve_ns / 16).max(1);
+    let plan = FaultPlan::new().crash(CRASH_NODE, crash_at);
+    let c = run_cell(
+        &chaos_sched,
+        8,
+        CablesConfig::paper(),
+        Some((0x5E41_11CE, plan)),
+        Some(("service", sample_ns)),
+    );
+    assert_eq!(c.crashes, 1, "planned crash never fired");
+    assert!(c.nodes_detached >= 1, "crashed node was not detached");
+    assert!(
+        c.outcome.served + c.outcome.direct_served >= chaos_sched.requests.len() as u64,
+        "crash lost requests: served {} + direct {} < {}",
+        c.outcome.served,
+        c.outcome.direct_served,
+        chaos_sched.requests.len()
+    );
+    // Recovery must be visible in the windowed series: completions in
+    // some window that starts after the crash instant.
+    let post = c
+        .windows
+        .iter()
+        .filter(|w| w.start_ns >= crash_at)
+        .map(|w| w.svc)
+        .sum::<u64>();
+    assert!(
+        post > 0,
+        "no post-crash completions in the windowed series (crash at {})",
+        fmt_ns(crash_at)
+    );
+    println!(
+        "\nchaos: node {CRASH_NODE} crashed at {} mid-serving; {} worker-served + {} \
+         direct-served of {} requests; {} completions in post-crash windows",
+        fmt_ns(crash_at),
+        c.outcome.served,
+        c.outcome.direct_served,
+        chaos_sched.requests.len(),
+        post
+    );
+    print!("{}", obs::report::window_table(&c.windows));
+    println!("live series -> target/artifacts/stream_service.ndjson");
+    let _ = write!(
+        artifact,
+        "  \"chaos\": {{\"crash_node\": {CRASH_NODE}, \"crash_at_ns\": {crash_at}, \
+         \"requests\": {}, \"served\": {}, \"direct_served\": {}, \"retries\": {}, \
+         \"nodes_detached\": {}, \"post_crash_window_completions\": {post}, \
+         \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+         \"stream\": \"target/artifacts/stream_service.ndjson\"}},\n",
+        chaos_sched.requests.len(),
+        c.outcome.served,
+        c.outcome.direct_served,
+        c.outcome.retries,
+        c.nodes_detached,
+        c.p[0],
+        c.p[1],
+        c.p[2],
+    );
+
+    // ---- Ablation: lock-data forwarding off vs on ----
+    // The zipfian pattern hammers a few hot buckets: their store pages
+    // are exactly the frequently-demand-fetched pages forwarding targets.
+    let zsched = &patterns[2].1;
+    let cfg_off = CablesConfig {
+        svm: SvmConfig::cables().with_protocol_opts(false, false, false),
+        ..CablesConfig::paper()
+    };
+    let cfg_on = CablesConfig {
+        svm: SvmConfig::cables().with_protocol_opts(false, false, true),
+        ..CablesConfig::paper()
+    };
+    let off = run_cell(zsched, 8, cfg_off, None, None);
+    let on = run_cell(zsched, 8, cfg_on, None, None);
+    assert_eq!(
+        off.lock_forwards, 0,
+        "forwarding-off cell must not forward"
+    );
+    assert!(
+        on.lock_forwards > 0,
+        "forwarding-on cell never forwarded a page under the hot-bucket workload"
+    );
+    assert_eq!(
+        off.outcome.digest, on.outcome.digest,
+        "lock forwarding changed the service's responses"
+    );
+    println!(
+        "\nablation (zipfian, 4 nodes): lock_forwards off={} on={}; \
+         p95 off={} on={} (digests identical)",
+        off.lock_forwards,
+        on.lock_forwards,
+        fmt_ns(off.p[1]),
+        fmt_ns(on.p[1]),
+    );
+    let _ = write!(
+        artifact,
+        "  \"ablation\": {{\"pattern\": \"zipfian\", \"nodes\": 4, \
+         \"off\": {{\"lock_forwards\": 0, \"sim_time_ns\": {}, \"p95_ns\": {}}}, \
+         \"on\": {{\"lock_forwards\": {}, \"sim_time_ns\": {}, \"p95_ns\": {}}}}}\n",
+        off.sim_ns,
+        off.p[1],
+        on.lock_forwards,
+        on.sim_ns,
+        on.p[1],
+    );
+
+    artifact.push_str("}\n");
+    obs::json::validate(&artifact).expect("service artifact JSON is well-formed");
+    let path = format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &artifact).expect("write BENCH_service.json");
+    println!("\nservice sweep written to BENCH_service.json");
+    println!("determinism: every cell is a pure function of (TrafficConfig, params);");
+    println!("rerunning this bench reproduces every digest and percentile exactly.");
+}

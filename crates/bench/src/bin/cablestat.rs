@@ -103,25 +103,31 @@ fn resolve(dir: &str, path: &str) -> PathBuf {
     Path::new(dir).join(p)
 }
 
+/// Whether `path` deserves a staleness warning: a regenerable artifact
+/// (`BENCH_*` / `stream_*`, but not a committed baseline — those are
+/// historical by design) whose mtime predates the tool's.
+fn is_stale(path: &Path, artifact_mtime: std::time::SystemTime, exe_mtime: std::time::SystemTime) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if !(name.starts_with("BENCH_") || name.starts_with("stream_")) {
+        return false;
+    }
+    if path.components().any(|c| c.as_os_str() == "baselines") {
+        return false;
+    }
+    artifact_mtime < exe_mtime
+}
+
 /// Warns when a generated artifact is older than this binary: the tool
 /// that regenerates `BENCH_*` / `stream_*` artifacts was rebuilt after
 /// the artifact was written, so the artifact may describe old code.
 fn warn_if_stale(path: &Path) {
-    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-    if !(name.starts_with("BENCH_") || name.starts_with("stream_")) {
-        return;
-    }
-    // Committed baselines are historical by design.
-    if path.components().any(|c| c.as_os_str() == "baselines") {
-        return;
-    }
     let (Ok(artifact), Ok(exe)) = (
         path.metadata().and_then(|m| m.modified()),
         std::env::current_exe().and_then(|e| e.metadata()).and_then(|m| m.modified()),
     ) else {
         return;
     };
-    if artifact < exe {
+    if is_stale(path, artifact, exe) {
         eprintln!(
             "cablestat: warning: {} predates this binary — regenerate it (scripts/perfgate.sh or the owning bench)",
             path.display()
@@ -724,4 +730,30 @@ fn cmd_inflate(args: &[String], dir: &str) -> ExitCode {
         src.display()
     );
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::{Duration, SystemTime};
+
+    use super::is_stale;
+
+    #[test]
+    fn stale_warning_fires_only_for_old_regenerable_artifacts() {
+        let exe = SystemTime::UNIX_EPOCH + Duration::from_secs(1_000);
+        let older = exe - Duration::from_secs(10);
+        let newer = exe + Duration::from_secs(10);
+        let p = |s: &str| std::path::Path::new(s).to_path_buf();
+
+        // A bench artifact older than the tool is stale; fresher is not.
+        assert!(is_stale(&p("BENCH_service.json"), older, exe));
+        assert!(!is_stale(&p("BENCH_service.json"), newer, exe));
+        // Streams (the live NDJSON exports) follow the same rule.
+        assert!(is_stale(&p("target/artifacts/stream_service.ndjson"), older, exe));
+        assert!(!is_stale(&p("target/artifacts/stream_service.ndjson"), newer, exe));
+        // Committed baselines are historical by design: never stale.
+        assert!(!is_stale(&p("baselines/BENCH_service.json"), older, exe));
+        // Files cablestat does not regenerate are exempt.
+        assert!(!is_stale(&p("trace_fft.json"), older, exe));
+    }
 }

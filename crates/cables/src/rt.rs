@@ -714,6 +714,19 @@ impl CablesRt {
     /// ahead of the recovery). Idempotent with [`CablesRt::recover_crash`]:
     /// whichever runs first does the bookkeeping, the other is a no-op.
     pub(crate) fn thread_crashed(&self, sim: &Sim, ct: CtId) {
+        // Release sync state held right now, even when the monitor's
+        // recovery already retired this thread: a per-thread clock can
+        // sprint past the recovery and acquire fresh locks before
+        // reaching this checkpoint, and nothing else will ever release
+        // them (the recovery hand-off only saw holders at crash time).
+        let dead = [sim.tid()];
+        let mut to_wake = self.svm().crash_handoff_locks(sim, &dead, sim.node());
+        to_wake.extend(self.crash_handoff_rwlocks(sim, &dead));
+        to_wake.sort_unstable_by_key(|t| t.0);
+        to_wake.dedup_by_key(|t| t.0);
+        for t in to_wake {
+            sim.wake(t, sim.now());
+        }
         let joiners = {
             let mut st = self.state.lock();
             let rec = st.threads.get_mut(&ct.0).expect("crashed thread registered");

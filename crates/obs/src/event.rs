@@ -39,11 +39,17 @@ pub enum Layer {
     /// Fault injection and recovery (the `chaos` subsystem): injected
     /// wire/resource/node faults and the recovery actions they trigger.
     Chaos,
+    /// Request-serving applications (the KV service): whole-request
+    /// lifecycle spans, enqueue to response. The *only* spans attributed
+    /// here are [`Event::ServiceRequest`], so this layer's histogram is
+    /// a pure request-latency distribution — p50/p95/p99 fall straight
+    /// out of [`crate::MetricsSnapshot::hists`].
+    Service,
 }
 
 impl Layer {
     /// Number of layers (array dimension for per-layer registries).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All layers, in display order.
     pub const ALL: [Layer; Layer::COUNT] = [
@@ -54,6 +60,7 @@ impl Layer {
         Layer::Rt,
         Layer::Sched,
         Layer::Chaos,
+        Layer::Service,
     ];
 
     /// Dense index for per-layer arrays.
@@ -66,6 +73,7 @@ impl Layer {
             Layer::Rt => 4,
             Layer::Sched => 5,
             Layer::Chaos => 6,
+            Layer::Service => 7,
         }
     }
 
@@ -79,6 +87,7 @@ impl Layer {
             Layer::Rt => "rt",
             Layer::Sched => "sched",
             Layer::Chaos => "chaos",
+            Layer::Service => "service",
         }
     }
 }
@@ -208,6 +217,38 @@ impl SchedKind {
             SchedKind::Exit => "exit",
             SchedKind::Block => "block",
             SchedKind::Wake => "wake",
+        }
+    }
+}
+
+/// Operation kinds of the request-serving KV service layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceOp {
+    /// Point read.
+    Get,
+    /// Point write (insert or overwrite).
+    Put,
+    /// Point delete.
+    Delete,
+    /// Short ordered range read over consecutive keys.
+    Scan,
+}
+
+impl ServiceOp {
+    /// Number of ops (array dimension for per-op breakdowns).
+    pub const COUNT: usize = 4;
+
+    /// All ops, in display order.
+    pub const ALL: [ServiceOp; ServiceOp::COUNT] =
+        [ServiceOp::Get, ServiceOp::Put, ServiceOp::Delete, ServiceOp::Scan];
+
+    /// Display name (last path segment of the dotted kind name).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ServiceOp::Get => "get",
+            ServiceOp::Put => "put",
+            ServiceOp::Delete => "delete",
+            ServiceOp::Scan => "scan",
         }
     }
 }
@@ -493,6 +534,21 @@ pub enum Event {
         latency_ns: u64,
     },
 
+    // ---- Service (request-serving application) spans ----
+    /// One whole service request, submission to response (open loop: the
+    /// scheduled arrival instant; closed loop: the client's enqueue).
+    /// The span is recorded on the *client/dispatcher* lane so queueing
+    /// delay is inside it — this is end-to-end latency, not service
+    /// time. The only span kind attributed to [`Layer::Service`].
+    ServiceRequest {
+        /// The operation performed.
+        op: ServiceOp,
+        /// Shard that served the request.
+        shard: u32,
+        /// Request key (scan: first key of the range).
+        key: u64,
+    },
+
     // ---- Causal edges ----
     /// A cause→effect dependency. The record's `at`/`node`/`track` are the
     /// *effect* endpoint; the payload carries the *source* endpoint. An
@@ -575,6 +631,10 @@ impl Event {
             Event::ChaosEvict { .. } => "chaos.evict",
             Event::ChaosCrash { .. } => "chaos.crash",
             Event::ChaosRecovery { .. } => "chaos.recovery",
+            Event::ServiceRequest { op: ServiceOp::Get, .. } => "service.request.get",
+            Event::ServiceRequest { op: ServiceOp::Put, .. } => "service.request.put",
+            Event::ServiceRequest { op: ServiceOp::Delete, .. } => "service.request.delete",
+            Event::ServiceRequest { op: ServiceOp::Scan, .. } => "service.request.scan",
             Event::Edge { kind: EdgeKind::MsgSend, .. } => "edge.msg_send",
             Event::Edge { kind: EdgeKind::MsgFetch, .. } => "edge.msg_fetch",
             Event::Edge { kind: EdgeKind::MsgNotify, .. } => "edge.msg_notify",
@@ -693,6 +753,9 @@ impl Event {
             }
             Event::ChaosCrash { node } => {
                 let _ = write!(out, "\"node\":{node}");
+            }
+            Event::ServiceRequest { op, shard, key } => {
+                let _ = write!(out, "\"op\":\"{}\",\"shard\":{shard},\"key\":{key}", op.name());
             }
             Event::ChaosRecovery {
                 node,

@@ -69,7 +69,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sim::{NodeId, SimTime};
 
-pub use event::{canonical_sort, EdgeKind, Event, EventRecord, Layer, SchedKind, NIC_TRACK};
+pub use event::{
+    canonical_sort, EdgeKind, Event, EventRecord, Layer, SchedKind, ServiceOp, NIC_TRACK,
+};
 pub use metrics::{Histogram, KindAgg, MetricsSnapshot, NodeMetrics, PageMetrics, HIST_BUCKETS};
 
 use metrics::Registry;

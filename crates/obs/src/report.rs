@@ -160,12 +160,27 @@ pub fn gauge_table(s: &MetricsSnapshot) -> String {
 pub fn window_table(rows: &[crate::series::WindowRow]) -> String {
     use crate::stall::Bucket;
     let mut out = String::new();
+    let any_svc = rows.iter().any(|r| r.svc > 0);
     let _ = writeln!(
         out,
-        "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}  {:<34} {:>8} {:>8} {:>8}",
-        "window", "events", "flt", "ftch", "diff", "inv", "stall mix", "san p50", "p95", "p99"
+        "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}  {:<34} {:>8} {:>8} {:>8}{}",
+        "window",
+        "events",
+        "flt",
+        "ftch",
+        "diff",
+        "inv",
+        "stall mix",
+        "san p50",
+        "p95",
+        "p99",
+        if any_svc {
+            format!(" {:>6} {:>8} {:>8} {:>8}", "svc", "svc p50", "p95", "p99")
+        } else {
+            String::new()
+        }
     );
-    let _ = writeln!(out, "{}", "-".repeat(126));
+    let _ = writeln!(out, "{}", "-".repeat(if any_svc { 160 } else { 126 }));
     for r in rows {
         let total: u64 = r.stall_ns.iter().sum();
         let mut mix: Vec<(u64, Bucket)> = Bucket::ALL
@@ -190,7 +205,7 @@ pub fn window_table(rows: &[crate::series::WindowRow]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}  {:<34} {:>8} {:>8} {:>8}",
+            "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}  {:<34} {:>8} {:>8} {:>8}{}",
             format!("[{}..{}){merged}", fmt_ns(r.start_ns), fmt_ns(r.end_ns)),
             r.events,
             r.faults,
@@ -200,7 +215,18 @@ pub fn window_table(rows: &[crate::series::WindowRow]) -> String {
             mix_s,
             fmt_ns(r.san_p[0]),
             fmt_ns(r.san_p[1]),
-            fmt_ns(r.san_p[2])
+            fmt_ns(r.san_p[2]),
+            if any_svc {
+                format!(
+                    " {:>6} {:>8} {:>8} {:>8}",
+                    r.svc,
+                    fmt_ns(r.svc_p[0]),
+                    fmt_ns(r.svc_p[1]),
+                    fmt_ns(r.svc_p[2])
+                )
+            } else {
+                String::new()
+            }
         );
     }
     out

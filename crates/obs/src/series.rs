@@ -513,6 +513,12 @@ pub struct WindowRow {
     /// Interpolated percentiles of the window's SAN message latencies
     /// (from the window's own histogram buckets): p50, p95, p99.
     pub san_p: [u64; 3],
+    /// Service requests completed this window (the [`Layer::Service`]
+    /// histogram's bucket-count delta; 0 for batch kernels).
+    pub svc: u64,
+    /// Interpolated percentiles of the window's service request
+    /// latencies: p50, p95, p99. All zero when `svc == 0`.
+    pub svc_p: [u64; 3],
 }
 
 /// Folds frames into windowed table rows (one per frame).
@@ -521,6 +527,7 @@ pub fn windowed_table(frames: &[DeltaFrame]) -> Vec<WindowRow> {
         .iter()
         .map(|f| {
             let san = &f.delta.hists[Layer::San.index()];
+            let svc = &f.delta.hists[Layer::Service.index()];
             WindowRow {
                 start_ns: f.start_ns,
                 end_ns: f.end_ns,
@@ -535,6 +542,12 @@ pub fn windowed_table(frames: &[DeltaFrame]) -> Vec<WindowRow> {
                     san.percentile(50.0),
                     san.percentile(95.0),
                     san.percentile(99.0),
+                ],
+                svc: svc.buckets.iter().sum(),
+                svc_p: [
+                    svc.percentile(50.0),
+                    svc.percentile(95.0),
+                    svc.percentile(99.0),
                 ],
             }
         })
@@ -569,8 +582,8 @@ pub fn window_table_json(rows: &[WindowRow]) -> String {
         }
         let _ = write!(
             j,
-            "}}, \"san_p50\": {}, \"san_p95\": {}, \"san_p99\": {}}}",
-            r.san_p[0], r.san_p[1], r.san_p[2]
+            "}}, \"san_p50\": {}, \"san_p95\": {}, \"san_p99\": {}, \"svc\": {}, \"svc_p50\": {}, \"svc_p95\": {}, \"svc_p99\": {}}}",
+            r.san_p[0], r.san_p[1], r.san_p[2], r.svc, r.svc_p[0], r.svc_p[1], r.svc_p[2]
         );
     }
     j.push_str("\n    ]");

@@ -1269,6 +1269,109 @@ impl SvmSystem {
         }
     }
 
+    /// Early release of a single dirty page: builds its diff, writes the
+    /// dirty words home and publishes the write notice — exactly what the
+    /// next release would have done for this page, just sooner.
+    ///
+    /// The acquire path needs this when a pending write notice lands on a
+    /// page this node is concurrently writing: the copy cannot be
+    /// invalidated while it holds unreleased words (they would be lost),
+    /// but skipping the notice would leave the node reading words that
+    /// miss the remote writer's update even across a lock acquire. The
+    /// copy itself is left in place; the caller invalidates it.
+    fn flush_dirty_page(&self, sim: &Sim, page_idx: u64) {
+        let node = sim.node();
+        let page = PageNum::new(page_idx);
+        let (home, region, region_off, write_through) = {
+            let st = self.state.lock();
+            let d = &st.dir[&page_idx];
+            let wt = self.cfg.write_through_single_writer
+                && !d.multi_writer
+                && d.first_writer == Some(node);
+            (d.home, d.region, d.region_off, wt)
+        };
+        let bitmap = {
+            let mut st = self.state.lock();
+            let np = &mut st.nodes[node.0 as usize];
+            np.dirty_pages.retain(|p| *p != page_idx);
+            let copy = np.copies.get_mut(&page_idx).expect("dirty page has copy");
+            copy.dirty.take().expect("dirty page has bitmap")
+        };
+        let runs = dirty_runs(&bitmap);
+        let dirty_bytes: u64 = runs.iter().map(|r| (r.1 - r.0) * 8).sum();
+        let mut max_arrival = sim.now();
+        if home == node {
+            sim.advance(self.cfg.costs.diff_build_ns / 4);
+        } else {
+            if write_through {
+                sim.advance(500);
+            } else {
+                sim.advance(self.cfg.costs.diff_build_ns);
+            }
+            let need_import = {
+                let mut st = self.state.lock();
+                st.nodes[node.0 as usize]
+                    .imported
+                    .insert(region.0, ())
+                    .is_none()
+            };
+            if need_import {
+                self.reg_op(sim, node, "region import failed", Some(region), || {
+                    self.cluster.vmmc.import_region(node, region)
+                })
+                .unwrap_or_else(|e| panic!("{e}"));
+                sim.advance(self.cluster.vmmc.config().import_op_ns);
+            }
+            let (frame, _) = self
+                .cluster
+                .mem
+                .translate(node, page)
+                .expect("dirty page mapped");
+            for (w0, w1) in &runs {
+                let off = w0 * 8;
+                let len = (w1 - w0) * 8;
+                let mut buf = vec![0u8; len as usize];
+                self.cluster.mem.frame_read(frame, off as usize, &mut buf);
+                let t = self
+                    .write_with_recovery(
+                        sim,
+                        node,
+                        "diff write failed",
+                        region,
+                        region_off + off,
+                        &buf,
+                    )
+                    .unwrap_or_else(|e| panic!("{e}"));
+                if !write_through {
+                    max_arrival = max_arrival.max(t.arrival);
+                }
+            }
+            {
+                let mut st = self.state.lock();
+                st.nodes[node.0 as usize].stats.diffs_sent += 1;
+                st.nodes[node.0 as usize].stats.diff_bytes += dirty_bytes;
+            }
+            self.trace(
+                sim,
+                crate::trace::TraceEvent::Diff {
+                    node,
+                    page,
+                    bytes: dirty_bytes,
+                },
+            );
+        }
+        {
+            let mut st = self.state.lock();
+            let d = st.dir.get_mut(&page_idx).expect("dir entry");
+            d.version += 1;
+            let v = d.version;
+            st.log.push((page_idx, v));
+        }
+        // The flushed words must be home before the caller invalidates the
+        // copy — a refetch racing the diff would resurrect the old words.
+        sim.clock_at_least(max_arrival);
+    }
+
     /// Release: flushes this node's dirty pages to their homes and
     /// publishes write notices. Called before every lock release and
     /// barrier arrival.
@@ -1419,10 +1522,9 @@ impl SvmSystem {
 
             // Bump the version and publish the notice. The releaser's own
             // copy is complete only if nobody else released this page
-            // since we fetched it (multiple concurrent writers must
-            // invalidate each other at their next acquire — their local
-            // copies each miss the other's words).
-            {
+            // since we fetched it; a copy with a stale base misses the
+            // other writers' words, so it must not stay readable.
+            let stale_base = {
                 let mut st = self.state.lock();
                 let d = st.dir.get_mut(&page_idx).expect("dir entry");
                 let pre = d.version;
@@ -1435,13 +1537,30 @@ impl SvmSystem {
                     .expect("copy");
                 if copy.version == pre {
                     copy.version = v;
+                    false
+                } else {
+                    home != node
                 }
+            };
+            if stale_base {
+                // Concurrent remote releases interleaved since this copy
+                // was fetched: drop it (the diff above is already on its
+                // way home) and refetch a complete page on next touch.
+                self.cluster
+                    .mem
+                    .set_prot(node, page, Prot::None)
+                    .expect("dirty page mapped");
+                let mut st = self.state.lock();
+                st.nodes[node.0 as usize].copies.remove(&page_idx);
+                drop(st);
+                self.trace(sim, crate::trace::TraceEvent::Invalidate { node, page });
+            } else {
+                // Downgrade to read-only so new writes are tracked again.
+                self.cluster
+                    .mem
+                    .set_prot(node, page, Prot::Read)
+                    .expect("dirty page mapped");
             }
-            // Downgrade to read-only so new writes are tracked again.
-            self.cluster
-                .mem
-                .set_prot(node, page, Prot::Read)
-                .expect("dirty page mapped");
             sim.advance(self.cluster.mem.config().protect_ns);
         }
         // Ship the accumulated per-home batches: one multi-segment write
@@ -1528,6 +1647,7 @@ impl SvmSystem {
         let node = sim.node();
         let t0 = sim.now();
         let mut invalidate = Vec::new();
+        let mut flush_first = Vec::new();
         let applied;
         {
             let mut st = self.state.lock();
@@ -1541,13 +1661,31 @@ impl SvmSystem {
                     continue;
                 }
                 if let Some(copy) = st.nodes[node.0 as usize].copies.get(&page_idx) {
-                    if copy.version < version && copy.dirty.is_none() {
-                        invalidate.push(page_idx);
+                    if copy.version < version {
+                        if copy.dirty.is_none() {
+                            invalidate.push(page_idx);
+                        } else {
+                            // This node is concurrently writing the page
+                            // (another allocation sharing it, or a write
+                            // outside any critical section): flush those
+                            // words home first, then invalidate like the
+                            // rest — never read past the notice.
+                            flush_first.push(page_idx);
+                        }
                     }
                 }
             }
+            invalidate.sort_unstable();
+            invalidate.dedup();
+            flush_first.sort_unstable();
+            flush_first.dedup();
             st.nodes[node.0 as usize].log_cursor = end;
-            st.nodes[node.0 as usize].stats.notices_applied += invalidate.len() as u64;
+            st.nodes[node.0 as usize].stats.notices_applied +=
+                (invalidate.len() + flush_first.len()) as u64;
+        }
+        for page_idx in flush_first {
+            self.flush_dirty_page(sim, page_idx);
+            invalidate.push(page_idx);
         }
         for page_idx in &invalidate {
             let page = PageNum::new(*page_idx);
@@ -1598,6 +1736,7 @@ impl SvmSystem {
         let t0 = sim.now();
         let hot_min = self.cfg.lock_forward_hot;
         let mut invalidate = Vec::new();
+        let mut flush_first = Vec::new();
         // Hot stale pages grouped per (home, region): (page, region_off,
         // version to install).
         let mut forward: BTreeMap<(u32, u64), Vec<(u64, u64, u64)>> = BTreeMap::new();
@@ -1616,10 +1755,18 @@ impl SvmSystem {
                     continue;
                 }
                 if let Some(copy) = st.nodes[node.0 as usize].copies.get(&page_idx) {
-                    if copy.version < version && copy.dirty.is_none() {
-                        let e = stale.entry(page_idx).or_insert(version);
-                        if version > *e {
-                            *e = version;
+                    if copy.version < version {
+                        if copy.dirty.is_none() {
+                            let e = stale.entry(page_idx).or_insert(version);
+                            if version > *e {
+                                *e = version;
+                            }
+                        } else {
+                            // Concurrently written locally: flush the
+                            // dirty words home, then invalidate (see
+                            // `acquire`). Never forwarded — the grant
+                            // cannot carry a page we still owe a diff.
+                            flush_first.push(page_idx);
                         }
                     }
                 }
@@ -1636,9 +1783,16 @@ impl SvmSystem {
                     invalidate.push(page_idx);
                 }
             }
+            flush_first.sort_unstable();
+            flush_first.dedup();
             st.nodes[node.0 as usize].log_cursor = end;
             let fwd: u64 = forward.values().map(|v| v.len() as u64).sum();
-            st.nodes[node.0 as usize].stats.notices_applied += invalidate.len() as u64 + fwd;
+            st.nodes[node.0 as usize].stats.notices_applied +=
+                (invalidate.len() + flush_first.len()) as u64 + fwd;
+        }
+        for page_idx in flush_first {
+            self.flush_dirty_page(sim, page_idx);
+            invalidate.push(page_idx);
         }
         for page_idx in &invalidate {
             let page = PageNum::new(*page_idx);

@@ -19,6 +19,12 @@
 #   BENCH_ablations.json  design-space ablations: sharing granularity,
 #                         write-through, NIC pressure, barrier builds,
 #                         home migration
+#   BENCH_service.json    sharded KV service under generated traffic:
+#                         throughput + p50/p95/p99 per arrival pattern x
+#                         node count, replay identity, chaos crash cell
+#                         with windowed recovery, lock-forwarding
+#                         ablation (stream_service.ndjson is its live
+#                         metric series)
 #   target/artifacts/trace_fft.json
 #                         Chrome-trace timeline of the FFT run on 8 nodes
 #                         (load in chrome://tracing or ui.perfetto.dev;
@@ -50,10 +56,12 @@ ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json
            BENCH_chaos.json BENCH_protocol.json BENCH_critpath.json
            BENCH_table3.json BENCH_table4.json BENCH_table5.json
            BENCH_table6.json BENCH_fig5.json BENCH_fig6.json
-           BENCH_ablations.json target/artifacts/trace_fft.json
+           BENCH_ablations.json BENCH_service.json
+           target/artifacts/trace_fft.json
            target/artifacts/stream_FFT.ndjson
            target/artifacts/stream_RADIX.ndjson
-           target/artifacts/stream_CHAOS_FFT.ndjson)
+           target/artifacts/stream_CHAOS_FFT.ndjson
+           target/artifacts/stream_service.ndjson)
 
 # Drop stale copies first so a bench that no longer writes its artifact
 # cannot pass the check below on a leftover file.
@@ -70,6 +78,7 @@ cargo bench $CARGO_FLAGS -p cables-bench --bench table6
 cargo bench $CARGO_FLAGS -p cables-bench --bench fig5
 cargo bench $CARGO_FLAGS -p cables-bench --bench fig6
 cargo bench $CARGO_FLAGS -p cables-bench --bench ablations
+cargo bench $CARGO_FLAGS -p cables-bench --bench service_bench
 
 status=0
 for f in "${ARTIFACTS[@]}"; do
@@ -191,6 +200,19 @@ for path in sorted(glob.glob("BENCH_*.json")):
             rows.append((a["app"], f"misplaced {pts[0]['misplaced_pct']:.1f}% @"
                          f"{pts[0]['procs']}p -> {pts[-1]['misplaced_pct']:.1f}% @"
                          f"{pts[-1]['procs']}p"))
+    elif name == "service":
+        for c in d["cells"]:
+            rows.append((f"{c['pattern']}/{c['driver']}@{c['nodes']}n",
+                         f"{c['throughput_rps']:.0f} rps, p50 {ms(c['p50_ns'])}, "
+                         f"p99 {ms(c['p99_ns'])}"))
+        ch = d["chaos"]
+        rows.append(("chaos", f"crash node {ch['crash_node']}, "
+                     f"{ch['served']}+{ch['direct_served']} of {ch['requests']} "
+                     f"answered, {ch['post_crash_window_completions']} post-crash"))
+        ab = d["ablation"]
+        rows.append(("forwarding", f"lock_forwards "
+                     f"{ab['off']['lock_forwards']} -> "
+                     f"{ab['on']['lock_forwards']} (digests identical)"))
     else:  # future artifacts: stay visible even before a custom row
         rows.append(("-", f"keys: {', '.join(list(d)[:6])}"))
     for subject, headline in rows:

@@ -25,7 +25,7 @@ echo "==> cargo test --workspace (engine: parallel_det, audited green threads)"
 CABLES_ENGINE_MODE=parallel_det cargo test $CARGO_FLAGS --workspace -q
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall obs_report critpath chaos_soak protocol_opt; do
+    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall obs_report critpath chaos_soak protocol_opt service_bench; do
         echo "==> cargo bench --bench $bench -- --test"
         cargo bench $CARGO_FLAGS -p cables-bench --bench "$bench" -- --test
     done
@@ -37,18 +37,21 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> cablestat check BENCH_*.json + stream_*.ndjson"
     ./target/release/cablestat check BENCH_*.json target/artifacts/trace_fft.json
     ./target/release/cablestat check --dir target/artifacts \
-        stream_FFT.ndjson stream_RADIX.ndjson stream_CHAOS_FFT.ndjson
+        stream_FFT.ndjson stream_RADIX.ndjson stream_CHAOS_FFT.ndjson \
+        stream_service.ndjson
     # The stream tooling itself: `series` must fold + verify each stream
     # (exit 1 on divergence), `tail` must render a completed stream.
     echo "==> cablestat series / tail smoke"
     ./target/release/cablestat series stream_FFT.ndjson > /dev/null
     ./target/release/cablestat series stream_CHAOS_FFT.ndjson --json > /dev/null
+    ./target/release/cablestat series stream_service.ndjson > /dev/null
     ./target/release/cablestat tail stream_RADIX.ndjson > /dev/null
+    ./target/release/cablestat tail stream_service.ndjson > /dev/null
     # The observability artifacts must also be machine-readable by an
     # independent parser (python is the neutral referee; skip quietly if
     # it is unavailable).
     if command -v python3 >/dev/null 2>&1; then
-        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_ablations.json BENCH_table3.json BENCH_table4.json BENCH_table5.json target/artifacts/trace_fft.json; do
+        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_ablations.json BENCH_service.json BENCH_table3.json BENCH_table4.json BENCH_table5.json target/artifacts/trace_fft.json; do
             echo "==> validate $f"
             python3 -m json.tool "$f" > /dev/null
         done

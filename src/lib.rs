@@ -14,7 +14,8 @@
 //! | observability | [`obs`] | cross-layer event bus, metrics, Chrome-trace export |
 //! | fault injection | [`chaos`] | deterministic FaultPlan-driven wire/resource/node faults |
 //! | OpenMP | [`omp`] | OdinMP-style runtime over CableS |
-//! | workloads | [`apps`] | SPLASH-2 kernels, PN/PC/PIPE, OpenMP programs |
+//! | traffic | [`traffic`] | deterministic open/closed-loop request generator |
+//! | workloads | [`apps`] | SPLASH-2 kernels, PN/PC/PIPE, OpenMP programs, the sharded KV service |
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for paper-vs-measured results. Runnable examples:
@@ -32,4 +33,5 @@ pub use omp;
 pub use san;
 pub use sim;
 pub use svm;
+pub use traffic;
 pub use vmmc;

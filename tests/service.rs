@@ -1,0 +1,76 @@
+//! Integration tests for the sharded KV service under generated
+//! traffic: full-stack runs (traffic schedule -> dispatcher/clients ->
+//! worker pools -> SVM store) that must behave identically under both
+//! engine backends — tier1 runs this file once per
+//! `CABLES_ENGINE_MODE`, so determinism here pins the service across
+//! the sequential oracle and the audited green-thread backend.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use cables_suite::apps::service::{run_service, ServiceOutcome, ServiceParams};
+use cables_suite::cables::{CablesConfig, CablesRt};
+use cables_suite::chaos::{ChaosEngine, FaultPlan};
+use cables_suite::svm::{Cluster, ClusterConfig};
+use cables_suite::traffic::{schedule, Schedule, TrafficConfig};
+
+fn run(
+    nodes: usize,
+    sched: &Schedule,
+    chaos: Option<(u64, FaultPlan)>,
+) -> (u64, ServiceOutcome) {
+    let cluster = Cluster::build(ClusterConfig::small(nodes, 2));
+    if let Some((seed, plan)) = chaos {
+        cluster.set_chaos(ChaosEngine::new(seed, plan));
+    }
+    let rt = CablesRt::new(cluster, CablesConfig::paper());
+    let out = Arc::new(StdMutex::new(None));
+    let o2 = Arc::clone(&out);
+    let s = sched.clone();
+    let end = rt
+        .run(move |pth| {
+            *o2.lock().unwrap() = Some(run_service(pth, &s, ServiceParams::test()));
+            0
+        })
+        .expect("service run");
+    let outcome = out.lock().unwrap().take().expect("service outcome");
+    (end.as_nanos(), outcome)
+}
+
+#[test]
+fn open_loop_uniform_serves_all_and_replays() {
+    let sched = schedule(&TrafficConfig::uniform(7, 80, 64, 2_000_000));
+    let (end_a, a) = run(4, &sched, None);
+    assert_eq!(a.served, 80, "every request reaches a worker");
+    assert_eq!(a.direct_served, 0, "no crash fallbacks on a clean run");
+    assert_eq!(a.retries, 0);
+    let (end_b, b) = run(4, &sched, None);
+    assert_eq!((end_a, a), (end_b, b), "same schedule, bit-identical run");
+}
+
+#[test]
+fn closed_loop_zipfian_serves_all() {
+    let sched =
+        schedule(&TrafficConfig::zipfian(9, 60, 64, 2_000_000).closed_loop(3, 1_000));
+    let (_, out) = run(4, &sched, None);
+    assert_eq!(out.served, 60);
+    assert_eq!(out.retries, 0);
+}
+
+#[test]
+fn node_crash_mid_traffic_loses_no_requests() {
+    let sched = schedule(&TrafficConfig::uniform(13, 120, 64, 2_000_000));
+    // Clean reference run to place the crash inside the serving window.
+    let (end, clean) = run(4, &sched, None);
+    let crash_at = end - clean.serve_ns + clean.serve_ns / 2;
+    let plan = FaultPlan::new().crash(1, crash_at);
+    let (_, out) = run(4, &sched, Some((0xFACE, plan)));
+    assert_eq!(
+        out.served + out.direct_served,
+        120,
+        "crash fallbacks must cover what the dead pool dropped"
+    );
+    assert_eq!(
+        out.digest, clean.digest,
+        "idempotent ops: crashed run converges to the clean run's responses"
+    );
+}
