@@ -185,9 +185,12 @@ impl M4System {
                 })
             }
         };
-        // Surface the engine's scheduling telemetry in the obs snapshot
-        // (no-op when observability is off).
+        // Surface the engine's scheduling telemetry and any migration
+        // activity in the obs snapshot (no-ops when observability is off;
+        // the placement gauges skip zero values so policy-off snapshots
+        // are unchanged).
         self.svm().publish_engine_telemetry();
+        self.svm().publish_placement_telemetry();
         res
     }
 

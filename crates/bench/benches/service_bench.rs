@@ -48,6 +48,7 @@ fn params() -> ServiceParams {
         queue_cap: 64,
         proc_ns: 500,
         timeout_ns: 2_000_000,
+        adapt: None,
     }
 }
 

@@ -113,6 +113,21 @@ pub struct CablesConfig {
     /// later `pthread_create` calls (the optimization Table 4's creation
     /// costs motivate: a dispatch is ~40x cheaper than an OS create).
     pub thread_pool: bool,
+    /// Sharing-aware thread placement: instead of pure round-robin, place
+    /// a new thread on the attached node (with spare capacity) that has
+    /// served the most demand fetches as a home — threads land next to the
+    /// data the application is already pulling from that node. Both
+    /// `pthread_create` spawns and pooled dispatches route through the
+    /// same placement decision. Off reproduces the paper's round-robin.
+    pub affinity_placement: bool,
+    /// Nodes attached at `pthread_start` (clamped to the cluster size;
+    /// the master counts). 0 — the default, the paper's behavior —
+    /// attaches lazily as threads outgrow the attached set, which fills
+    /// each node before touching the next. A warm long-running
+    /// deployment has already paid the multi-second attach cost for its
+    /// whole node set, and round-robin placement over a pre-attached set
+    /// is what scatters consecutively created threads across nodes.
+    pub pre_attach: usize,
     /// Cost constants.
     pub costs: CablesCosts,
 }
@@ -124,6 +139,8 @@ impl Default for CablesConfig {
             max_threads_per_node: 0,
             auto_detach: false,
             thread_pool: false,
+            affinity_placement: false,
+            pre_attach: 0,
             costs: CablesCosts::default(),
         }
     }
@@ -146,6 +163,10 @@ mod tests {
         let c = CablesConfig::paper();
         assert_eq!(c.svm.mode, svm::ProtoMode::Cables);
         assert_eq!(c.svm.home_granularity_pages, 16);
+        // The placement extensions are off: lazy attach, round-robin.
+        assert_eq!(c.pre_attach, 0);
+        assert!(!c.affinity_placement);
+        assert!(c.svm.placement_policy.is_none());
     }
 
     #[test]

@@ -475,6 +475,17 @@ impl CablesRt {
         assert!(st.attached.is_empty(), "pthread_start called twice");
         st.attached.push(self.master);
         st.threads_on.insert(self.master.0, 1);
+        // Warm deployments start with their node set attached (the
+        // multi-second attach handshakes were paid before this run).
+        for node in self.cluster().nodes().iter().copied() {
+            if st.attached.len() >= self.cfg.pre_attach {
+                break;
+            }
+            if node != self.master {
+                st.attached.push(node);
+                st.threads_on.entry(node.0).or_insert(0);
+            }
+        }
         let ct = st.next_ct;
         st.next_ct += 1;
         st.threads.insert(
@@ -761,24 +772,60 @@ impl CablesRt {
     }
 
     /// Picks a node for a new thread: round-robin over attached nodes with
-    /// spare capacity; attaches a new node when all are full.
+    /// spare capacity; attaches a new node when all are full. With
+    /// [`CablesConfig::affinity_placement`] the round-robin pick is
+    /// replaced by the eligible node that has served the most demand
+    /// fetches as a home (ties resolve in round-robin order, so a cold
+    /// cluster degenerates to the paper's policy).
     fn place_thread(&self, sim: &Sim) -> NodeId {
         let cap = if self.cfg.max_threads_per_node == 0 {
             self.cluster().cpus_per_node()
         } else {
             self.cfg.max_threads_per_node
         };
+        // Home-fetch credits are read before taking the runtime lock (the
+        // protocol state has its own lock; never hold both).
+        let pull = if self.cfg.affinity_placement {
+            self.svm().home_pull()
+        } else {
+            Vec::new()
+        };
         let (target, need_attach) = {
             let mut st = self.state.lock();
             let n = st.attached.len();
             let mut chosen = None;
-            for i in 0..n {
-                let idx = (st.rr + i) % n;
-                let node = st.attached[idx];
-                if *st.threads_on.get(&node.0).unwrap_or(&0) < cap {
+            if self.cfg.affinity_placement {
+                // Two-level score: nodes that served the most demand
+                // fetches as a home first (threads follow the data), then
+                // the fullest node with spare capacity (pack). Packing
+                // co-locates consecutively created threads — SPLASH ranks
+                // and per-shard worker pools are spawned in sharing order,
+                // so spawn adjacency is the cold-start sharing prior.
+                let mut best: Option<((u64, usize), usize)> = None;
+                for i in 0..n {
+                    let idx = (st.rr + i) % n;
+                    let node = st.attached[idx];
+                    let occ = *st.threads_on.get(&node.0).unwrap_or(&0);
+                    if occ < cap {
+                        let score = (pull.get(node.0 as usize).copied().unwrap_or(0), occ);
+                        if best.map_or(true, |(b, _)| score > b) {
+                            best = Some((score, idx));
+                        }
+                    }
+                }
+                if let Some((_, idx)) = best {
                     st.rr = (idx + 1) % n;
-                    chosen = Some(node);
-                    break;
+                    chosen = Some(st.attached[idx]);
+                }
+            } else {
+                for i in 0..n {
+                    let idx = (st.rr + i) % n;
+                    let node = st.attached[idx];
+                    if *st.threads_on.get(&node.0).unwrap_or(&0) < cap {
+                        st.rr = (idx + 1) % n;
+                        chosen = Some(node);
+                        break;
+                    }
                 }
             }
             match chosen {

@@ -43,6 +43,11 @@ pub enum CauseKind {
     Kind,
     /// A page's protocol counters moved (`pages[page=…]`).
     Page,
+    /// A placement/migration gauge moved (`gauges.proto.migrations`,
+    /// `gauges.proto.policy_*`, `gauges.proto.*pingpong*`): the
+    /// migration policy was active and its decision rate changed — a
+    /// regression may be home-thrash rather than app behavior.
+    Migration,
     /// The series diverged in a specific time window.
     Window,
 }
@@ -55,6 +60,7 @@ impl CauseKind {
             CauseKind::Critpath => "critpath",
             CauseKind::Kind => "kind",
             CauseKind::Page => "page",
+            CauseKind::Migration => "migration",
             CauseKind::Window => "window",
         }
     }
@@ -137,6 +143,13 @@ fn cause_kind(path: &str) -> Option<(CauseKind, String)> {
                 CauseKind::Page,
                 format!("page {page}{}", tail.replace('.', " ")),
             ));
+        }
+    }
+    if let Some((_, name)) = path.split_once("gauges.") {
+        if name.starts_with("proto.")
+            && (name.contains("migration") || name.contains("policy") || name.contains("pingpong"))
+        {
+            return Some((CauseKind::Migration, name.to_string()));
         }
     }
     None
@@ -453,6 +466,30 @@ mod tests {
         let text = e.render("t");
         assert!(text.contains("barrier_wait"));
         crate::json::validate(&e.to_json()).unwrap();
+    }
+
+    #[test]
+    fn migration_gauge_delta_becomes_a_cause() {
+        let mk = |sim: u64, migr: u64| {
+            json::parse(&format!(
+                r#"{{"sim_time_ns": {sim},
+                    "snapshot": {{"gauges": {{"proto.migrations": {migr}, "proto.policy_considered": {}}}}}}}"#,
+                migr * 10
+            ))
+            .unwrap()
+        };
+        let th = Thresholds { abs: 0.0, rel_pct: 2.0 };
+        let e = explain(&mk(1_000_000, 2), &mk(1_400_000, 40), &th, None, 5);
+        assert_eq!(e.findings[0].path, "sim_time_ns");
+        let migr: Vec<&str> = e.findings[0]
+            .causes
+            .iter()
+            .filter(|c| c.kind == CauseKind::Migration)
+            .map(|c| c.name.as_str())
+            .collect();
+        // Ranked by |delta| within the kind: considered moved more.
+        assert_eq!(migr, ["proto.policy_considered", "proto.migrations"]);
+        assert!(e.render("t").contains("migration"));
     }
 
     #[test]

@@ -161,15 +161,23 @@ pub fn window_table(rows: &[crate::series::WindowRow]) -> String {
     use crate::stall::Bucket;
     let mut out = String::new();
     let any_svc = rows.iter().any(|r| r.svc > 0);
+    // Migration column only when a migration policy actually fired, so
+    // policy-off tables render exactly as before.
+    let any_migr = rows.iter().any(|r| r.migrates > 0);
     let _ = writeln!(
         out,
-        "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}  {:<34} {:>8} {:>8} {:>8}{}",
+        "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}{}  {:<34} {:>8} {:>8} {:>8}{}",
         "window",
         "events",
         "flt",
         "ftch",
         "diff",
         "inv",
+        if any_migr {
+            format!(" {:>5}", "migr")
+        } else {
+            String::new()
+        },
         "stall mix",
         "san p50",
         "p95",
@@ -180,7 +188,8 @@ pub fn window_table(rows: &[crate::series::WindowRow]) -> String {
             String::new()
         }
     );
-    let _ = writeln!(out, "{}", "-".repeat(if any_svc { 160 } else { 126 }));
+    let width = 126 + if any_svc { 34 } else { 0 } + if any_migr { 6 } else { 0 };
+    let _ = writeln!(out, "{}", "-".repeat(width));
     for r in rows {
         let total: u64 = r.stall_ns.iter().sum();
         let mut mix: Vec<(u64, Bucket)> = Bucket::ALL
@@ -205,13 +214,18 @@ pub fn window_table(rows: &[crate::series::WindowRow]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}  {:<34} {:>8} {:>8} {:>8}{}",
+            "{:<26} {:>7} {:>6} {:>6} {:>6} {:>6}{}  {:<34} {:>8} {:>8} {:>8}{}",
             format!("[{}..{}){merged}", fmt_ns(r.start_ns), fmt_ns(r.end_ns)),
             r.events,
             r.faults,
             r.fetches,
             r.diffs,
             r.invals,
+            if any_migr {
+                format!(" {:>5}", r.migrates)
+            } else {
+                String::new()
+            },
             mix_s,
             fmt_ns(r.san_p[0]),
             fmt_ns(r.san_p[1]),

@@ -361,6 +361,9 @@ pub(crate) struct SeriesState {
     prev: MetricsSnapshot,
     window_stall: [u64; BUCKETS],
     carry: Option<DeltaFrame>,
+    /// End and stall mix of the most recent *cut* (non-empty) window —
+    /// the live sensor behind [`crate::ObsSink::series_last_window`].
+    pub(crate) last_cut: Option<(u64, [u64; BUCKETS])>,
     ring: Arc<FrameRing>,
 }
 
@@ -387,6 +390,7 @@ impl SeriesState {
             prev: empty_snapshot(),
             window_stall: [0; BUCKETS],
             carry: None,
+            last_cut: None,
             ring,
         }
     }
@@ -436,6 +440,7 @@ impl SeriesState {
                 frame = merge_frames(carry, &frame);
                 frame.seq = self.seq;
             }
+            self.last_cut = Some((frame.end_ns, frame.stall_ns));
             match self.ring.push(frame) {
                 Ok(()) => {
                     self.seq += 1;
@@ -508,6 +513,9 @@ pub struct WindowRow {
     pub diffs: u64,
     /// Acquire-time invalidations this window.
     pub invals: u64,
+    /// Home migrations this window (summed over pages; nonzero only when
+    /// a migration policy is active).
+    pub migrates: u64,
     /// Stall mix recorded this window, in [`Bucket::ALL`] order.
     pub stall_ns: [u64; BUCKETS],
     /// Interpolated percentiles of the window's SAN message latencies
@@ -537,6 +545,7 @@ pub fn windowed_table(frames: &[DeltaFrame]) -> Vec<WindowRow> {
                 fetches: f.delta.pages.iter().map(|p| p.fetches).sum(),
                 diffs: f.delta.pages.iter().map(|p| p.diffs).sum(),
                 invals: f.delta.pages.iter().map(|p| p.invals).sum(),
+                migrates: f.delta.pages.iter().map(|p| p.migrates).sum(),
                 stall_ns: f.stall_ns,
                 san_p: [
                     san.percentile(50.0),
@@ -565,9 +574,16 @@ pub fn window_table_json(rows: &[WindowRow]) -> String {
         }
         let _ = write!(
             j,
-            "\n      {{\"start_ns\": {}, \"end_ns\": {}, \"merged\": {}, \"events\": {}, \"faults\": {}, \"fetches\": {}, \"diffs\": {}, \"invals\": {}, \"stall_ns\": {{",
+            "\n      {{\"start_ns\": {}, \"end_ns\": {}, \"merged\": {}, \"events\": {}, \"faults\": {}, \"fetches\": {}, \"diffs\": {}, \"invals\": {}, ",
             r.start_ns, r.end_ns, r.merged, r.events, r.faults, r.fetches, r.diffs, r.invals
         );
+        // Sparse, like the stall buckets below: policy-off runs never
+        // migrate, keeping their artifacts byte-identical to before the
+        // column existed.
+        if r.migrates > 0 {
+            let _ = write!(j, "\"migrates\": {}, ", r.migrates);
+        }
+        j.push_str("\"stall_ns\": {");
         let mut first = true;
         for b in Bucket::ALL {
             let v = r.stall_ns[b as usize];

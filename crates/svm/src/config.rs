@@ -69,6 +69,38 @@ impl Default for SvmCosts {
     }
 }
 
+/// Counter-driven home-migration policy (the sharing-aware placement
+/// extension). Where [`SvmConfig::migration_threshold`] keys on raw
+/// sole-remote-differ streaks, this policy keys on per-chunk sharing
+/// counters the protocol maintains incrementally — sharer sets, remote
+/// fetch+diff traffic per node, ping-pong handoffs — the same taxonomy
+/// `obs::sharing` ranks pages by, but kept in the protocol directory so
+/// decisions never depend on whether observability is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementPolicy {
+    /// Minimum remote fetch+diff messages a chunk must have generated
+    /// since its last (re)homing before migration is considered.
+    pub min_traffic: u32,
+    /// Minimum share (percent) of the chunk's remote traffic the
+    /// candidate node must account for to become the new home. The
+    /// dominance test is what keeps ping-ponging chunks — traffic split
+    /// between alternating nodes — in place instead of thrashing.
+    pub dominance_pct: u32,
+    /// Release-time considerations a chunk sits out after migrating
+    /// before it may migrate again (hysteresis against home thrash).
+    pub cooldown_releases: u32,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy {
+            min_traffic: 8,
+            dominance_pct: 60,
+            cooldown_releases: 4,
+        }
+    }
+}
+
 /// Full protocol configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvmConfig {
@@ -85,6 +117,12 @@ pub struct SvmConfig {
     /// chunk to a node after `k` consecutive releases in which that node
     /// was its only remote writer; `None` reproduces the paper.
     pub migration_threshold: Option<u32>,
+    /// Counter-driven migration policy (CableS mode, like
+    /// `migration_threshold`). When set it *replaces* the streak policy:
+    /// chunks migrate to the node dominating their remote fetch+diff
+    /// traffic, with a traffic floor and post-migration cooldown. `None`
+    /// (with `migration_threshold: None`) reproduces the paper.
+    pub placement_policy: Option<PlacementPolicy>,
     /// Release-time diff batching: ship all diffs bound for the same home
     /// as one multi-segment VMMC write (one message header and one fence
     /// contribution per home instead of per page), merging runs that are
@@ -126,6 +164,7 @@ impl SvmConfig {
             home_granularity_pages: 1,
             write_through_single_writer: true,
             migration_threshold: None,
+            placement_policy: None,
             batch_diffs: false,
             prefetch_degree: 0,
             prefetch_confirm: 2,
@@ -142,6 +181,7 @@ impl SvmConfig {
             home_granularity_pages: 16,
             write_through_single_writer: false,
             migration_threshold: None,
+            placement_policy: None,
             batch_diffs: false,
             prefetch_degree: 0,
             prefetch_confirm: 2,
@@ -158,6 +198,13 @@ impl SvmConfig {
         self.batch_diffs = batch;
         self.prefetch_degree = if prefetch { 4 } else { 0 };
         self.lock_forwarding = forward;
+        self
+    }
+
+    /// Enables the counter-driven placement policy with the default
+    /// parameters (the placement bench's on-cell).
+    pub fn with_placement_policy(mut self) -> Self {
+        self.placement_policy = Some(PlacementPolicy::default());
         self
     }
 }
@@ -182,7 +229,11 @@ mod tests {
             assert!(!cfg.batch_diffs);
             assert_eq!(cfg.prefetch_degree, 0);
             assert!(!cfg.lock_forwarding);
+            assert!(cfg.placement_policy.is_none());
         }
+        let pol = SvmConfig::cables().with_placement_policy();
+        let p = pol.placement_policy.expect("policy set");
+        assert!(p.min_traffic > 0 && p.dominance_pct > 50);
         let on = SvmConfig::cables().with_protocol_opts(true, true, true);
         assert!(on.batch_diffs && on.lock_forwarding);
         assert_eq!(on.prefetch_degree, 4);

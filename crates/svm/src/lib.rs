@@ -31,7 +31,7 @@ mod trace;
 
 pub use api::SvmSystem;
 pub use cluster::{Cluster, ClusterConfig};
-pub use config::{ProtoMode, SvmConfig, SvmCosts};
+pub use config::{PlacementPolicy, ProtoMode, SvmConfig, SvmCosts};
 pub use proto::{
     NodeStats, PlacementReport, ProtoError, GLOBAL_SECTION_BASE, GLOBAL_SECTION_BYTES, HEAP_BASE,
 };

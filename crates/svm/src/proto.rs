@@ -31,7 +31,7 @@ use sim::{NodeId, Scope, Sim, SimTime, Tid};
 use vmmc::{RegionId, VmmcError};
 
 use crate::api::SvmSystem;
-use crate::config::ProtoMode;
+use crate::config::{PlacementPolicy, ProtoMode};
 
 pub(crate) const WORDS_PER_PAGE: usize = (PAGE_SIZE / 8) as usize;
 pub(crate) const BITMAP_WORDS: usize = WORDS_PER_PAGE / 64;
@@ -107,6 +107,17 @@ pub struct NodeStats {
     pub lock_forwards: u64,
     /// Page-content bytes refreshed by lock-data forwarding.
     pub lock_forward_bytes: u64,
+    /// Ping-pong handoffs this node completed: remote fetch/diff messages
+    /// on a chunk whose previous remote toucher was a different node (the
+    /// false-sharing smell, charged to the node whose touch completed the
+    /// handoff). Counted only while the counter placement policy is on.
+    pub pingpong_handoffs: u64,
+    /// Release-time migration decisions the counter policy evaluated for
+    /// chunks homed remotely from this node.
+    pub policy_considered: u64,
+    /// Migrations the counter policy triggered to this node (a subset of
+    /// `migrations`, which also counts streak-policy moves).
+    pub policy_migrations: u64,
 }
 
 #[derive(Debug, Default)]
@@ -149,6 +160,40 @@ pub(crate) struct BarrierState {
     pub expected: usize,
 }
 
+/// Per-chunk sharing counters backing the counter-driven placement
+/// policy: the `obs::sharing` taxonomy (sharer set, per-node traffic,
+/// ping-pong handoffs) maintained incrementally in the protocol, so the
+/// policy works with observability off. Only populated while
+/// `SvmConfig::placement_policy` is set; the map is indexed, never
+/// iterated, so decisions stay deterministic.
+#[derive(Debug)]
+pub(crate) struct ChunkSharing {
+    /// Bitmask of nodes that generated remote traffic on the chunk
+    /// (node `i` sets bit `min(i, 63)`).
+    pub sharers: u64,
+    /// Remote fetch+diff messages per node since the last (re)homing.
+    pub traffic: Vec<u32>,
+    /// Last remote node to touch the chunk (ping-pong detector).
+    pub last_node: Option<NodeId>,
+    /// Remote touches whose node differed from the previous toucher.
+    pub handoffs: u32,
+    /// Release-time considerations since the last migration; starts
+    /// saturated so a fresh chunk is never in cooldown.
+    pub cooldown: u32,
+}
+
+impl ChunkSharing {
+    fn new(nodes: usize) -> Self {
+        ChunkSharing {
+            sharers: 0,
+            traffic: vec![0; nodes],
+            last_node: None,
+            handoffs: 0,
+            cooldown: u32::MAX,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct ProtoState {
     pub dir: HashMap<u64, PageDir>,
@@ -161,6 +206,12 @@ pub(crate) struct ProtoState {
     pub first_toucher: HashMap<u64, NodeId>,
     /// Migration policy state: chunk -> (last sole remote differ, streak).
     pub diff_streaks: HashMap<u64, (NodeId, u32)>,
+    /// Counter-policy state: chunk -> incremental sharing counters.
+    pub chunk_sharing: HashMap<u64, ChunkSharing>,
+    /// Demand fetches each node has served as home — the thread-affinity
+    /// placement hint (maintained unconditionally; one add per remote
+    /// fetch, never branched on by the protocol itself).
+    pub home_pull: Vec<u64>,
     pub alloc_next: u64,
     pub alloc_ranges: Vec<(u64, u64)>,
     pub locks: HashMap<u64, LockState>,
@@ -178,6 +229,8 @@ impl ProtoState {
             home_region: vec![None; nodes],
             first_toucher: HashMap::new(),
             diff_streaks: HashMap::new(),
+            chunk_sharing: HashMap::new(),
+            home_pull: vec![0; nodes],
             alloc_next: HEAP_BASE.raw(),
             alloc_ranges: Vec::new(),
             locks: HashMap::new(),
@@ -185,6 +238,32 @@ impl ProtoState {
             next_proc: 1,
             created: Vec::new(),
         }
+    }
+
+    /// Charges one remote fetch/diff message from `node` to `chunk`'s
+    /// sharing counters (counter-policy feed; callers gate on the policy
+    /// being enabled). A touch whose node differs from the previous
+    /// toucher is a ping-pong handoff, charged to the toucher's stats.
+    pub fn note_chunk_traffic(&mut self, node: NodeId, chunk: u64) {
+        let nodes = self.nodes.len();
+        let cs = self
+            .chunk_sharing
+            .entry(chunk)
+            .or_insert_with(|| ChunkSharing::new(nodes));
+        cs.sharers |= 1 << node.0.min(63);
+        let i = node.0 as usize;
+        if i >= cs.traffic.len() {
+            cs.traffic.resize(i + 1, 0);
+        }
+        cs.traffic[i] = cs.traffic[i].saturating_add(1);
+        match cs.last_node {
+            Some(prev) if prev != node => {
+                cs.handoffs = cs.handoffs.saturating_add(1);
+                self.nodes[i].stats.pingpong_handoffs += 1;
+            }
+            _ => {}
+        }
+        cs.last_node = Some(node);
     }
 }
 
@@ -1213,6 +1292,15 @@ impl SvmSystem {
                 np.stats.remote_fetches += 1;
                 np.stats.fetch_bytes += PAGE_SIZE;
             }
+            // Affinity hint: credit the home that served this fetch.
+            if home.0 as usize >= st.home_pull.len() {
+                st.home_pull.resize(home.0 as usize + 1, 0);
+            }
+            st.home_pull[home.0 as usize] += 1;
+            if self.cfg.placement_policy.is_some() && home != node {
+                let chunk = page.chunk_base(self.cfg.home_granularity_pages).index();
+                st.note_chunk_traffic(node, chunk);
+            }
             drop(st);
             self.trace(sim, crate::trace::TraceEvent::Fetch { node, page, home });
             let mut st = self.state.lock();
@@ -1397,10 +1485,11 @@ impl SvmSystem {
         // rest of the loop exactly as the unbatched per-run sends do.
         let mut batches: BTreeMap<(u32, u64), (Vec<(u64, Vec<u8>)>, u64, SimTime)> =
             BTreeMap::new();
-        if let Some(threshold) = self.cfg.migration_threshold {
-            // Migration policy (extension): a chunk repeatedly diffed by a
-            // single remote node moves home to that node. One streak bump
-            // per chunk per release.
+        if self.cfg.migration_threshold.is_some() || self.cfg.placement_policy.is_some() {
+            // Migration policy (extension): one decision per dirty chunk
+            // per release — the streak policy bumps its sole-remote-differ
+            // streak, the counter policy weighs the chunk's accumulated
+            // sharing counters.
             let gran = self.cfg.home_granularity_pages;
             let mut chunks: Vec<u64> = dirty_pages
                 .iter()
@@ -1409,7 +1498,7 @@ impl SvmSystem {
             chunks.sort_unstable();
             chunks.dedup();
             for chunk in chunks {
-                self.consider_migration(sim, PageNum::new(chunk), threshold);
+                self.consider_migration(sim, PageNum::new(chunk));
             }
         }
         for page_idx in dirty_pages {
@@ -1485,6 +1574,10 @@ impl SvmSystem {
                     entry.1 += 1;
                     let mut st = self.state.lock();
                     st.nodes[node.0 as usize].stats.diff_bytes += dirty_bytes;
+                    if self.cfg.placement_policy.is_some() {
+                        let chunk = page.chunk_base(self.cfg.home_granularity_pages).index();
+                        st.note_chunk_traffic(node, chunk);
+                    }
                 } else {
                     for (w0, w1) in &runs {
                         let off = w0 * 8;
@@ -1508,6 +1601,10 @@ impl SvmSystem {
                     let mut st = self.state.lock();
                     st.nodes[node.0 as usize].stats.diffs_sent += 1;
                     st.nodes[node.0 as usize].stats.diff_bytes += dirty_bytes;
+                    if self.cfg.placement_policy.is_some() {
+                        let chunk = page.chunk_base(self.cfg.home_granularity_pages).index();
+                        st.note_chunk_traffic(node, chunk);
+                    }
                 }
                 diffed += 1;
                 self.trace(
@@ -1930,10 +2027,21 @@ impl SvmSystem {
         out
     }
 
-    /// Applies the migration policy for one dirty page: bump the chunk's
-    /// sole-remote-differ streak and migrate the chunk here once the
-    /// streak reaches `threshold`.
-    fn consider_migration(&self, sim: &Sim, page: PageNum, threshold: u32) {
+    /// Applies the configured migration policy for one dirty chunk at
+    /// release time. The counter policy takes precedence when both knobs
+    /// are set; with neither set this is never called.
+    fn consider_migration(&self, sim: &Sim, page: PageNum) {
+        if let Some(policy) = self.cfg.placement_policy {
+            self.consider_migration_counters(sim, page, policy);
+        } else if let Some(threshold) = self.cfg.migration_threshold {
+            self.consider_migration_streak(sim, page, threshold);
+        }
+    }
+
+    /// The legacy streak policy: bump the chunk's sole-remote-differ
+    /// streak and migrate the chunk here once the streak reaches
+    /// `threshold`.
+    fn consider_migration_streak(&self, sim: &Sim, page: PageNum, threshold: u32) {
         let node = sim.node();
         let gran = self.cfg.home_granularity_pages;
         let chunk_base = page.chunk_base(gran);
@@ -1946,27 +2054,7 @@ impl SvmSystem {
             if home == node {
                 return;
             }
-            // Only migrate chunks whose local copies are all current
-            // (another interval's diff would otherwise be lost) and on
-            // which no node holds unflushed dirty words.
-            let current = (0..gran).all(|i| {
-                let idx = chunk_base.index() + i;
-                match (st.dir.get(&idx), st.nodes[node.0 as usize].copies.get(&idx)) {
-                    (Some(d), Some(c)) => c.version >= d.version,
-                    (Some(_), None) => true, // no copy: nothing to lose
-                    _ => true,
-                }
-            });
-            let foreign_dirty = st.nodes.iter().enumerate().any(|(n, np)| {
-                n != node.0 as usize
-                    && (0..gran).any(|i| {
-                        np.copies
-                            .get(&(chunk_base.index() + i))
-                            .map(|c| c.dirty.is_some())
-                            .unwrap_or(false)
-                    })
-            });
-            if !current || foreign_dirty {
+            if !self.chunk_migratable(&st, node, chunk_base) {
                 return;
             }
             let e = st
@@ -1985,6 +2073,95 @@ impl SvmSystem {
             let mut st = self.state.lock();
             st.diff_streaks.remove(&chunk_base.index());
         }
+    }
+
+    /// The counter-driven policy: migrate the chunk here when this node
+    /// dominates its accumulated remote fetch+diff traffic, the traffic
+    /// cleared the policy floor, and the chunk is out of its
+    /// post-migration cooldown (hysteresis against home thrash). The
+    /// dominance test inherently refuses ping-ponging chunks — traffic
+    /// split between alternating nodes never clears it.
+    fn consider_migration_counters(&self, sim: &Sim, page: PageNum, policy: PlacementPolicy) {
+        let node = sim.node();
+        let gran = self.cfg.home_granularity_pages;
+        let chunk_base = page.chunk_base(gran);
+        let migrate = {
+            let mut st = self.state.lock();
+            let home = match st.dir.get(&page.index()) {
+                Some(d) => d.home,
+                None => return,
+            };
+            if home == node {
+                return;
+            }
+            st.nodes[node.0 as usize].stats.policy_considered += 1;
+            let nodes = st.nodes.len();
+            let cs = st
+                .chunk_sharing
+                .entry(chunk_base.index())
+                .or_insert_with(|| ChunkSharing::new(nodes));
+            if cs.cooldown < policy.cooldown_releases {
+                cs.cooldown += 1;
+                return;
+            }
+            let total: u64 = cs.traffic.iter().map(|&t| t as u64).sum();
+            let mine = cs
+                .traffic
+                .get(node.0 as usize)
+                .copied()
+                .unwrap_or(0) as u64;
+            if total < policy.min_traffic as u64
+                || mine * 100 < total * policy.dominance_pct as u64
+            {
+                return;
+            }
+            if !self.chunk_migratable(&st, node, chunk_base) {
+                return;
+            }
+            true
+        };
+        if migrate {
+            self.migrate_chunk(sim, chunk_base);
+            let mut st = self.state.lock();
+            st.nodes[node.0 as usize].stats.policy_migrations += 1;
+            // Restart the chunk's sharing profile under the new home and
+            // arm the cooldown clock.
+            let nodes = st.nodes.len();
+            let cs = st
+                .chunk_sharing
+                .entry(chunk_base.index())
+                .or_insert_with(|| ChunkSharing::new(nodes));
+            cs.sharers = 0;
+            cs.traffic.iter_mut().for_each(|t| *t = 0);
+            cs.last_node = None;
+            cs.cooldown = 0;
+        }
+    }
+
+    /// Safety invariants shared by both migration policies: only migrate
+    /// chunks whose local copies are all current (another interval's diff
+    /// would otherwise be lost) and on which no other node holds
+    /// unflushed dirty words.
+    fn chunk_migratable(&self, st: &ProtoState, node: NodeId, chunk_base: PageNum) -> bool {
+        let gran = self.cfg.home_granularity_pages;
+        let current = (0..gran).all(|i| {
+            let idx = chunk_base.index() + i;
+            match (st.dir.get(&idx), st.nodes[node.0 as usize].copies.get(&idx)) {
+                (Some(d), Some(c)) => c.version >= d.version,
+                (Some(_), None) => true, // no copy: nothing to lose
+                _ => true,
+            }
+        });
+        let foreign_dirty = st.nodes.iter().enumerate().any(|(n, np)| {
+            n != node.0 as usize
+                && (0..gran).any(|i| {
+                    np.copies
+                        .get(&(chunk_base.index() + i))
+                        .map(|c| c.dirty.is_some())
+                        .unwrap_or(false)
+                })
+        });
+        current && !foreign_dirty
     }
 
     /// Migrates the chunk at `base` to the calling node: new home frames
@@ -2163,8 +2340,19 @@ impl SvmSystem {
             out.prefetch_wasted += s.prefetch_wasted;
             out.lock_forwards += s.lock_forwards;
             out.lock_forward_bytes += s.lock_forward_bytes;
+            out.pingpong_handoffs += s.pingpong_handoffs;
+            out.policy_considered += s.policy_considered;
+            out.policy_migrations += s.policy_migrations;
         }
         out
+    }
+
+    /// Per-node remote-pull counts: demand fetches each node has served
+    /// as home. The thread-affinity placement hint the CableS runtime
+    /// consults when `affinity_placement` is on (reading it never
+    /// perturbs the protocol).
+    pub fn home_pull(&self) -> Vec<u64> {
+        self.state.lock().home_pull.clone()
     }
 }
 

@@ -25,6 +25,10 @@
 #                         with windowed recovery, lock-forwarding
 #                         ablation (stream_service.ndjson is its live
 #                         metric series)
+#   BENCH_placement.json  sharing-aware placement policy: off/on message
+#                         and time deltas for OCEAN, RADIX and the
+#                         zipfian service (bit-identical results), plus
+#                         the migration x prefetch interaction grid
 #   target/artifacts/trace_fft.json
 #                         Chrome-trace timeline of the FFT run on 8 nodes
 #                         (load in chrome://tracing or ui.perfetto.dev;
@@ -56,7 +60,7 @@ ARTIFACTS=(BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json
            BENCH_chaos.json BENCH_protocol.json BENCH_critpath.json
            BENCH_table3.json BENCH_table4.json BENCH_table5.json
            BENCH_table6.json BENCH_fig5.json BENCH_fig6.json
-           BENCH_ablations.json BENCH_service.json
+           BENCH_ablations.json BENCH_service.json BENCH_placement.json
            target/artifacts/trace_fft.json
            target/artifacts/stream_FFT.ndjson
            target/artifacts/stream_RADIX.ndjson
@@ -79,6 +83,7 @@ cargo bench $CARGO_FLAGS -p cables-bench --bench fig5
 cargo bench $CARGO_FLAGS -p cables-bench --bench fig6
 cargo bench $CARGO_FLAGS -p cables-bench --bench ablations
 cargo bench $CARGO_FLAGS -p cables-bench --bench service_bench
+cargo bench $CARGO_FLAGS -p cables-bench --bench placement
 
 status=0
 for f in "${ARTIFACTS[@]}"; do
@@ -213,6 +218,19 @@ for path in sorted(glob.glob("BENCH_*.json")):
         rows.append(("forwarding", f"lock_forwards "
                      f"{ab['off']['lock_forwards']} -> "
                      f"{ab['on']['lock_forwards']} (digests identical)"))
+    elif name == "placement":
+        for w in d["workloads"]:
+            off, on = w["off"], w["on"]
+            rows.append((w["workload"],
+                         f"msgs {off['remote_fetches'] + off['diffs_sent']} -> "
+                         f"{on['remote_fetches'] + on['diffs_sent']}, "
+                         f"time {ms(off['sim_time_ns'])} -> {ms(on['sim_time_ns'])}"))
+        g = {(p["migration"], p["prefetch"]): p
+             for p in d["migration_prefetch_grid"]}
+        rows.append(("mig x prefetch",
+                     f"migrations {g[(True, False)]['migrations']} alone, "
+                     f"{g[(True, True)]['migrations']} with prefetch "
+                     f"({g[(True, True)]['prefetch_issued']} issued)"))
     else:  # future artifacts: stay visible even before a custom row
         rows.append(("-", f"keys: {', '.join(list(d)[:6])}"))
     for subject, headline in rows:

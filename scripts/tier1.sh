@@ -25,7 +25,7 @@ echo "==> cargo test --workspace (engine: parallel_det, audited green threads)"
 CABLES_ENGINE_MODE=parallel_det cargo test $CARGO_FLAGS --workspace -q
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall obs_report critpath chaos_soak protocol_opt service_bench; do
+    for bench in table3 table4 table5 table6 fig5 fig6 ablations engine_wall obs_report critpath chaos_soak protocol_opt service_bench placement; do
         echo "==> cargo bench --bench $bench -- --test"
         cargo bench $CARGO_FLAGS -p cables-bench --bench "$bench" -- --test
     done
@@ -51,7 +51,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     # independent parser (python is the neutral referee; skip quietly if
     # it is unavailable).
     if command -v python3 >/dev/null 2>&1; then
-        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_ablations.json BENCH_service.json BENCH_table3.json BENCH_table4.json BENCH_table5.json target/artifacts/trace_fft.json; do
+        for f in BENCH_obs_FFT.json BENCH_obs_RADIX.json BENCH_obs_stream.json BENCH_critpath.json BENCH_chaos.json BENCH_protocol.json BENCH_ablations.json BENCH_service.json BENCH_placement.json BENCH_table3.json BENCH_table4.json BENCH_table5.json target/artifacts/trace_fft.json; do
             echo "==> validate $f"
             python3 -m json.tool "$f" > /dev/null
         done
